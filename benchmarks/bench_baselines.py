@@ -1,0 +1,162 @@
+"""Ablation — one filtered publish->deliver round across all six systems.
+
+Times an end-to-end notify (publish at the producer side, observed at the
+consumer side, through each system's real marshalling path: CDR+GIOP for
+CORBA, in-VM JMS dispatch, SOAP-over-simulated-HTTP for OGSI/WSE/WSN/broker)
+and records the per-event wire cost.  The shape claim, matching Table 3's
+architecture rows: binary RPC (CORBA) and in-VM JMS are cheaper per event
+than XML-over-HTTP; the WS stacks buy interoperability with that overhead.
+"""
+
+from repro.baselines.corba.events import StructuredEvent
+from repro.baselines.corba.notification_service import FilterObject, NotificationChannel
+from repro.baselines.corba.orb import Orb
+from repro.baselines.jms.messages import TextMessage
+from repro.baselines.jms.provider import JmsProvider
+from repro.baselines.jms.session import Connection
+from repro.baselines.ogsi.grid_service import NotificationSink, NotificationSource
+from repro.messenger import WsMessenger
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.wse import EventSink, EventSource, WseSubscriber
+from repro.wsn import NotificationConsumer, NotificationProducer, WsnSubscriber
+from repro.xmlkit import parse_xml
+from repro.xmlkit.element import text_element
+from repro.xmlkit.names import QName
+
+_wire_bytes: dict[str, int] = {}
+_printed = False
+
+
+def _payload(n=1):
+    return parse_xml(f'<ev:E xmlns:ev="urn:bb"><ev:n>{n}</ev:n></ev:E>')
+
+
+def test_corba_notification_roundtrip(benchmark):
+    orb = Orb()
+    channel = NotificationChannel(orb)
+    received = []
+    proxy = channel.new_for_consumers().obtain_structured_push_supplier()
+    filter_object = FilterObject()
+    filter_object.add_constraint("$kind == 'status'")
+    proxy.add_filter(filter_object)
+    proxy.connect_structured_push_consumer(
+        orb.register(lambda op, args: received.append(args[0]))
+    )
+    supplier = channel.new_for_suppliers().obtain_structured_push_consumer()
+    event = StructuredEvent(type_name="E", filterable_data={"kind": "status"}, payload="<x/>")
+
+    def round_trip():
+        supplier.push_structured_event(event)
+
+    benchmark(round_trip)
+    assert received
+    orb.bytes_routed = 0
+    round_trip()
+    _wire_bytes["corba"] = orb.bytes_routed
+
+
+def test_jms_roundtrip(benchmark):
+    provider = JmsProvider(VirtualClock())
+    connection = Connection(provider, "bench")
+    connection.start()
+    session = connection.create_session()
+    topic = provider.topic("bench")
+    consumer = session.create_consumer(topic, "kind = 'status'")
+    producer = session.create_producer(topic)
+
+    def round_trip():
+        message = TextMessage(text="<x/>")
+        message.set_property("kind", "status")
+        producer.send(message)
+        assert consumer.receive() is not None
+
+    benchmark(round_trip)
+    _wire_bytes["jms"] = len("<x/>")  # in-VM dispatch; payload only
+
+
+def test_ogsi_roundtrip(benchmark):
+    network = SimulatedNetwork(VirtualClock())
+    source = NotificationSource(network, "http://ogsi")
+    source.declare_service_data("sd", text_element(QName("urn:bb", "v"), "0"))
+    sink = NotificationSink(network, "http://ogsi-sink")
+    source.subscribe("sd", sink.epr())
+    counter = [0]
+
+    def round_trip():
+        counter[0] += 1
+        assert source.set_service_data(
+            "sd", text_element(QName("urn:bb", "v"), str(counter[0]))
+        ) == 1
+
+    benchmark(round_trip)
+    network.stats.reset()
+    round_trip()
+    _wire_bytes["ogsi"] = network.stats.bytes_sent
+
+
+def test_wse_roundtrip(benchmark):
+    network = SimulatedNetwork(VirtualClock())
+    source = EventSource(network, "http://wse")
+    sink = EventSink(network, "http://wse-sink")
+    WseSubscriber(network).subscribe(
+        source.epr(),
+        notify_to=sink.epr(),
+        filter="/ev:E[ev:n >= 0]",
+        filter_namespaces={"ev": "urn:bb"},
+    )
+
+    def round_trip():
+        assert source.publish(_payload()) == 1
+
+    benchmark(round_trip)
+    network.stats.reset()
+    round_trip()
+    _wire_bytes["wse"] = network.stats.bytes_sent
+
+
+def test_wsn_roundtrip(benchmark):
+    network = SimulatedNetwork(VirtualClock())
+    producer = NotificationProducer(network, "http://wsn")
+    consumer = NotificationConsumer(network, "http://wsn-consumer")
+    WsnSubscriber(network).subscribe(producer.epr(), consumer.epr(), topic="bench")
+
+    def round_trip():
+        assert producer.publish(_payload(), topic="bench") == 1
+
+    benchmark(round_trip)
+    network.stats.reset()
+    round_trip()
+    _wire_bytes["wsn"] = network.stats.bytes_sent
+
+
+def test_broker_roundtrip(benchmark):
+    network = SimulatedNetwork(VirtualClock())
+    broker = WsMessenger(network, "http://broker")
+    sink = EventSink(network, "http://b-sink")
+    WseSubscriber(network).subscribe(broker.epr(), notify_to=sink.epr())
+
+    def round_trip():
+        broker.publish(_payload())
+
+    benchmark(round_trip)
+    network.stats.reset()
+    round_trip()
+    _wire_bytes["broker"] = network.stats.bytes_sent
+
+
+def test_wire_cost_shape(benchmark):
+    """Binary CORBA frames beat XML-over-HTTP per event; the wrapped WSN
+    Notify is heavier than the raw WSE body; the broker adds no wire cost
+    over a direct WSE source for one WSE consumer."""
+    benchmark(lambda: None)  # shape check over the numbers collected above
+    needed = {"corba", "wse", "wsn", "broker"}
+    assert needed <= set(_wire_bytes), "roundtrip benches must run first"
+    assert _wire_bytes["corba"] < _wire_bytes["wse"]
+    assert _wire_bytes["wse"] < _wire_bytes["wsn"]  # raw < wrapped
+    assert _wire_bytes["broker"] <= _wire_bytes["wse"] * 1.2
+    global _printed
+    if not _printed:
+        _printed = True
+        print()
+        for name, count in sorted(_wire_bytes.items(), key=lambda kv: kv[1]):
+            print(f"  {name:8s}: {count:6d} bytes/event on the wire")

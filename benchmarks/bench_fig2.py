@@ -1,0 +1,32 @@
+"""Experiment E5 — regenerate Fig. 2 (WS-BaseNotification architecture).
+
+Traces the WSN lifecycle (subscribe, pause/resume, publish through the
+separate publisher role, GetCurrentMessage, renew, unsubscribe) and asserts
+the entity graph, including the producer/publisher separation WS-Eventing
+lacks.
+"""
+
+from repro.comparison import trace_wsn_architecture
+from repro.wsn.versions import WsnVersion
+
+_printed = False
+
+
+def test_fig2_trace(benchmark):
+    trace = benchmark(trace_wsn_architecture, WsnVersion.V1_3)
+    assert "Publisher" in trace.entities
+    assert trace.operations_between("Publisher", "Notification Producer") == ["publish"]
+    assert "Subscribe" in trace.operations_between("Subscriber", "Notification Producer")
+    assert {"PauseSubscription", "ResumeSubscription"} <= set(
+        trace.operations_between("Subscriber", "Subscription Manager")
+    )
+    assert trace.operations_between("Notification Producer", "Notification Consumer") == [
+        "Notify"
+    ]
+    global _printed
+    if not _printed:
+        _printed = True
+        print()
+        print(trace.render())
+        print()
+        print(trace_wsn_architecture(WsnVersion.V1_0).render())

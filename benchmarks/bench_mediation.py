@@ -1,0 +1,111 @@
+"""Experiment E7 — WS-Messenger mediation (section VII claims, measured).
+
+Verifies, then times, the broker's three claims:
+
+1. spec auto-detection on a mixed workload of all five versions;
+2. responses follow the request's specification;
+3. cross-spec delivery — a WSN publication reaching a WSE sink and vice
+   versa — plus the mediation overhead relative to a same-spec direct
+   source->sink exchange.
+"""
+
+from repro.messenger import WsMessenger
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.wse import EventSink, EventSource, WseSubscriber, WseVersion
+from repro.wsn import NotificationConsumer, WsnSubscriber, WsnVersion
+from repro.xmlkit import parse_xml
+
+_printed = False
+
+
+def _event(n=0):
+    return parse_xml(f'<ev:E xmlns:ev="urn:e7"><ev:n>{n}</ev:n></ev:E>')
+
+
+def _mixed_subscribe_workload():
+    """All five spec versions subscribe at one broker front door."""
+    network = SimulatedNetwork(VirtualClock())
+    broker = WsMessenger(network, "http://broker")
+    for version in WseVersion:
+        sink = EventSink(network, f"http://sink-{version.name}", version=version)
+        WseSubscriber(network, version=version).subscribe(
+            broker.epr(), notify_to=sink.epr()
+        )
+    for version in WsnVersion:
+        consumer = NotificationConsumer(
+            network, f"http://consumer-{version.name}", version=version
+        )
+        WsnSubscriber(network, version=version).subscribe(
+            broker.epr(), consumer.epr(), topic="e7"
+        )
+    return broker
+
+
+def test_spec_detection_mixed_workload(benchmark):
+    broker = benchmark(_mixed_subscribe_workload)
+    assert broker.stats.detection_failures == 0
+    assert len(broker.stats.detected) == 5  # every version seen exactly once
+    assert all(count == 1 for count in broker.stats.detected.values())
+    assert broker.subscription_count() == 5
+
+
+def test_cross_spec_delivery_through_broker(benchmark):
+    network = SimulatedNetwork(VirtualClock())
+    broker = WsMessenger(network, "http://broker")
+    sink = EventSink(network, "http://sink")
+    WseSubscriber(network).subscribe(broker.epr(), notify_to=sink.epr())
+    consumer = NotificationConsumer(network, "http://consumer")
+    WsnSubscriber(network).subscribe(broker.epr(), consumer.epr(), topic="e7")
+
+    def publish_round():
+        broker.publish(_event(), topic="e7")
+
+    benchmark(publish_round)
+    assert len(sink.received) == len(consumer.received) >= 1
+    assert consumer.received[0].wrapped and not sink.received[0].wrapped
+
+
+def test_direct_wse_delivery_baseline(benchmark):
+    """Same-spec direct exchange: the no-mediation baseline for overhead."""
+    network = SimulatedNetwork(VirtualClock())
+    source = EventSource(network, "http://direct-source")
+    sink = EventSink(network, "http://direct-sink")
+    WseSubscriber(network).subscribe(source.epr(), notify_to=sink.epr())
+
+    def publish_round():
+        source.publish(_event())
+
+    benchmark(publish_round)
+    assert sink.received
+
+
+def test_mediation_overhead_report(benchmark):
+    """Broker fan-out to 2 consumers costs no more than ~4x a single direct
+    delivery in wire bytes (two deliveries, one of them wrapped)."""
+    benchmark(lambda: None)  # byte accounting below is the payload
+    network_direct = SimulatedNetwork(VirtualClock())
+    source = EventSource(network_direct, "http://s")
+    sink = EventSink(network_direct, "http://k")
+    WseSubscriber(network_direct).subscribe(source.epr(), notify_to=sink.epr())
+    network_direct.stats.reset()
+    source.publish(_event())
+    direct_bytes = network_direct.stats.bytes_sent
+
+    network_broker = SimulatedNetwork(VirtualClock())
+    broker = WsMessenger(network_broker, "http://b")
+    sink2 = EventSink(network_broker, "http://k2")
+    WseSubscriber(network_broker).subscribe(broker.epr(), notify_to=sink2.epr())
+    consumer = NotificationConsumer(network_broker, "http://c2")
+    WsnSubscriber(network_broker).subscribe(broker.epr(), consumer.epr(), topic="e7")
+    network_broker.stats.reset()
+    broker.publish(_event(), topic="e7")
+    broker_bytes = network_broker.stats.bytes_sent
+
+    assert broker_bytes <= 4 * direct_bytes, (direct_bytes, broker_bytes)
+    global _printed
+    if not _printed:
+        _printed = True
+        print()
+        print(f"direct WSE delivery: {direct_bytes} wire bytes/event")
+        print(f"broker fan-out (1 WSE + 1 WSN consumer): {broker_bytes} wire bytes/event")
+        print(f"overhead factor: {broker_bytes / direct_bytes:.2f}x for 2x consumers")

@@ -1,0 +1,103 @@
+"""Experiment E6 — section V.4's six message-format difference categories.
+
+Builds the corresponding WSE and WSN messages for the same semantic exchange
+(a subscribe response and a topic-tagged notification), serializes both to
+the wire, and measures the differences with the mediation analyzer.  The
+assertion: all six published categories are detected on live messages.
+"""
+
+from repro.messenger.mediation import WSE_TOPIC_HEADER, compare_message_pair
+from repro.soap import SoapEnvelope, SoapVersion
+from repro.soap.codec import parse_envelope, serialize_envelope
+from repro.wsa.headers import MessageHeaders, apply_headers
+from repro.wse import messages as wse_messages
+from repro.wse.source import DEFAULT_NOTIFY_ACTION
+from repro.wse.versions import WseVersion
+from repro.wsn import messages as wsn_messages
+from repro.wsn.messages import NotificationMessage
+from repro.wsn.versions import WsnVersion
+from repro.xmlkit import parse_xml
+from repro.xmlkit.element import text_element
+
+WSE = WseVersion.V2004_08
+WSN = WsnVersion.V1_3
+#: the category-1 example in section V.4 ("ReferenceParameters ... while
+#: WS-BaseNotification encloses it in the ReferenceProperties element")
+#: describes the pre-1.3 WSN the paper's authors implemented against
+WSN_OLD = WsnVersion.V1_0
+
+_printed = False
+
+
+def _payload():
+    return parse_xml('<ev:E xmlns:ev="urn:e6"><ev:n>1</ev:n></ev:E>')
+
+
+def _envelope(body, wsa_version, action, extra_headers=()):
+    envelope = SoapEnvelope(SoapVersion.V11)
+    apply_headers(envelope, MessageHeaders(to="http://x", action=action), wsa_version)
+    for header in extra_headers:
+        envelope.add_header(header)
+    envelope.add_body(body)
+    return parse_envelope(serialize_envelope(envelope))
+
+
+def _message_pairs():
+    # pair 1: SubscribeResponse — category 1 (id enclosure), 2, 3, 4
+    wse_response = _envelope(
+        wse_messages.build_subscribe_response(
+            WSE, sub_id="s-1", manager_address="http://mgr", expires_text="PT1H"
+        ),
+        WSE.wsa_version,
+        WSE.action("SubscribeResponse"),
+    )
+    wsn_response = _envelope(
+        wsn_messages.build_subscribe_response(
+            WSN_OLD, manager_address="http://mgr", sub_id="s-1"
+        ),
+        WSN_OLD.wsa_version,
+        WSN_OLD.action("SubscribeResponse"),
+    )
+    # pair 2: a topic-tagged notification — categories 5 and 6
+    wse_notification = _envelope(
+        _payload(),
+        WSE.wsa_version,
+        DEFAULT_NOTIFY_ACTION,
+        extra_headers=[text_element(WSE_TOPIC_HEADER, "jobs/status")],
+    )
+    wsn_notification = _envelope(
+        wsn_messages.build_notify(
+            WSN, [NotificationMessage(_payload(), topic="jobs/status")]
+        ),
+        WSN.wsa_version,
+        WSN.action("Notify"),
+    )
+    return (wse_response, wsn_response), (wse_notification, wsn_notification)
+
+
+def _analyze():
+    (subscribe_pair, notify_pair) = _message_pairs()
+    response_report = compare_message_pair(*subscribe_pair)
+    notify_report = compare_message_pair(*notify_pair)
+    return response_report, notify_report
+
+
+def test_message_format_differences(benchmark):
+    response_report, notify_report = benchmark(_analyze)
+    all_categories = set(response_report.categories_present()) | set(
+        notify_report.categories_present()
+    )
+    assert all_categories == {1, 2, 3, 4, 5, 6}, f"found only {sorted(all_categories)}"
+    # category 1 specifically includes the reference parameter/property split
+    names = set(response_report.element_name_differences)
+    assert "ReferenceParameters" in names and "ReferenceProperties" in names
+    global _printed
+    if not _printed:
+        _printed = True
+        print()
+        print("SubscribeResponse pair categories:", response_report.categories_present())
+        print("  element names:", response_report.element_name_differences)
+        print("  WSA versions:", response_report.wsa_version_difference)
+        print("Notification pair categories:", notify_report.categories_present())
+        print("  structure:", notify_report.structure_depth_difference)
+        print("  content location:", notify_report.content_location_difference)

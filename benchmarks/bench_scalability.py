@@ -1,0 +1,85 @@
+"""Ablation — broker fan-out scalability.
+
+Sweeps the subscriber population (1, 10, 50 mixed-spec consumers) and the
+filter selectivity, measuring per-publication cost at the broker.  Shape
+claims: cost grows linearly in *matching* subscribers, and non-matching
+subscriptions are cheap (filter evaluation only, no wire traffic).
+"""
+
+import pytest
+
+from repro.messenger import WsMessenger
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.wse import EventSink, WseSubscriber
+from repro.wsn import NotificationConsumer, WsnSubscriber
+from repro.xmlkit import parse_xml
+
+_costs: dict[int, int] = {}
+_printed = False
+
+
+def _event():
+    return parse_xml('<ev:E xmlns:ev="urn:sc"><ev:n>1</ev:n></ev:E>')
+
+
+def _stack(consumers: int):
+    network = SimulatedNetwork(VirtualClock())
+    broker = WsMessenger(network, "http://broker")
+    for i in range(consumers):
+        if i % 2 == 0:
+            sink = EventSink(network, f"http://sink-{i}")
+            WseSubscriber(network).subscribe(broker.epr(), notify_to=sink.epr())
+        else:
+            consumer = NotificationConsumer(network, f"http://consumer-{i}")
+            WsnSubscriber(network).subscribe(broker.epr(), consumer.epr(), topic="sc")
+    return network, broker
+
+
+@pytest.mark.parametrize("consumers", [1, 10, 50])
+def test_fanout_scaling(benchmark, consumers):
+    network, broker = _stack(consumers)
+
+    def publish():
+        broker.publish(_event(), topic="sc")
+
+    benchmark(publish)
+    network.stats.reset()
+    publish()
+    _costs[consumers] = network.stats.requests
+
+
+def test_fanout_requests_linear(benchmark):
+    benchmark(lambda: None)
+    for consumers in (1, 10, 50):
+        if consumers not in _costs:
+            network, broker = _stack(consumers)
+            network.stats.reset()
+            broker.publish(_event(), topic="sc")
+            _costs[consumers] = network.stats.requests
+    # wire requests == matching consumers, exactly
+    assert _costs[1] == 1
+    assert _costs[10] == 10
+    assert _costs[50] == 50
+    global _printed
+    if not _printed:
+        _printed = True
+        print()
+        for consumers, requests in sorted(_costs.items()):
+            print(f"  {consumers:3d} consumers -> {requests:3d} wire requests/publication")
+
+
+def test_non_matching_subscribers_cost_no_wire_traffic(benchmark):
+    network = SimulatedNetwork(VirtualClock())
+    broker = WsMessenger(network, "http://broker")
+    # 20 subscribers, all filtered onto a different topic
+    for i in range(20):
+        consumer = NotificationConsumer(network, f"http://c-{i}")
+        WsnSubscriber(network).subscribe(broker.epr(), consumer.epr(), topic="other")
+
+    def publish():
+        broker.publish(_event(), topic="sc")
+
+    benchmark(publish)
+    network.stats.reset()
+    publish()
+    assert network.stats.requests == 0

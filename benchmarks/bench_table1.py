@@ -1,0 +1,26 @@
+"""Experiment E1 — regenerate Table 1 (version-evolution feature matrix).
+
+Every cell is probed against the live implementations; the benchmark body
+asserts a clean diff against the published table and prints both on the
+first run.
+"""
+
+from repro.comparison import PAPER_TABLE1, build_table1
+
+_printed = False
+
+
+def test_table1_regeneration(benchmark):
+    def run():
+        return build_table1()
+
+    measured = benchmark(run)
+    diff = measured.diff(PAPER_TABLE1)
+    assert diff.clean, diff.summary()
+    global _printed
+    if not _printed:
+        _printed = True
+        print()
+        print(measured.render(label_width=52, cell_width=14))
+        print()
+        print("Table 1:", diff.summary())

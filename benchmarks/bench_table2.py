@@ -1,0 +1,23 @@
+"""Experiment E2 — regenerate Table 2 (function comparison).
+
+Each row's mapping is *executed* (Subscribe/Renew/Unsubscribe natively;
+GetStatus and SubscriptionEnd through WSRF on the WSN side; Pause/Resume and
+GetCurrentMessage confirmed WSN-only) before its cell text is emitted.
+"""
+
+from repro.comparison import PAPER_TABLE2, build_table2
+
+_printed = False
+
+
+def test_table2_regeneration(benchmark):
+    measured = benchmark(build_table2)
+    diff = measured.diff(PAPER_TABLE2)
+    assert diff.clean, diff.summary()
+    global _printed
+    if not _printed:
+        _printed = True
+        print()
+        print(measured.render(label_width=28, cell_width=52))
+        print()
+        print("Table 2:", diff.summary())

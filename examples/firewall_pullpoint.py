@@ -1,0 +1,69 @@
+"""Pull delivery for consumers behind firewalls.
+
+The paper gives this as the scenario that forced both specifications to add
+pull mechanisms: "delivering messages to consumers behind firewalls".  Here
+a consumer lives in a zone whose firewall blocks all inbound connections:
+
+1. a plain push subscription fails the moment the producer tries to
+   deliver (connection refused at the firewall);
+2. WS-Eventing 08/2004 pull mode works: the consumer polls the
+   subscription manager from inside the zone;
+3. WS-Notification 1.3 works through a PullPoint created *outside* the
+   firewall and polled from inside — the producer just pushes to the pull
+   point as if it were an ordinary consumer.
+
+Run:  python examples/firewall_pullpoint.py
+"""
+
+from repro.messenger import WsMessenger
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.wsa import EndpointReference
+from repro.wse import DeliveryMode, EventSink, WseSubscriber
+from repro.wsn import PullPointClient, WsnSubscriber
+from repro.xmlkit import parse_xml
+
+
+def event(n):
+    return parse_xml(f'<ev:E xmlns:ev="urn:fw"><ev:n>{n}</ev:n></ev:E>')
+
+
+def main() -> None:
+    network = SimulatedNetwork(VirtualClock())
+    network.add_zone("corp-lan", blocks_inbound=True)
+    broker = WsMessenger(network, "http://broker.public")
+
+    # 1. push into the firewalled zone fails and kills the subscription
+    doomed_sink = EventSink(network, "http://inside-sink", zone="corp-lan")
+    WseSubscriber(network, zone="corp-lan").subscribe(
+        broker.epr(), notify_to=doomed_sink.epr()
+    )
+    broker.publish(event(1))
+    print("push into firewalled zone delivered:", len(doomed_sink.received), "(refused)")
+    print("firewall refusals on the wire:", network.stats.refused)
+
+    # 2. WS-Eventing pull mode: the consumer polls from inside
+    wse_subscriber = WseSubscriber(network, zone="corp-lan")
+    handle = wse_subscriber.subscribe(broker.epr(), mode=DeliveryMode.PULL)
+    broker.publish(event(2))
+    broker.publish(event(3))
+    pulled = wse_subscriber.pull(handle)
+    print("WSE pull retrieved:", len(pulled), "messages")
+
+    # 3. WSN 1.3 pull point: created at the broker, polled from inside
+    client = PullPointClient(network, zone="corp-lan")
+    pull_point = client.create(EndpointReference(broker.address + "/pullpoints"))
+    WsnSubscriber(network, zone="corp-lan").subscribe(
+        broker.epr(), pull_point, topic="fw"
+    )
+    broker.publish(event(4), topic="fw")
+    messages = client.get_messages(pull_point)
+    print("WSN pull point retrieved:", len(messages), "messages")
+
+    assert len(doomed_sink.received) == 0
+    assert len(pulled) == 2
+    assert len(messages) == 1
+    print("\nok: pull mechanisms reach firewalled consumers that push cannot")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Wrapping existing messaging systems (paper section VII, last paragraph).
+
+"WS-Messenger provides a generic interface that can use existing
+publish/subscribe systems as the underlying message systems.  In this way,
+WS-Messenger provides Web service interfaces to existing messaging systems."
+
+Two brokers run side by side, identical except for the backbone: one routes
+every notification through the *JMS baseline* (XML payload in a TextMessage
+over a JMS topic), the other through the *CORBA Notification Service*
+baseline (XML payload inside a CDR-marshalled structured event).  WS
+consumers subscribed over SOAP receive the events either way.
+
+Run:  python examples/legacy_bridge.py
+"""
+
+from repro.baselines.jms import JmsProvider
+from repro.messenger import CorbaBackbone, JmsBackbone, WsMessenger
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.wsn import NotificationConsumer, WsnSubscriber
+from repro.xmlkit import parse_xml
+
+
+def order_event(sku, quantity):
+    return parse_xml(
+        f'<o:Order xmlns:o="urn:shop"><o:sku>{sku}</o:sku>'
+        f"<o:quantity>{quantity}</o:quantity></o:Order>"
+    )
+
+
+def main() -> None:
+    network = SimulatedNetwork(VirtualClock())
+
+    # --- broker 1: JMS underneath ------------------------------------------
+    jms_provider = JmsProvider(network.clock)
+    jms_backbone = JmsBackbone(jms_provider, topic_name="shop-events")
+    jms_broker = WsMessenger(network, "http://broker.jms", backbone=jms_backbone)
+    jms_consumer = NotificationConsumer(network, "http://consumer.jms")
+    WsnSubscriber(network).subscribe(jms_broker.epr(), jms_consumer.epr(), topic="orders")
+
+    # --- broker 2: CORBA Notification Service underneath ----------------------
+    corba_backbone = CorbaBackbone()
+    corba_broker = WsMessenger(network, "http://broker.corba", backbone=corba_backbone)
+    corba_consumer = NotificationConsumer(network, "http://consumer.corba")
+    WsnSubscriber(network).subscribe(
+        corba_broker.epr(), corba_consumer.epr(), topic="orders"
+    )
+
+    for sku, quantity in [("widget", 3), ("sprocket", 7)]:
+        jms_broker.publish(order_event(sku, quantity), topic="orders")
+        corba_broker.publish(order_event(sku, quantity), topic="orders")
+
+    print("JMS backbone  :", jms_backbone.describe())
+    print("  messages actually carried over the JMS topic:", jms_backbone.messages_carried)
+    print("  WS consumer received:", len(jms_consumer.received))
+    print("CORBA backbone:", corba_backbone.describe())
+    print("  structured events through the ORB:", corba_backbone.messages_carried)
+    print("  ORB bytes routed (CDR + GIOP):", corba_backbone.orb.bytes_routed)
+    print("  WS consumer received:", len(corba_consumer.received))
+
+    assert jms_backbone.messages_carried == 2
+    assert corba_backbone.messages_carried == 2
+    assert len(jms_consumer.received) == 2
+    assert len(corba_consumer.received) == 2
+    print("\nok: the same WS interface rode two different legacy messaging systems")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Cross-specification mediation, in both directions (paper section VII).
+
+An external WS-Eventing event source and an external WS-Notification
+producer both feed WS-Messenger; consumers of *both* families subscribe at
+the broker and each receives every event in its own spec's message shape:
+
+- the WSE sink gets raw payloads (topic riding as a SOAP header);
+- the WSN consumer gets wrapped Notify messages (topic in the body).
+
+"It makes no difference to the event consumers since WS-Messenger performs
+mediations automatically."
+
+Run:  python examples/mediation_demo.py
+"""
+
+from repro.messenger import WsMessenger
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.wse import EventSink, EventSource, WseSubscriber
+from repro.wsn import NotificationConsumer, NotificationProducer, WsnSubscriber
+from repro.xmlkit import parse_xml
+
+EV = "urn:weather:events"
+
+
+def reading(station, celsius):
+    return parse_xml(
+        f'<w:Reading xmlns:w="{EV}"><w:station>{station}</w:station>'
+        f"<w:celsius>{celsius}</w:celsius></w:Reading>"
+    )
+
+
+def main() -> None:
+    network = SimulatedNetwork(VirtualClock())
+    broker = WsMessenger(network, "http://broker.weather")
+
+    # consumers, one per family, both subscribed at the broker front door
+    wse_sink = EventSink(network, "http://wse-display")
+    WseSubscriber(network).subscribe(broker.epr(), notify_to=wse_sink.epr())
+    wsn_consumer = NotificationConsumer(network, "http://wsn-archive")
+    WsnSubscriber(network).subscribe(broker.epr(), wsn_consumer.epr(), topic="weather")
+
+    # publisher A speaks WS-Eventing: an event source the broker bridges from
+    wse_station = EventSource(network, "http://station-alpha")
+    broker.bridge_from_wse_source(wse_station.epr())
+
+    # publisher B speaks WS-Notification: a producer the broker bridges from
+    wsn_station = NotificationProducer(network, "http://station-beta")
+    broker.bridge_from_wsn_producer(wsn_station.epr(), topic="weather")
+
+    wse_station.publish(reading("alpha", 21))
+    wsn_station.publish(reading("beta", 19), topic="weather")
+
+    print("WSE sink received:")
+    for item in wse_sink.received:
+        print("  raw:", item.payload.full_text(), "| wrapped:", item.wrapped)
+    print("WSN consumer received:")
+    for item in wsn_consumer.received:
+        print("  wrapped:", item.wrapped, "| topic:", item.topic, "|", item.payload.full_text())
+
+    # the WSE publisher's event reached the WSN consumer and vice versa
+    assert len(wse_sink.received) == 2
+    assert len(wsn_consumer.received) >= 1  # topic-filtered: only station-beta's
+    assert all(item.wrapped for item in wsn_consumer.received)
+    assert all(not item.wrapped for item in wse_sink.received)
+    print("\nok: producers of either spec reached consumers of either spec")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Quickstart: publish/subscribe through the WS-Messenger broker.
+
+Starts a broker on the simulated network, subscribes one WS-Eventing sink
+and one WS-Notification consumer, publishes a single event, and shows that
+both receive it — each in its own specification's message shape.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.messenger import WsMessenger
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.wse import EventSink, WseSubscriber
+from repro.wsn import NotificationConsumer, WsnSubscriber
+from repro.xmlkit import parse_xml
+
+
+def main() -> None:
+    network = SimulatedNetwork(VirtualClock())
+    broker = WsMessenger(network, "http://broker.example")
+
+    # a WS-Eventing consumer: sink + subscriber roles
+    sink = EventSink(network, "http://wse-sink.example")
+    WseSubscriber(network).subscribe(broker.epr(), notify_to=sink.epr())
+
+    # a WS-Notification consumer
+    consumer = NotificationConsumer(network, "http://wsn-consumer.example")
+    WsnSubscriber(network).subscribe(broker.epr(), consumer.epr(), topic="jobs/status")
+
+    # one publication, both specs served
+    event = parse_xml(
+        '<ev:JobStatus xmlns:ev="urn:grid:events">'
+        "<ev:jobId>job-42</ev:jobId><ev:state>RUNNING</ev:state>"
+        "</ev:JobStatus>"
+    )
+    broker.publish(event, topic="jobs/status")
+
+    print("broker detected:", broker.stats.detected)
+    print()
+    print("WS-Eventing sink received (raw payload):")
+    for item in sink.received:
+        print("  action:", item.action)
+        print("  payload root:", item.payload.name)
+    print()
+    print("WS-Notification consumer received (wrapped Notify):")
+    for item in consumer.received:
+        print("  topic:", item.topic, "| wrapped:", item.wrapped)
+        print("  payload root:", item.payload.name)
+
+    assert len(sink.received) == 1 and len(consumer.received) == 1
+    print("\nok: one publication reached both specifications")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Regenerate the paper's comparative study as a text report.
+
+Prints the measured Tables 1-3 (each cell determined by probing the live
+implementations), the traced architecture diagrams of Figs. 1-2, and the
+diff of every table against the published cells.
+
+Run:  python examples/spec_evolution_report.py
+"""
+
+from repro.comparison import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    build_table1,
+    build_table2,
+    build_table3,
+    trace_wse_architecture,
+    trace_wsn_architecture,
+)
+from repro.wse.versions import WseVersion
+
+
+def main() -> None:
+    for build, paper, widths in [
+        (build_table1, PAPER_TABLE1, dict(label_width=52, cell_width=14)),
+        (build_table2, PAPER_TABLE2, dict(label_width=28, cell_width=52)),
+        (build_table3, PAPER_TABLE3, dict(label_width=22, cell_width=26)),
+    ]:
+        measured = build()
+        print(measured.render(**widths))
+        print()
+        print("vs paper:", measured.diff(paper).summary())
+        print("\n" + "#" * 100 + "\n")
+
+    print(trace_wse_architecture(WseVersion.V2004_08).render())
+    print("\n" + "#" * 100 + "\n")
+    print(trace_wse_architecture(WseVersion.V2004_01).render())
+    print("\n" + "#" * 100 + "\n")
+    print(trace_wsn_architecture().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Reproduction of "A Comparative Study of Web Services-based Event
+Notification Specifications" (Huang & Gannon, ICPP 2006).
+
+Top-level layout (bottom-up):
+
+- substrates: :mod:`repro.xmlkit`, :mod:`repro.soap`, :mod:`repro.wsa`,
+  :mod:`repro.transport`, :mod:`repro.wsrf`, :mod:`repro.filters`,
+  :mod:`repro.qos`, :mod:`repro.util`;
+- the two specification families: :mod:`repro.wse` (WS-Eventing 01/2004 and
+  08/2004) and :mod:`repro.wsn` (WS-BaseNotification 1.0/1.2/1.3, WS-Topics,
+  WS-BrokeredNotification, pull points);
+- the previous generation: :mod:`repro.baselines` (CORBA Event/Notification
+  Services over CDR+ORB, JMS, OGSI notification);
+- the paper's system: :mod:`repro.messenger` (WS-Messenger — spec detection,
+  mediation, pluggable messaging backbones);
+- the paper's evaluation, executable: :mod:`repro.comparison` (Tables 1-3
+  regenerated from live probes, Figures 1-2 traced from real lifecycles);
+- beyond the paper: :mod:`repro.convergence` (the WS-EventNotification
+  prototype its conclusion anticipates).
+
+See DESIGN.md for the full inventory and EXPERIMENTS.md for
+paper-vs-measured results.  ``python -m repro`` prints the regenerated
+comparative study.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,53 @@
+"""``python -m repro``: regenerate the paper's comparative study.
+
+Prints the measured Tables 1-3 (diffed against the published cells), the
+traced Figures 1-2, and the converged-prototype column.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.comparison import (
+        PAPER_TABLE1,
+        PAPER_TABLE2,
+        PAPER_TABLE3,
+        build_table1,
+        build_table2,
+        build_table3,
+        trace_wse_architecture,
+        trace_wsn_architecture,
+    )
+    from repro.comparison.tables import render_cell
+    from repro.convergence import converged_table_column
+
+    failures = 0
+    for build, paper, widths in [
+        (build_table1, PAPER_TABLE1, dict(label_width=52, cell_width=14)),
+        (build_table2, PAPER_TABLE2, dict(label_width=28, cell_width=52)),
+        (build_table3, PAPER_TABLE3, dict(label_width=22, cell_width=26)),
+    ]:
+        measured = build()
+        print(measured.render(**widths))
+        diff = measured.diff(paper)
+        print()
+        print("vs paper:", diff.summary())
+        print("\n" + "#" * 100 + "\n")
+        if not diff.clean:
+            failures += 1
+
+    print(trace_wse_architecture().render())
+    print("\n" + "#" * 100 + "\n")
+    print(trace_wsn_architecture().render())
+    print("\n" + "#" * 100 + "\n")
+
+    print("WS-EventNotification prototype (the convergence the paper anticipates):")
+    for label, value in converged_table_column().items():
+        print(f"  {label:52s} {render_cell(value)}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,14 @@
+"""Previous-generation event notification systems (Table 3 comparators).
+
+Working single-process simulations of the four pre-WS specifications the
+paper compares against:
+
+- :mod:`repro.baselines.corba` -- CORBA Event Service (3/1995) and
+  Notification Service (6/1997) over an ORB with CDR binary marshalling.
+- :mod:`repro.baselines.jms` -- the Java Message Service (point-to-point
+  queues and pub/sub topics, five message types, SQL92-subset selectors,
+  priority/persistence/durability/transactions).
+- :mod:`repro.baselines.ogsi` -- OGSI notification (service data elements,
+  NotificationSource/Sink, soft-state lifetime) — the intermediary step
+  toward WS-based notification.
+"""

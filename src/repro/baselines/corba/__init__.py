@@ -1,0 +1,33 @@
+"""CORBA Event Service and Notification Service simulations.
+
+The stack mirrors the layering Table 3 describes: requests and events are
+marshalled to **CDR** binary (:mod:`repro.baselines.corba.cdr`), framed with
+a GIOP-style header and routed by an **ORB** (:mod:`repro.baselines.corba.orb`)
+— RPC transport, intranet scale.  On top sit:
+
+- the **Event Service** (:mod:`repro.baselines.corba.event_service`):
+  event channels with push/pull proxies, *no filtering, no QoS* — every
+  consumer receives every event on the channel;
+- the **Notification Service**
+  (:mod:`repro.baselines.corba.notification_service`): structured events,
+  filter objects evaluating extended-TCL constraints, and the 13 QoS
+  properties.
+"""
+
+from repro.baselines.corba.cdr import CdrDecoder, CdrEncoder, CdrError
+from repro.baselines.corba.orb import CorbaError, ObjectReference, Orb
+from repro.baselines.corba.events import StructuredEvent
+from repro.baselines.corba.event_service import EventChannel
+from repro.baselines.corba.notification_service import NotificationChannel
+
+__all__ = [
+    "CdrEncoder",
+    "CdrDecoder",
+    "CdrError",
+    "Orb",
+    "ObjectReference",
+    "CorbaError",
+    "StructuredEvent",
+    "EventChannel",
+    "NotificationChannel",
+]

@@ -1,0 +1,43 @@
+"""A Java Message Service (JMS 1.1) provider simulation.
+
+Table 3's JMS column, implemented: both messaging styles (point-to-point
+queues, publish/subscribe topics), the five message types (Text/Bytes/Map/
+Stream/Object), selectors over header fields using the SQL92 subset
+(:mod:`repro.filters.selector`), and the QoS criteria — priority,
+persistence, durable subscriptions, transactions, message order.
+
+The paper's noted limitation — "it only works on Java platforms" — is
+modelled by the provider's ``platform`` tag: connections declare a platform
+and the provider only accepts ``"java"``.
+"""
+
+from repro.baselines.jms.messages import (
+    BytesMessage,
+    DeliveryMode,
+    JmsError,
+    JmsMessage,
+    MapMessage,
+    ObjectMessage,
+    StreamMessage,
+    TextMessage,
+)
+from repro.baselines.jms.provider import JmsProvider, Queue, Topic
+from repro.baselines.jms.session import Connection, MessageConsumer, MessageProducer, Session
+
+__all__ = [
+    "JmsProvider",
+    "Queue",
+    "Topic",
+    "Connection",
+    "Session",
+    "MessageProducer",
+    "MessageConsumer",
+    "JmsMessage",
+    "TextMessage",
+    "BytesMessage",
+    "MapMessage",
+    "StreamMessage",
+    "ObjectMessage",
+    "DeliveryMode",
+    "JmsError",
+]

@@ -1,0 +1,28 @@
+"""OGSI notification: the intermediary step toward WS-based notification.
+
+Per the paper's section VI.C: a ``NotificationSink`` subscribes to a
+``NotificationSource`` naming the *service data element* it cares about (a
+plain string — Table 3's simplest filter); the source pushes an XML document
+at the sink whenever that service data changes; subscriptions are themselves
+Grid services with soft-state lifetimes managed by
+``requestTerminationAfter`` / ``requestTerminationBefore`` / ``destroy``.
+Payloads are XML over HTTP — already Web-services-shaped, but OGSI's WSDL
+extensions made ordinary WS tooling unusable, which is why WSRF +
+WS-Notification replaced it.
+"""
+
+from repro.baselines.ogsi.grid_service import (
+    GridService,
+    NotificationSink,
+    NotificationSource,
+    OgsiError,
+    ServiceDataElement,
+)
+
+__all__ = [
+    "GridService",
+    "ServiceDataElement",
+    "NotificationSource",
+    "NotificationSink",
+    "OgsiError",
+]

@@ -1,0 +1,243 @@
+"""Runtime feature probes.
+
+Each probe spins up a fresh simulated network, mounts the spec version
+under test, and *attempts* the feature over real SOAP exchanges; the cell
+value reflects what actually happened, not what the flags claim.  (Purely
+structural rows — release dates, WSA bindings, mandatory-ness — come from
+the version profiles, which is what a spec *text* says rather than what a
+wire exchange can reveal.)
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.soap.fault import SoapFault
+from repro.transport.clock import VirtualClock
+from repro.transport.network import SimulatedNetwork
+from repro.wse.model import DeliveryMode
+from repro.wse.sink import EventSink
+from repro.wse.source import EventSource
+from repro.wse.subscriber import WseSubscriber
+from repro.wse.versions import WseVersion
+from repro.wsn.consumer import NotificationConsumer
+from repro.wsn.producer import NotificationProducer
+from repro.wsn.pullpoint import PullPointClient, PullPointFactory
+from repro.wsn.subscriber import WsnSubscriber
+from repro.wsn.versions import WsnVersion
+from repro.xmlkit.parser import parse_xml
+
+SpecVersion = Union[WseVersion, WsnVersion]
+
+
+def _event():
+    return parse_xml('<ev:E xmlns:ev="urn:probe"><ev:n>1</ev:n></ev:E>')
+
+
+class _WseHarness:
+    def __init__(self, version: WseVersion) -> None:
+        self.version = version
+        self.network = SimulatedNetwork(VirtualClock())
+        self.source = EventSource(self.network, "http://probe-source", version=version)
+        self.sink = EventSink(self.network, "http://probe-sink", version=version)
+        self.subscriber = WseSubscriber(self.network, version=version)
+
+    def subscribe(self, **kwargs):
+        kwargs.setdefault("notify_to", self.sink.epr())
+        return self.subscriber.subscribe(self.source.epr(), **kwargs)
+
+
+class _WsnHarness:
+    def __init__(self, version: WsnVersion) -> None:
+        self.version = version
+        self.network = SimulatedNetwork(VirtualClock())
+        self.producer = NotificationProducer(
+            self.network, "http://probe-producer", version=version
+        )
+        self.consumer = NotificationConsumer(
+            self.network, "http://probe-consumer", version=version
+        )
+        self.subscriber = WsnSubscriber(self.network, version=version)
+
+    def subscribe(self, **kwargs):
+        kwargs.setdefault("topic", "probe")
+        return self.subscriber.subscribe(self.producer.epr(), self.consumer.epr(), **kwargs)
+
+
+# --- probes (each returns the measured cell value) -----------------------------------
+
+
+def probe_separate_manager(version: SpecVersion) -> bool:
+    """Does Subscribe yield a manager endpoint distinct from the source?"""
+    if isinstance(version, WseVersion):
+        harness = _WseHarness(version)
+        handle = harness.subscribe()
+        return handle.manager.address != harness.source.address
+    harness = _WsnHarness(version)
+    handle = harness.subscribe()
+    return handle.reference.address != harness.producer.address
+
+
+def probe_get_status(version: SpecVersion) -> bool:
+    """Can the subscription's status/expiry be queried?"""
+    if isinstance(version, WseVersion):
+        harness = _WseHarness(version)
+        handle = harness.subscribe()
+        try:
+            return bool(harness.subscriber.get_status(handle))
+        except SoapFault:
+            return False
+    harness = _WsnHarness(version)
+    handle = harness.subscribe()
+    try:
+        return harness.subscriber.get_status(handle) == "Active"
+    except SoapFault:
+        return False
+
+
+def probe_id_in_epr(version: SpecVersion) -> bool:
+    """Is the subscription id returned inside the manager EPR's WS-Addressing
+    reference parameters/properties (vs a bare element)?"""
+    if isinstance(version, WseVersion):
+        handle = _WseHarness(version).subscribe()
+        return bool(
+            handle.manager.reference_parameters or handle.manager.reference_properties
+        )
+    handle = _WsnHarness(version).subscribe()
+    return bool(
+        handle.reference.reference_parameters or handle.reference.reference_properties
+    )
+
+
+def probe_wrapped_delivery(version: SpecVersion) -> bool:
+    if isinstance(version, WseVersion):
+        harness = _WseHarness(version)
+        try:
+            harness.subscribe(mode=DeliveryMode.WRAPPED)
+            return True
+        except SoapFault:
+            return False
+    harness = _WsnHarness(version)
+    harness.subscribe()
+    harness.producer.publish(_event(), topic="probe")
+    return bool(harness.consumer.received) and harness.consumer.received[0].wrapped
+
+
+def probe_pull_delivery(version: SpecVersion) -> bool:
+    """Is there *any* way to pull notifications (mode or pull point)?"""
+    if isinstance(version, WseVersion):
+        harness = _WseHarness(version)
+        try:
+            handle = harness.subscribe(notify_to=None, mode=DeliveryMode.PULL)
+            harness.source.publish(_event())
+            return len(harness.subscriber.pull(handle)) == 1
+        except SoapFault:
+            return False
+    harness = _WsnHarness(version)
+    try:
+        factory = PullPointFactory(
+            harness.network, "http://probe-pullpoints", version=version
+        )
+    except SoapFault:
+        return False
+    client = PullPointClient(harness.network, version=version)
+    pull_point = client.create(factory.epr())
+    harness.subscriber.subscribe(harness.producer.epr(), pull_point, topic="probe")
+    harness.producer.publish(_event(), topic="probe")
+    return len(client.get_messages(pull_point)) == 1
+
+
+def probe_duration_expiry(version: SpecVersion) -> bool:
+    if isinstance(version, WseVersion):
+        harness = _WseHarness(version)
+        try:
+            harness.subscribe(expires="PT60S")
+            return True
+        except SoapFault:
+            return False
+    harness = _WsnHarness(version)
+    try:
+        harness.subscribe(initial_termination="PT60S")
+        return True
+    except SoapFault:
+        return False
+
+
+def probe_requires_topic(version: SpecVersion) -> bool:
+    """Does a topic-less Subscribe fault?"""
+    if isinstance(version, WseVersion):
+        return False  # WSE has no topic notion at all
+    harness = _WsnHarness(version)
+    try:
+        harness.subscribe(topic=None)
+        return False
+    except SoapFault:
+        return True
+
+
+def probe_get_current_message(version: SpecVersion) -> bool:
+    if isinstance(version, WseVersion):
+        return False  # no such operation exists to call
+    harness = _WsnHarness(version)
+    harness.subscribe()
+    harness.producer.publish(_event(), topic="probe")
+    try:
+        current = harness.subscriber.get_current_message(harness.producer.epr(), "probe")
+        return current.name.local == "E"
+    except SoapFault:
+        return False
+
+
+def probe_pull_point_interface(version: SpecVersion) -> bool:
+    if isinstance(version, WseVersion):
+        return False
+    harness = _WsnHarness(version)
+    try:
+        PullPointFactory(harness.network, "http://probe-pp", version=version)
+        return True
+    except SoapFault:
+        return False
+
+
+def probe_pull_mode_in_subscription(version: SpecVersion) -> bool:
+    """Can the Subscribe message itself request pull delivery?  (WSE 08/2004
+    yes via the Delivery extension point; WSN never — the pull point is
+    created beforehand and subscribed as an ordinary consumer.)"""
+    if isinstance(version, WseVersion):
+        harness = _WseHarness(version)
+        try:
+            harness.subscribe(notify_to=None, mode=DeliveryMode.PULL)
+            return True
+        except SoapFault:
+            return False
+    return version.pull_mode_in_subscription
+
+
+def probe_subscription_end_notice(version: SpecVersion) -> bool:
+    """Does the consumer get an end-of-subscription notice when the source
+    dies or the subscription expires?"""
+    if isinstance(version, WseVersion):
+        harness = _WseHarness(version)
+        end_sink = EventSink(harness.network, "http://probe-end", version=version)
+        harness.subscribe(end_to=end_sink.epr())
+        harness.source.shutdown()
+        return len(end_sink.subscription_ends) == 1
+    harness = _WsnHarness(version)
+    harness.subscribe(initial_termination="2006-01-01T00:01:00Z")
+    harness.network.clock.advance(120.0)
+    harness.producer.sweep()
+    return bool(harness.consumer.termination_notices)
+
+
+def probe_pause_resume(version: SpecVersion) -> bool:
+    """Are Pause/ResumeSubscription operations available?"""
+    if isinstance(version, WseVersion):
+        return False
+    harness = _WsnHarness(version)
+    handle = harness.subscribe()
+    harness.subscriber.pause(handle)
+    harness.producer.publish(_event(), topic="probe")
+    if harness.consumer.received:
+        return False  # pause had no effect
+    harness.subscriber.resume(handle)
+    return len(harness.consumer.received) == 1

@@ -1,0 +1,39 @@
+"""WS-* composition: qualities layered onto messages, not into the specs.
+
+The paper's section VI observation (4): QoS criteria like security and
+reliability "are no longer defined in the specifications.  Instead, they
+depend on the composition with other WS-* specifications, such as
+WS-Reliability, WS-Transaction" — and section V: "WS-Security can be used to
+achieve secure delivery of messages".
+
+This package demonstrates that composability concretely on the stack:
+
+- :mod:`repro.composition.security` -- a WS-Security-style signing layer: an
+  HMAC signature over the body travels as a ``Security`` SOAP header; any
+  endpoint can be hardened *without touching the notification specs* —
+  exactly the composition story the WS-based generation relies on.
+- :mod:`repro.composition.reliability` -- a WS-Reliability-style layer:
+  sequence-numbered delivery with acknowledgement tracking and
+  at-least-once resend, again purely via SOAP headers around unmodified
+  WSE/WSN messages.
+"""
+
+from repro.composition.security import (
+    SECURITY_HEADER,
+    SecurityFault,
+    secure_endpoint,
+    sign_envelope,
+    verify_envelope,
+)
+from repro.composition.reliability import ReliableChannel, SEQUENCE_HEADER, make_reliable
+
+__all__ = [
+    "sign_envelope",
+    "verify_envelope",
+    "secure_endpoint",
+    "SecurityFault",
+    "SECURITY_HEADER",
+    "ReliableChannel",
+    "make_reliable",
+    "SEQUENCE_HEADER",
+]

@@ -1,0 +1,44 @@
+"""A WS-EventNotification prototype: the paper's predicted convergence.
+
+The paper closes: "a white paper [29] from IBM, Microsoft, HP and Intel
+proposes creating a new standard, WS-EventNotification, that will integrate
+functions from WS-Notification with WS-Eventing".  That standard never
+shipped, but its feature set is fully determined by the paper's own Table 1:
+the union of what the two families converged toward.  This package builds
+that union as a working prototype:
+
+- :mod:`repro.convergence.profile` -- the converged capability profile,
+  computed from (not hand-written alongside) the WSE 08/2004 and WSN 1.3
+  profiles, plus a Table-1-style column for it;
+- :mod:`repro.convergence.service` -- a single-endpoint event source
+  implementing the union: WSE's Delivery extension point (push / pull /
+  wrapped selected *in the Subscribe message*), GetStatus and
+  SubscriptionEnd, duration expirations, **and** WSN's three-part filter
+  (topic / producer-properties / message-content), Pause/Resume,
+  GetCurrentMessage and a defined wrapped format.
+
+This is an *extension beyond the paper's artifacts* (experiment E9 in
+EXPERIMENTS.md): it demonstrates that the converged spec the paper
+anticipates is implementable on this stack with no new substrate.
+"""
+
+from repro.convergence.profile import ConvergedProfile, converged_table_column
+from repro.convergence.service import (
+    MODE_PULL,
+    MODE_PUSH,
+    MODE_WRAP,
+    ConvergedConsumer,
+    ConvergedSource,
+    ConvergedSubscriber,
+)
+
+__all__ = [
+    "ConvergedProfile",
+    "converged_table_column",
+    "ConvergedSource",
+    "ConvergedConsumer",
+    "ConvergedSubscriber",
+    "MODE_PUSH",
+    "MODE_PULL",
+    "MODE_WRAP",
+]

@@ -1,0 +1,88 @@
+"""The converged capability profile, computed from the parents' profiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wse.versions import WseVersion
+from repro.wsn.versions import WsnVersion
+
+#: namespace of the prototype (clearly marked non-standard)
+WSEN_NS = "http://repro.invalid/ws-en/2006/draft"
+
+#: Table-1 capability rows that are *capabilities* (union semantics: the
+#: converged spec has the feature if either parent does)
+_CAPABILITY_FLAGS = [
+    ("separate_subscription_manager", "Separate Subscription Manager & Event Source"),
+    ("separate_subscriber", "Separate subscriber & Event Sink"),
+    ("has_get_status", "Getstatus operation"),
+    ("subscription_id_in_epr", "Return subscriptionId in WSA of Subscription Manager"),
+    ("supports_wrapped_delivery", "Support Wrapped delivery mode"),
+    ("supports_pull_delivery", "Support Pull delivery mode"),
+    ("supports_duration_expiry", "Specify subscription expiration using duration"),
+    ("defines_xpath_dialect", "Specify XPath dialect"),
+    ("has_filter_element", "Filter element in Subscription message"),
+    ("defines_get_current_message", "GetCurrentMessage operation"),
+    ("defines_wrapped_format", "Define Wrapped message format"),
+    ("separates_producer_and_publisher", "Separate EventProducer & Publisher"),
+    ("defines_pull_point_interface", "Define PullPoint interface"),
+    ("pull_mode_in_subscription", "Specify pull delivery mode in subscription"),
+    ("defines_pause_resume", "Pause/Resume subscriptions defined"),
+]
+
+#: rows that are *obligations* (intersection semantics: the converged spec
+#: only keeps a requirement both parents agree on — the trend of every
+#: convergence step in Table 1 was to relax, not add, obligations)
+_OBLIGATION_FLAGS = [
+    ("requires_wsrf", "Require WSRF"),
+    ("requires_topic", "Require a topic in subscription"),
+    ("requires_status_query", "Require Getstatus"),
+    ("requires_subscription_end", "Require SubscriptionEnd"),
+]
+
+
+@dataclass(frozen=True)
+class ConvergedProfile:
+    """Feature profile of the WS-EventNotification prototype."""
+
+    wse_parent: WseVersion = WseVersion.V2004_08
+    wsn_parent: WsnVersion = WsnVersion.V1_3
+
+    @property
+    def namespace(self) -> str:
+        return WSEN_NS
+
+    def capability(self, flag: str) -> bool:
+        return bool(
+            getattr(self.wse_parent, flag, False) or getattr(self.wsn_parent, flag, False)
+        )
+
+    def obligation(self, flag: str) -> bool:
+        return bool(
+            getattr(self.wse_parent, flag, False) and getattr(self.wsn_parent, flag, False)
+        )
+
+    def dominates_parents(self) -> bool:
+        """Capability-dominance: every capability of either parent is kept,
+        and no obligation beyond what both parents already impose is added."""
+        for flag, _label in _CAPABILITY_FLAGS:
+            for parent in (self.wse_parent, self.wsn_parent):
+                if getattr(parent, flag, False) and not self.capability(flag):
+                    return False
+        for flag, _label in _OBLIGATION_FLAGS:
+            if self.obligation(flag) and not (
+                getattr(self.wse_parent, flag, False)
+                and getattr(self.wsn_parent, flag, False)
+            ):
+                return False
+        return True
+
+    def feature_rows(self) -> list[tuple[str, bool]]:
+        rows = [(label, self.capability(flag)) for flag, label in _CAPABILITY_FLAGS]
+        rows.extend((label, self.obligation(flag)) for flag, label in _OBLIGATION_FLAGS)
+        return rows
+
+
+def converged_table_column() -> dict[str, bool]:
+    """The WS-EventNotification column, keyed by Table-1-style row label."""
+    return dict(ConvergedProfile().feature_rows())

@@ -1,0 +1,583 @@
+"""A working single-endpoint WS-EventNotification prototype.
+
+One subscription operation carries the union of both parents' power:
+
+- WS-Eventing's ``Delivery`` extension point — push, pull or wrapped chosen
+  *in the Subscribe message* (no pre-created pull point needed);
+- WS-Notification's three-part ``Filter`` (TopicExpression +
+  ProducerProperties + MessageContent, conjoined);
+- duration *or* absolute expirations, renewable;
+- GetStatus (from WSE) *and* Pause/Resume + GetCurrentMessage (from WSN);
+- SubscriptionEnd notices (WSE) with a *defined* wrapped message format
+  (which WSE 08/2004 left unspecified — Table 1's "Define Wrapped message
+  format" gap, closed here).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.convergence.profile import WSEN_NS
+from repro.filters.base import AcceptAllFilter, AndFilter, Filter, FilterContext, FilterError
+from repro.filters.content import MessageContentFilter
+from repro.filters.producer import ProducerPropertiesFilter
+from repro.filters.topics import TopicFilter, TopicNamespace
+from repro.soap.envelope import SoapEnvelope, SoapVersion
+from repro.soap.fault import FaultCode, SoapFault
+from repro.transport.endpoint import SoapClient, SoapEndpoint
+from repro.transport.network import NetworkError, PUBLIC_ZONE, SimulatedNetwork
+from repro.wsa.epr import EndpointReference
+from repro.wsa.headers import MessageHeaders, apply_headers
+from repro.wsa.versions import WsaVersion
+from repro.wse.messages import decode_filter_namespaces, encode_filter_namespaces
+from repro.xmlkit.element import XElem, text_element
+from repro.xmlkit.names import Namespaces, QName
+from repro.util.xstime import format_datetime, parse_expires
+
+WSA = WsaVersion.V2005_08  # the converged spec binds the W3C recommendation
+
+
+def _q(local: str) -> QName:
+    return QName(WSEN_NS, local)
+
+
+def _action(local: str) -> str:
+    return f"{WSEN_NS}/{local}"
+
+
+_DIALECT = QName("", "Dialect")
+_MODE = QName("", "Mode")
+
+MODE_PUSH = f"{WSEN_NS}/DeliveryModes/Push"
+MODE_PULL = f"{WSEN_NS}/DeliveryModes/Pull"
+MODE_WRAP = f"{WSEN_NS}/DeliveryModes/Wrap"
+
+
+@dataclass
+class ConvergedSubscription:
+    id: str
+    consumer: Optional[EndpointReference]
+    mode: str
+    filter: Filter
+    topic_expression: Optional[str]
+    expires: Optional[float]
+    end_to: Optional[EndpointReference]
+    use_raw: bool
+    paused: bool = False
+    queue: list[tuple[XElem, Optional[str]]] = field(default_factory=list)
+
+    def is_expired(self, now: float) -> bool:
+        return self.expires is not None and now >= self.expires
+
+
+class ConvergedSource:
+    """The prototype event source/producer (one endpoint + one manager)."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        address: str,
+        *,
+        topic_namespace: Optional[TopicNamespace] = None,
+        default_lifetime: Optional[float] = 3600.0,
+        wrapped_batch_size: int = 10,
+        producer_properties: Optional[dict[str, str]] = None,
+    ) -> None:
+        self.network = network
+        self.clock = network.clock
+        self.default_lifetime = default_lifetime
+        self.wrapped_batch_size = wrapped_batch_size
+        self.topics = topic_namespace or TopicNamespace()
+        self.producer_properties = dict(producer_properties or {})
+        self._counter = itertools.count(1)
+        self._subscriptions: dict[str, ConvergedSubscription] = {}
+        self._current_message: dict[str, XElem] = {}
+        self._client = SoapClient(network, wsa_version=WSA, soap_version=SoapVersion.V11)
+        self.endpoint = SoapEndpoint(network, address)
+        self.endpoint.on_action(_action("Subscribe"), self._handle_subscribe)
+        self.endpoint.on_action(_action("GetCurrentMessage"), self._handle_get_current)
+        self.manager_address = f"{address}/subscriptions"
+        self.manager_endpoint = SoapEndpoint(network, self.manager_address)
+        for local, handler in [
+            ("Renew", self._handle_renew),
+            ("GetStatus", self._handle_get_status),
+            ("Unsubscribe", self._handle_unsubscribe),
+            ("PauseSubscription", self._handle_pause),
+            ("ResumeSubscription", self._handle_resume),
+            ("Pull", self._handle_pull),
+        ]:
+            self.manager_endpoint.on_action(_action(local), handler)
+
+    @property
+    def address(self) -> str:
+        return self.endpoint.address
+
+    def epr(self) -> EndpointReference:
+        return EndpointReference(self.address)
+
+    def wsdl(self) -> str:
+        """This prototype's self-description as a WSDL 1.1 document."""
+        from repro.wsdl.generator import wsdl_for_converged_source
+
+        return wsdl_for_converged_source(address=self.address).to_xml()
+
+    def close(self) -> None:
+        self.endpoint.close()
+        self.manager_endpoint.close()
+
+    # --- subscribe -----------------------------------------------------------------
+
+    def _handle_subscribe(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        body = envelope.body_element()
+        if body.name != _q("Subscribe"):
+            raise SoapFault(FaultCode.SENDER, f"expected wsen:Subscribe, got {body.name}")
+        delivery = body.find(_q("Delivery"))
+        mode = delivery.attrs.get(_MODE, MODE_PUSH) if delivery is not None else MODE_PUSH
+        if mode not in (MODE_PUSH, MODE_PULL, MODE_WRAP):
+            raise SoapFault(
+                FaultCode.SENDER,
+                f"unknown delivery mode {mode!r}",
+                subcode=_q("DeliveryModeRequestedUnavailable"),
+            )
+        consumer_elem = body.find(_q("ConsumerReference"))
+        consumer = (
+            EndpointReference.from_element(consumer_elem, WSA)
+            if consumer_elem is not None
+            else None
+        )
+        if mode in (MODE_PUSH, MODE_WRAP) and consumer is None:
+            raise SoapFault(
+                FaultCode.SENDER, "push/wrapped delivery requires ConsumerReference"
+            )
+        end_elem = body.find(_q("EndTo"))
+        end_to = EndpointReference.from_element(end_elem, WSA) if end_elem is not None else None
+        subscription_filter, topic_expression = self._build_filter(body)
+        expires_elem = body.find(_q("Expires"))
+        expires = self._grant_expiry(
+            expires_elem.full_text().strip() if expires_elem is not None else None
+        )
+        use_raw = body.find(_q("UseRaw")) is not None
+        subscription = ConvergedSubscription(
+            id=f"wsen-sub-{next(self._counter)}",
+            consumer=consumer,
+            mode=mode,
+            filter=subscription_filter,
+            topic_expression=topic_expression,
+            expires=expires,
+            end_to=end_to,
+            use_raw=use_raw,
+        )
+        self._subscriptions[subscription.id] = subscription
+        response = XElem(_q("SubscribeResponse"))
+        manager = EndpointReference(self.manager_address)
+        manager.with_parameter(text_element(_q("Identifier"), subscription.id))
+        response.append(manager.to_element(WSA, _q("SubscriptionManager")))
+        response.append(text_element(_q("Expires"), self._expires_text(expires)))
+        response.append(text_element(_q("CurrentTime"), format_datetime(self.clock.now())))
+        return self._reply(headers, _action("SubscribeResponse"), response)
+
+    def _build_filter(self, body: XElem) -> tuple[Filter, Optional[str]]:
+        filter_elem = body.find(_q("Filter"))
+        if filter_elem is None:
+            return AcceptAllFilter(), None
+        parts: list[Filter] = []
+        topic_expression: Optional[str] = None
+        topic = filter_elem.find(_q("TopicExpression"))
+        try:
+            if topic is not None:
+                topic_expression = topic.full_text().strip()
+                dialect = topic.attrs.get(_DIALECT, Namespaces.DIALECT_TOPIC_CONCRETE)
+                parts.append(TopicFilter.parse(topic_expression, dialect))
+            props = filter_elem.find(_q("ProducerProperties"))
+            if props is not None:
+                parts.append(
+                    ProducerPropertiesFilter(
+                        props.full_text().strip(), decode_filter_namespaces(props)
+                    )
+                )
+            content = filter_elem.find(_q("MessageContent"))
+            if content is not None:
+                parts.append(
+                    MessageContentFilter(
+                        content.full_text().strip(), decode_filter_namespaces(content)
+                    )
+                )
+        except FilterError as exc:
+            raise SoapFault(
+                FaultCode.SENDER, str(exc), subcode=_q("InvalidFilterFault")
+            ) from exc
+        if not parts:
+            return AcceptAllFilter(), None
+        return (parts[0] if len(parts) == 1 else AndFilter(parts)), topic_expression
+
+    def _grant_expiry(self, text: Optional[str]) -> Optional[float]:
+        now = self.clock.now()
+        if text is None:
+            return None if self.default_lifetime is None else now + self.default_lifetime
+        try:
+            requested = parse_expires(text, now)
+        except ValueError as exc:
+            raise SoapFault(
+                FaultCode.SENDER, str(exc), subcode=_q("InvalidExpirationTime")
+            ) from exc
+        if requested is not None and requested <= now:
+            raise SoapFault(
+                FaultCode.SENDER,
+                "expiration in the past",
+                subcode=_q("InvalidExpirationTime"),
+            )
+        return requested
+
+    def _expires_text(self, expires: Optional[float]) -> str:
+        if expires is None:
+            return format_datetime(self.clock.now() + 10 * 365 * 86400)
+        return format_datetime(expires)
+
+    # --- manager operations ----------------------------------------------------------
+
+    def _subscription_for(self, headers: MessageHeaders) -> ConvergedSubscription:
+        sub_id = ""
+        for echoed in headers.echoed:
+            if echoed.name == _q("Identifier"):
+                sub_id = echoed.full_text().strip()
+        subscription = self._subscriptions.get(sub_id)
+        if subscription is None or subscription.is_expired(self.clock.now()):
+            raise SoapFault(
+                FaultCode.SENDER,
+                f"unknown subscription {sub_id!r}",
+                subcode=_q("UnknownSubscription"),
+            )
+        return subscription
+
+    def _handle_renew(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        subscription = self._subscription_for(headers)
+        expires_elem = envelope.body_element().find(_q("Expires"))
+        subscription.expires = self._grant_expiry(
+            expires_elem.full_text().strip() if expires_elem is not None else None
+        )
+        response = XElem(_q("RenewResponse"))
+        response.append(text_element(_q("Expires"), self._expires_text(subscription.expires)))
+        return self._reply(headers, _action("RenewResponse"), response)
+
+    def _handle_get_status(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        subscription = self._subscription_for(headers)
+        response = XElem(_q("GetStatusResponse"))
+        response.append(text_element(_q("Expires"), self._expires_text(subscription.expires)))
+        response.append(
+            text_element(_q("Status"), "Paused" if subscription.paused else "Active")
+        )
+        return self._reply(headers, _action("GetStatusResponse"), response)
+
+    def _handle_unsubscribe(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        subscription = self._subscription_for(headers)
+        del self._subscriptions[subscription.id]
+        return self._reply(
+            headers, _action("UnsubscribeResponse"), XElem(_q("UnsubscribeResponse"))
+        )
+
+    def _handle_pause(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        subscription = self._subscription_for(headers)
+        subscription.paused = True
+        return self._reply(
+            headers,
+            _action("PauseSubscriptionResponse"),
+            XElem(_q("PauseSubscriptionResponse")),
+        )
+
+    def _handle_resume(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        subscription = self._subscription_for(headers)
+        subscription.paused = False
+        if subscription.mode is not None and subscription.mode != MODE_PULL:
+            backlog, subscription.queue = subscription.queue, []
+            for payload, topic in backlog:
+                self._deliver(subscription, payload, topic)
+        return self._reply(
+            headers,
+            _action("ResumeSubscriptionResponse"),
+            XElem(_q("ResumeSubscriptionResponse")),
+        )
+
+    def _handle_pull(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        subscription = self._subscription_for(headers)
+        if subscription.mode != MODE_PULL:
+            raise SoapFault(FaultCode.SENDER, "subscription is not in pull mode")
+        response = XElem(_q("PullResponse"))
+        for payload, topic in subscription.queue:
+            response.append(self._wrap_one(payload, topic))
+        subscription.queue.clear()
+        return self._reply(headers, _action("PullResponse"), response)
+
+    def _handle_get_current(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        topic_elem = envelope.body_element().find(_q("Topic"))
+        topic = topic_elem.full_text().strip() if topic_elem is not None else ""
+        payload = self._current_message.get(topic)
+        if payload is None:
+            raise SoapFault(
+                FaultCode.SENDER,
+                f"no current message on {topic!r}",
+                subcode=_q("NoCurrentMessageOnTopic"),
+            )
+        response = XElem(_q("GetCurrentMessageResponse"))
+        response.append(payload.copy())
+        return self._reply(headers, _action("GetCurrentMessageResponse"), response)
+
+    def _reply(self, request_headers: MessageHeaders, action: str, body: XElem) -> SoapEnvelope:
+        reply = SoapEnvelope(SoapVersion.V11)
+        apply_headers(reply, MessageHeaders.reply(request_headers, action, WSA), WSA)
+        reply.add_body(body)
+        return reply
+
+    # --- publication -----------------------------------------------------------------
+
+    def publish(self, payload: XElem, *, topic: Optional[str] = None) -> int:
+        if topic is not None:
+            self.topics.validate_publication(topic)
+            self._current_message[topic] = payload.copy()
+        now = self.clock.now()
+        context = FilterContext(
+            payload, topic=topic, producer_properties=self.producer_properties
+        )
+        matched = 0
+        for subscription in list(self._subscriptions.values()):
+            if subscription.is_expired(now):
+                del self._subscriptions[subscription.id]
+                self._send_end(subscription, "SubscriptionExpired")
+                continue
+            if not subscription.filter.matches(context):
+                continue
+            matched += 1
+            if subscription.paused or subscription.mode == MODE_PULL:
+                subscription.queue.append((payload.copy(), topic))
+            elif subscription.mode == MODE_WRAP:
+                subscription.queue.append((payload.copy(), topic))
+                if len(subscription.queue) >= self.wrapped_batch_size:
+                    self._flush(subscription)
+            else:
+                self._deliver(subscription, payload, topic)
+        return matched
+
+    def flush(self) -> None:
+        for subscription in self._subscriptions.values():
+            if subscription.mode == MODE_WRAP and subscription.queue and not subscription.paused:
+                self._flush(subscription)
+
+    def _wrap_one(self, payload: XElem, topic: Optional[str]) -> XElem:
+        """The *defined* wrapped entry format (closing WSE's gap)."""
+        entry = XElem(_q("Notification"))
+        if topic is not None:
+            entry.append(text_element(_q("Topic"), topic))
+        message = XElem(_q("Message"))
+        message.append(payload.copy())
+        entry.append(message)
+        return entry
+
+    def _deliver(self, subscription: ConvergedSubscription, payload: XElem, topic):
+        extra = [text_element(_q("Topic"), topic)] if topic is not None else []
+        try:
+            if subscription.use_raw:
+                self._client.call(
+                    subscription.consumer,
+                    _action("Notify"),
+                    [payload.copy()],
+                    expect_reply=False,
+                    extra_headers=extra,
+                )
+            else:
+                wrapper = XElem(_q("Notifications"))
+                wrapper.append(self._wrap_one(payload, topic))
+                self._client.call(
+                    subscription.consumer, _action("Notify"), [wrapper], expect_reply=False
+                )
+        except (NetworkError, SoapFault) as exc:
+            del self._subscriptions[subscription.id]
+            self._send_end(subscription, f"DeliveryFailure: {exc}")
+
+    def _flush(self, subscription: ConvergedSubscription) -> None:
+        batch, subscription.queue = subscription.queue, []
+        wrapper = XElem(_q("Notifications"))
+        for payload, topic in batch:
+            wrapper.append(self._wrap_one(payload, topic))
+        try:
+            self._client.call(
+                subscription.consumer, _action("Notify"), [wrapper], expect_reply=False
+            )
+        except (NetworkError, SoapFault) as exc:
+            del self._subscriptions[subscription.id]
+            self._send_end(subscription, f"DeliveryFailure: {exc}")
+
+    def _send_end(self, subscription: ConvergedSubscription, reason: str) -> None:
+        if subscription.end_to is None:
+            return
+        body = XElem(_q("SubscriptionEnd"))
+        body.append(text_element(_q("Identifier"), subscription.id))
+        body.append(text_element(_q("Reason"), reason))
+        try:
+            self._client.call(
+                subscription.end_to, _action("SubscriptionEnd"), [body], expect_reply=False
+            )
+        except (NetworkError, SoapFault):
+            pass
+
+    def live_count(self) -> int:
+        now = self.clock.now()
+        return sum(1 for s in self._subscriptions.values() if not s.is_expired(now))
+
+
+@dataclass
+class ConvergedHandle:
+    manager: EndpointReference
+    sub_id: str
+    expires_text: str
+
+
+class ConvergedConsumer:
+    """A consumer endpoint for the converged Notify/SubscriptionEnd shapes."""
+
+    def __init__(
+        self, network: SimulatedNetwork, address: str, *, zone: str = PUBLIC_ZONE
+    ) -> None:
+        self.endpoint = SoapEndpoint(network, address, zone=zone)
+        self.received: list[tuple[XElem, Optional[str], bool]] = []  # payload/topic/wrapped
+        self.ends: list[str] = []
+        self.endpoint.on_action(_action("Notify"), self._handle_notify)
+        self.endpoint.on_action(_action("SubscriptionEnd"), self._handle_end)
+
+    @property
+    def address(self) -> str:
+        return self.endpoint.address
+
+    def epr(self) -> EndpointReference:
+        return EndpointReference(self.address)
+
+    def close(self) -> None:
+        self.endpoint.close()
+
+    def _handle_notify(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        body = envelope.body_element()
+        if body.name == _q("Notifications"):
+            for entry in body.find_all(_q("Notification")):
+                topic_elem = entry.find(_q("Topic"))
+                topic = topic_elem.full_text().strip() if topic_elem is not None else None
+                payload = next(entry.require(_q("Message")).elements())
+                self.received.append((payload.copy(), topic, True))
+        else:
+            topic = envelope.header_text(_q("Topic"))
+            self.received.append((body.copy(), topic, False))
+        return None
+
+    def _handle_end(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        reason = envelope.body_element().find(_q("Reason"))
+        self.ends.append(reason.full_text().strip() if reason is not None else "")
+        return None
+
+
+class ConvergedSubscriber:
+    """Client API for the converged prototype."""
+
+    def __init__(self, network: SimulatedNetwork, *, zone: str = PUBLIC_ZONE) -> None:
+        self._client = SoapClient(
+            network, zone=zone, wsa_version=WSA, soap_version=SoapVersion.V11
+        )
+
+    def subscribe(
+        self,
+        source: EndpointReference,
+        *,
+        consumer: Optional[EndpointReference] = None,
+        mode: str = MODE_PUSH,
+        topic: Optional[str] = None,
+        topic_dialect: str = Namespaces.DIALECT_TOPIC_CONCRETE,
+        message_content: Optional[str] = None,
+        producer_properties: Optional[str] = None,
+        namespaces: Optional[dict[str, str]] = None,
+        expires: Optional[str] = None,
+        end_to: Optional[EndpointReference] = None,
+        use_raw: bool = False,
+    ) -> ConvergedHandle:
+        body = XElem(_q("Subscribe"))
+        if consumer is not None:
+            body.append(consumer.to_element(WSA, _q("ConsumerReference")))
+        if mode != MODE_PUSH:
+            delivery = XElem(_q("Delivery"))
+            delivery.attrs[_MODE] = mode
+            body.append(delivery)
+        if end_to is not None:
+            body.append(end_to.to_element(WSA, _q("EndTo")))
+        if topic or message_content or producer_properties:
+            filter_elem = XElem(_q("Filter"))
+            if topic is not None:
+                topic_part = text_element(_q("TopicExpression"), topic)
+                topic_part.attrs[_DIALECT] = topic_dialect
+                filter_elem.append(topic_part)
+            if producer_properties is not None:
+                props = text_element(_q("ProducerProperties"), producer_properties)
+                if namespaces:
+                    encode_filter_namespaces(props, namespaces)
+                filter_elem.append(props)
+            if message_content is not None:
+                content = text_element(_q("MessageContent"), message_content)
+                if namespaces:
+                    encode_filter_namespaces(content, namespaces)
+                filter_elem.append(content)
+            body.append(filter_elem)
+        if expires is not None:
+            body.append(text_element(_q("Expires"), expires))
+        if use_raw:
+            body.append(XElem(_q("UseRaw")))
+        reply = self._client.call(source, _action("Subscribe"), [body])
+        response = reply.body_element()
+        manager = EndpointReference.from_element(
+            response.require(_q("SubscriptionManager")), WSA
+        )
+        expires_elem = response.find(_q("Expires"))
+        return ConvergedHandle(
+            manager,
+            manager.parameter_text(_q("Identifier")) or "",
+            expires_elem.full_text().strip() if expires_elem is not None else "",
+        )
+
+    def _manager_call(self, handle: ConvergedHandle, local: str, body: XElem) -> XElem:
+        reply = self._client.call(handle.manager, _action(local), [body])
+        if reply is None:
+            raise SoapFault(FaultCode.RECEIVER, f"no response to {local}")
+        return reply.body_element()
+
+    def renew(self, handle: ConvergedHandle, expires: Optional[str] = None) -> str:
+        body = XElem(_q("Renew"))
+        if expires is not None:
+            body.append(text_element(_q("Expires"), expires))
+        response = self._manager_call(handle, "Renew", body)
+        expires_elem = response.find(_q("Expires"))
+        return expires_elem.full_text().strip() if expires_elem is not None else ""
+
+    def get_status(self, handle: ConvergedHandle) -> str:
+        response = self._manager_call(handle, "GetStatus", XElem(_q("GetStatus")))
+        status = response.find(_q("Status"))
+        return status.full_text().strip() if status is not None else ""
+
+    def unsubscribe(self, handle: ConvergedHandle) -> None:
+        self._manager_call(handle, "Unsubscribe", XElem(_q("Unsubscribe")))
+
+    def pause(self, handle: ConvergedHandle) -> None:
+        self._manager_call(handle, "PauseSubscription", XElem(_q("PauseSubscription")))
+
+    def resume(self, handle: ConvergedHandle) -> None:
+        self._manager_call(handle, "ResumeSubscription", XElem(_q("ResumeSubscription")))
+
+    def pull(self, handle: ConvergedHandle) -> list[tuple[XElem, Optional[str]]]:
+        response = self._manager_call(handle, "Pull", XElem(_q("Pull")))
+        results: list[tuple[XElem, Optional[str]]] = []
+        for entry in response.find_all(_q("Notification")):
+            topic_elem = entry.find(_q("Topic"))
+            topic = topic_elem.full_text().strip() if topic_elem is not None else None
+            payload = next(entry.require(_q("Message")).elements())
+            results.append((payload.copy(), topic))
+        return results
+
+    def get_current_message(self, source: EndpointReference, topic: str) -> XElem:
+        body = XElem(_q("GetCurrentMessage"))
+        body.append(text_element(_q("Topic"), topic))
+        reply = self._client.call(source, _action("GetCurrentMessage"), [body])
+        return next(reply.body_element().elements()).copy()

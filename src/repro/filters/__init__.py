@@ -1,0 +1,47 @@
+"""Filter dialects for event notification.
+
+Table 3's "Filter" and "Filter language" rows are the heart of the paper's
+evolution story: from *no filtering* (CORBA Event Service), to Trader
+Constraint Language filter objects (CORBA Notification), to SQL92-subset
+message selectors (JMS), to serviceDataName strings (OGSI), to topic
+hierarchies plus content-based XPath (WS-Notification / WS-Eventing).  Every
+one of those filter languages is implemented in this package:
+
+- :mod:`repro.filters.base` -- the common ``Filter`` interface and the
+  notification context it evaluates against.
+- :mod:`repro.filters.topics` -- hierarchical topic spaces and the WS-Topics
+  Simple/Concrete/Full expression dialects.
+- :mod:`repro.filters.content` -- XPath message-content filters (WSE default
+  dialect; WSN MessageContent filter).
+- :mod:`repro.filters.producer` -- WSN ProducerProperties filters.
+- :mod:`repro.filters.selector` -- the JMS SQL92-subset message selector
+  (own lexer/parser/evaluator).
+- :mod:`repro.filters.tcl` -- the CORBA Notification extended Trader
+  Constraint Language subset.
+"""
+
+from repro.filters.base import AcceptAllFilter, AndFilter, Filter, FilterContext, FilterError
+from repro.filters.content import MessageContentFilter
+from repro.filters.producer import ProducerPropertiesFilter
+from repro.filters.topics import (
+    TopicDialect,
+    TopicExpression,
+    TopicFilter,
+    TopicNamespace,
+    TopicPath,
+)
+
+__all__ = [
+    "Filter",
+    "FilterContext",
+    "FilterError",
+    "AcceptAllFilter",
+    "AndFilter",
+    "MessageContentFilter",
+    "ProducerPropertiesFilter",
+    "TopicNamespace",
+    "TopicPath",
+    "TopicExpression",
+    "TopicDialect",
+    "TopicFilter",
+]

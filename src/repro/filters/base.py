@@ -1,0 +1,71 @@
+"""The common filter interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.xmlkit.element import XElem
+
+
+class FilterError(Exception):
+    """A filter expression is invalid (bad dialect, bad syntax, ...)."""
+
+
+@dataclass
+class FilterContext:
+    """Everything a WS filter may inspect about one notification.
+
+    - ``payload``: the notification message content (an XML element);
+    - ``topic``: the topic path string the producer published on, if any;
+    - ``producer_properties``: resource properties of the producer, for
+      WSN ProducerProperties filters.
+    """
+
+    payload: XElem
+    topic: Optional[str] = None
+    producer_properties: dict[str, str] = field(default_factory=dict)
+
+
+class Filter:
+    """A predicate over notifications."""
+
+    #: dialect URI, where the spec defines one
+    dialect: str = ""
+
+    def matches(self, context: FilterContext) -> bool:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class AcceptAllFilter(Filter):
+    """No filtering: the CORBA Event Service behaviour (every consumer gets
+    every event on the channel) and the default when a subscription carries
+    no filter element."""
+
+    def matches(self, context: FilterContext) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return "accept-all"
+
+
+class AndFilter(Filter):
+    """Conjunction of filters.
+
+    WS-Notification allows a subscription to combine TopicExpression,
+    ProducerProperties and MessageContent filters — "a subscriber can use any
+    or all of these filters" — with AND semantics.  WS-Eventing allows at
+    most one filter, a difference Table 3 records.
+    """
+
+    def __init__(self, parts: Sequence[Filter]) -> None:
+        self.parts = list(parts)
+
+    def matches(self, context: FilterContext) -> bool:
+        return all(part.matches(context) for part in self.parts)
+
+    def describe(self) -> str:
+        return " AND ".join(part.describe() for part in self.parts) or "accept-all"

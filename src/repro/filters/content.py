@@ -1,0 +1,37 @@
+"""XPath message-content filters.
+
+This is WS-Eventing's default (and only defined) filter dialect and
+WS-Notification 1.3's MessageContent filter.  Per both specs, the expression
+is evaluated against the notification message and its result is coerced to a
+boolean.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.filters.base import Filter, FilterContext, FilterError
+from repro.xmlkit.names import Namespaces
+from repro.xmlkit.xpath import XPath, XPathError
+
+
+class MessageContentFilter(Filter):
+    """A content-based filter: an XPath expression over the payload."""
+
+    dialect = Namespaces.DIALECT_XPATH10
+
+    def __init__(self, expression: str, namespaces: Optional[dict[str, str]] = None) -> None:
+        try:
+            self._xpath = XPath(expression, namespaces)
+        except XPathError as exc:
+            raise FilterError(f"invalid XPath filter {expression!r}: {exc}") from exc
+        self.expression = expression
+
+    def matches(self, context: FilterContext) -> bool:
+        try:
+            return self._xpath.matches(context.payload)
+        except XPathError as exc:
+            raise FilterError(f"filter evaluation failed: {exc}") from exc
+
+    def describe(self) -> str:
+        return f"xpath({self.expression})"

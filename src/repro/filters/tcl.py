@@ -1,0 +1,319 @@
+"""The CORBA Notification Service filter language.
+
+The CORBA Notification Service (Table 3, second column) filters structured
+events with constraint expressions "whose syntax follows the extended Trader
+Constraint Language".  This module implements the subset real notification
+filters used:
+
+- boolean connectives ``and`` / ``or`` / ``not``;
+- comparisons ``==`` ``!=`` ``<`` ``<=`` ``>`` ``>=``;
+- arithmetic ``+ - * /``;
+- ``exist <component>`` (presence test);
+- ``<string> in <component>`` (sequence membership);
+- ``<component> ~ <string>`` (substring match);
+- event components: ``$type_name``/``$event_name``/``$domain_name``
+  shorthands, ``$variable`` lookup in filterable data, and dotted paths like
+  ``$.header.fixed_header.event_type.type_name``.
+
+Constraints evaluate over the structured-event representation of
+:mod:`repro.baselines.corba.events` (plain nested mappings here, so the
+language is independently testable).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Mapping
+
+from repro.filters.base import FilterError
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+      (?P<number>\d+\.\d*|\.\d+|\d+)
+    | (?P<dollar>\$[A-Za-z0-9_.]*)
+    | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<string>'(?:[^'\\]|\\.)*')
+    | (?P<op>==|!=|<=|>=|[<>+\-*/()~])
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "exist", "in", "true", "false"}
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            if text[position:].strip() == "":
+                break
+            raise FilterError(f"bad TCL syntax at {text[position:position+10]!r}")
+        position = match.end()
+        kind = match.lastgroup
+        value = match.group(kind)
+        if kind == "name":
+            lowered = value.lower()
+            if lowered in _KEYWORDS:
+                tokens.append(("keyword", lowered))
+            else:
+                raise FilterError(f"bare identifier {value!r}; TCL components start with '$'")
+        elif kind == "string":
+            tokens.append(("string", value[1:-1].replace("\\'", "'").replace("\\\\", "\\")))
+        else:
+            tokens.append((kind, value))
+    tokens.append(("end", ""))
+    return tokens
+
+
+class TclConstraint:
+    """A compiled extended-TCL constraint."""
+
+    def __init__(self, expression: str) -> None:
+        self.expression = expression.strip()
+        if not self.expression:
+            raise FilterError("empty TCL constraint")
+        self._tokens = _tokenize(self.expression)
+        self._pos = 0
+        self._ast = self._parse_or()
+        if self._peek()[0] != "end":
+            raise FilterError(f"trailing TCL input: {self._peek()[1]!r}")
+
+    # --- parser ------------------------------------------------------------
+
+    def _peek(self):
+        return self._tokens[self._pos]
+
+    def _advance(self):
+        token = self._tokens[self._pos]
+        if token[0] != "end":
+            self._pos += 1
+        return token
+
+    def _accept(self, kind, value=None):
+        token = self._peek()
+        if token[0] == kind and (value is None or token[1] == value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind, value=None):
+        token = self._accept(kind, value)
+        if token is None:
+            raise FilterError(f"TCL: expected {value or kind}, got {self._peek()[1]!r}")
+        return token
+
+    def _parse_or(self):
+        left = self._parse_and()
+        while self._accept("keyword", "or"):
+            left = ("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self):
+        left = self._parse_not()
+        while self._accept("keyword", "and"):
+            left = ("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self):
+        if self._accept("keyword", "not"):
+            return ("not", self._parse_not())
+        if self._accept("keyword", "exist"):
+            token = self._expect("dollar")
+            return ("exist", token[1])
+        return self._parse_comparison()
+
+    def _parse_comparison(self):
+        left = self._parse_arith()
+        token = self._peek()
+        if token[0] == "op" and token[1] in ("==", "!=", "<", "<=", ">", ">="):
+            self._advance()
+            return ("cmp", token[1], left, self._parse_arith())
+        if token == ("op", "~"):
+            self._advance()
+            return ("substr", left, self._parse_arith())
+        if token == ("keyword", "in"):
+            self._advance()
+            return ("in", left, self._parse_arith())
+        return left
+
+    def _parse_arith(self):
+        left = self._parse_term()
+        while True:
+            token = self._peek()
+            if token[0] == "op" and token[1] in ("+", "-"):
+                self._advance()
+                left = ("arith", token[1], left, self._parse_term())
+            else:
+                return left
+
+    def _parse_term(self):
+        left = self._parse_factor()
+        while True:
+            token = self._peek()
+            if token[0] == "op" and token[1] in ("*", "/"):
+                self._advance()
+                left = ("arith", token[1], left, self._parse_factor())
+            else:
+                return left
+
+    def _parse_factor(self):
+        if self._accept("op", "-"):
+            return ("neg", self._parse_factor())
+        token = self._peek()
+        if token[0] == "number":
+            self._advance()
+            return ("lit", float(token[1]) if "." in token[1] else int(token[1]))
+        if token[0] == "string":
+            self._advance()
+            return ("lit", token[1])
+        if token[0] == "keyword" and token[1] in ("true", "false"):
+            self._advance()
+            return ("lit", token[1] == "true")
+        if token[0] == "dollar":
+            self._advance()
+            return ("component", token[1])
+        if self._accept("op", "("):
+            expr = self._parse_or()
+            self._expect("op", ")")
+            return expr
+        raise FilterError(f"TCL syntax error at {token[1] or 'end'!r}")
+
+    # --- evaluation ------------------------------------------------------------
+
+    def matches(self, event: Mapping[str, Any]) -> bool:
+        """Evaluate against a structured event (nested mappings)."""
+        try:
+            return bool(self._evaluate(self._ast, event))
+        except _ComponentMissing:
+            # TCL semantics: a constraint referring to absent data is false
+            return False
+
+    def _evaluate(self, node, event):
+        kind = node[0]
+        if kind == "lit":
+            return node[1]
+        if kind == "component":
+            return _resolve(node[1], event)
+        if kind == "exist":
+            try:
+                _resolve(node[1], event)
+                return True
+            except _ComponentMissing:
+                return False
+        if kind == "not":
+            return not self._evaluate(node[1], event)
+        if kind == "and":
+            return self._evaluate(node[1], event) and self._evaluate(node[2], event)
+        if kind == "or":
+            return self._evaluate(node[1], event) or self._evaluate(node[2], event)
+        if kind == "neg":
+            return -self._as_number(self._evaluate(node[1], event))
+        if kind == "arith":
+            left = self._as_number(self._evaluate(node[2], event))
+            right = self._as_number(self._evaluate(node[3], event))
+            op = node[1]
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if right == 0:
+                raise _ComponentMissing("division by zero")
+            return left / right
+        if kind == "cmp":
+            left = self._evaluate(node[2], event)
+            right = self._evaluate(node[3], event)
+            return _compare(node[1], left, right)
+        if kind == "substr":
+            left = self._evaluate(node[1], event)
+            right = self._evaluate(node[2], event)
+            if not isinstance(left, str) or not isinstance(right, str):
+                return False
+            return right in left
+        if kind == "in":
+            left = self._evaluate(node[1], event)
+            right = self._evaluate(node[2], event)
+            if isinstance(right, (list, tuple)):
+                return left in right
+            return False
+        raise FilterError(f"unhandled TCL node {kind!r}")
+
+    @staticmethod
+    def _as_number(value):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise _ComponentMissing(f"non-numeric operand {value!r}")
+        return value
+
+    def __repr__(self) -> str:
+        return f"TclConstraint({self.expression!r})"
+
+
+class _ComponentMissing(Exception):
+    pass
+
+
+_SHORTHANDS = {
+    "$type_name": ("header", "fixed_header", "event_type", "type_name"),
+    "$domain_name": ("header", "fixed_header", "event_type", "domain_name"),
+    "$event_name": ("header", "fixed_header", "event_name"),
+}
+
+
+def _resolve(component: str, event: Mapping[str, Any]) -> Any:
+    if component in _SHORTHANDS:
+        return _walk(event, _SHORTHANDS[component])
+    if component.startswith("$."):
+        path = tuple(part for part in component[2:].split(".") if part)
+        if not path:
+            raise FilterError("empty component path '$.'")
+        return _walk(event, path)
+    if component == "$":
+        return event
+    # generic $name: search filterable data, then variable header
+    name = component[1:]
+    for section in ("filterable_data", "variable_header"):
+        mapping = event.get(section)
+        if isinstance(mapping, Mapping) and name in mapping:
+            return mapping[name]
+    raise _ComponentMissing(component)
+
+
+def _walk(event: Mapping[str, Any], path: tuple[str, ...]) -> Any:
+    current: Any = event
+    for part in path:
+        if not isinstance(current, Mapping) or part not in current:
+            raise _ComponentMissing(".".join(path))
+        current = current[part]
+    return current
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    if isinstance(left, bool) or isinstance(right, bool):
+        if op == "==":
+            return left is right if isinstance(left, bool) and isinstance(right, bool) else False
+        if op == "!=":
+            return not _compare("==", left, right)
+        raise _ComponentMissing("ordering undefined for booleans")
+    numeric = isinstance(left, (int, float)) and isinstance(right, (int, float))
+    stringy = isinstance(left, str) and isinstance(right, str)
+    if not numeric and not stringy:
+        if op == "==":
+            return False
+        if op == "!=":
+            return True
+        raise _ComponentMissing("type mismatch in ordering comparison")
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right

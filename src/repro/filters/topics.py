@@ -1,0 +1,253 @@
+"""Hierarchical topic spaces and the WS-Topics expression dialects.
+
+WS-Topics defines a forest of named topic trees.  A publisher tags each
+notification with a *concrete* topic path (``root/child/leaf``); a subscriber
+supplies a topic expression in one of three dialects:
+
+- **Simple**: a single root topic name — matches that root topic only;
+- **Concrete**: a full path — matches exactly that topic node;
+- **Full**: paths with ``*`` (any one name at that level), ``//`` descendant
+  wildcards (written ``//.`` for "this node and all its descendants" in the
+  spec's syntax; we accept both ``//.`` and ``//``-separated forms) and
+  ``|`` unions.
+
+The paper notes topic-based filtering was *required* in WSN 1.0/1.2 and
+became optional in 1.3 (Table 1), and that WS-Eventing has no topic notion
+at all — a wrapped WSE message carries the topic in a SOAP *header* while
+WSN carries it in the ``Notify`` body (message-format difference category 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, Optional
+
+from repro.filters.base import Filter, FilterContext, FilterError
+from repro.xmlkit.names import Namespaces
+
+
+class TopicDialect(Enum):
+    SIMPLE = Namespaces.DIALECT_TOPIC_SIMPLE
+    CONCRETE = Namespaces.DIALECT_TOPIC_CONCRETE
+    FULL = Namespaces.DIALECT_TOPIC_FULL
+
+    @property
+    def uri(self) -> str:
+        return self.value
+
+    @classmethod
+    def from_uri(cls, uri: str) -> "TopicDialect":
+        for dialect in cls:
+            if dialect.value == uri:
+                return dialect
+        raise FilterError(f"unknown topic dialect: {uri!r}")
+
+
+@dataclass(frozen=True)
+class TopicPath:
+    """A concrete topic path: non-empty tuple of topic names."""
+
+    parts: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.parts or any(not p or "/" in p or "*" in p for p in self.parts):
+            raise FilterError(f"invalid topic path: {self.parts!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "TopicPath":
+        text = text.strip()
+        if not text:
+            raise FilterError("empty topic path")
+        return cls(tuple(part for part in text.split("/") if part))
+
+    @property
+    def root(self) -> str:
+        return self.parts[0]
+
+    def __str__(self) -> str:
+        return "/".join(self.parts)
+
+
+@dataclass
+class TopicNode:
+    name: str
+    children: dict[str, "TopicNode"] = field(default_factory=dict)
+    #: spec's final attribute: a final topic admits no child topics
+    final: bool = False
+
+    def walk(self, prefix: tuple[str, ...]) -> Iterator[tuple[str, ...]]:
+        path = (*prefix, self.name)
+        yield path
+        for child in self.children.values():
+            yield from child.walk(path)
+
+
+class TopicNamespace:
+    """A named topic space: a forest of topic trees.
+
+    The namespace both *documents* the topics a producer supports (WSN
+    producers advertise their topic set as a resource property) and
+    *validates* published paths when ``fixed`` is set (the spec's
+    fixed-topic-set marker).
+    """
+
+    def __init__(self, target_namespace: str = "", *, fixed: bool = False) -> None:
+        self.target_namespace = target_namespace
+        self.fixed = fixed
+        self.roots: dict[str, TopicNode] = {}
+
+    def add(self, path: str | TopicPath, *, final: bool = False) -> TopicPath:
+        """Register a topic (and its ancestors)."""
+        topic = TopicPath.parse(path) if isinstance(path, str) else path
+        level = self.roots
+        node: Optional[TopicNode] = None
+        for part in topic.parts:
+            if node is not None and node.final:
+                raise FilterError(f"topic {node.name!r} is final; cannot add child {part!r}")
+            node = level.setdefault(part, TopicNode(part))
+            level = node.children
+        assert node is not None
+        node.final = final
+        return topic
+
+    def contains(self, path: str | TopicPath) -> bool:
+        topic = TopicPath.parse(path) if isinstance(path, str) else path
+        level = self.roots
+        node: Optional[TopicNode] = None
+        for part in topic.parts:
+            node = level.get(part)
+            if node is None:
+                return False
+            level = node.children
+        return True
+
+    def validate_publication(self, path: str | TopicPath) -> TopicPath:
+        """Check a published topic; unknown topics are admitted (and grown)
+        unless the namespace is fixed."""
+        topic = TopicPath.parse(path) if isinstance(path, str) else path
+        if self.contains(topic):
+            return topic
+        if self.fixed:
+            raise FilterError(f"topic {topic} is not in the fixed topic set")
+        return self.add(topic)
+
+    def all_paths(self) -> list[str]:
+        paths: list[str] = []
+        for root in self.roots.values():
+            paths.extend("/".join(p) for p in root.walk(()))
+        return sorted(paths)
+
+
+@dataclass(frozen=True)
+class _Alternative:
+    """One `|`-branch of a full topic expression, pre-split into segments."""
+
+    segments: tuple[str, ...]  # each is a name, '*' or '' ('' marks a // gap)
+    descendants_of_last: bool = False  # trailing //. : subtree included
+
+
+class TopicExpression:
+    """A compiled topic expression in one of the three dialects."""
+
+    def __init__(self, text: str, dialect: TopicDialect = TopicDialect.CONCRETE) -> None:
+        self.text = text.strip()
+        self.dialect = dialect
+        if not self.text:
+            raise FilterError("empty topic expression")
+        if dialect is TopicDialect.SIMPLE:
+            if "/" in self.text or "*" in self.text or "|" in self.text:
+                raise FilterError(
+                    f"Simple dialect allows only a root topic name, got {self.text!r}"
+                )
+            self._alternatives = [_Alternative((self.text,))]
+        elif dialect is TopicDialect.CONCRETE:
+            if "*" in self.text or "|" in self.text:
+                raise FilterError(
+                    f"Concrete dialect allows no wildcards/unions, got {self.text!r}"
+                )
+            self._alternatives = [_Alternative(tuple(TopicPath.parse(self.text).parts))]
+        else:
+            self._alternatives = [
+                self._compile_full(branch) for branch in self.text.split("|")
+            ]
+
+    @staticmethod
+    def _compile_full(branch: str) -> _Alternative:
+        branch = branch.strip()
+        if not branch:
+            raise FilterError("empty union branch in topic expression")
+        descendants = False
+        if branch.endswith("//.") or branch.endswith("//*"):
+            descendants = True
+            branch = branch[:-3].rstrip("/")
+            if not branch:
+                raise FilterError("'//.' needs a preceding path")
+        segments: list[str] = []
+        # '//' introduces a gap segment matching any number of levels
+        for i, chunk in enumerate(branch.split("//")):
+            if i > 0:
+                segments.append("")
+            for part in chunk.split("/"):
+                if part:
+                    segments.append(part)
+        if not segments:
+            raise FilterError(f"invalid topic expression branch: {branch!r}")
+        return _Alternative(tuple(segments), descendants)
+
+    # --- matching ----------------------------------------------------------
+
+    def matches(self, path: str | TopicPath) -> bool:
+        topic = TopicPath.parse(path) if isinstance(path, str) else path
+        if self.dialect is TopicDialect.SIMPLE:
+            # Simple expressions denote the root topic itself
+            return len(topic.parts) == 1 and topic.parts[0] == self.text
+        return any(self._match_alt(alt, topic.parts) for alt in self._alternatives)
+
+    @staticmethod
+    def _match_alt(alt: _Alternative, parts: tuple[str, ...]) -> bool:
+        return _match_segments(alt.segments, parts, alt.descendants_of_last)
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def _match_segments(
+    segments: tuple[str, ...], parts: tuple[str, ...], descendants: bool
+) -> bool:
+    """Match wildcard segments against a concrete path (recursive descent)."""
+    if not segments:
+        return not parts or descendants
+    head, rest = segments[0], segments[1:]
+    if head == "":  # '//' gap: skip zero or more levels
+        return any(
+            _match_segments(rest, parts[skip:], descendants)
+            for skip in range(len(parts) + 1)
+        )
+    if not parts:
+        return False
+    if head != "*" and head != parts[0]:
+        return False
+    if not rest:
+        return len(parts) == 1 or descendants
+    return _match_segments(rest, parts[1:], descendants)
+
+
+class TopicFilter(Filter):
+    """A subscription filter selecting by topic expression."""
+
+    def __init__(self, expression: TopicExpression) -> None:
+        self.expression = expression
+        self.dialect = expression.dialect.uri
+
+    @classmethod
+    def parse(cls, text: str, dialect_uri: str) -> "TopicFilter":
+        return cls(TopicExpression(text, TopicDialect.from_uri(dialect_uri)))
+
+    def matches(self, context: FilterContext) -> bool:
+        if context.topic is None:
+            return False
+        return self.expression.matches(context.topic)
+
+    def describe(self) -> str:
+        return f"topic({self.expression})"

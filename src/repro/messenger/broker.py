@@ -1,0 +1,283 @@
+"""The WS-Messenger broker.
+
+One front-door address accepts traffic in **both** specification families and
+**all five** supported versions.  Per section VII:
+
+- spec detection: every incoming envelope is classified by
+  :func:`repro.messenger.detection.detect_spec`;
+- "Response messages follow the same specifications as request messages":
+  each request is dispatched to an internal implementation of exactly the
+  detected version, whose reply is returned verbatim;
+- "notification messages follow the expected specifications of the target
+  event consumers.  The specification type of a target event consumer is
+  determined by the subscription request message type": a subscription made
+  with a WSE 08/2004 Subscribe lives in the broker's internal WSE 08/2004
+  event source and is served raw WSE notifications; a WSN 1.3 subscription
+  is served wrapped ``Notify`` messages; and so on;
+- publications may enter in-process (:meth:`WsMessenger.publish`), as WSN
+  ``Notify`` messages at the front door, or by bridging from external WSE
+  sources / WSN producers — "an event producer can publish event
+  notifications using either the WS-Eventing specification or the
+  WS-Notification specification.  It makes no difference to the event
+  consumers";
+- all traffic is carried by a pluggable messaging backbone
+  (:mod:`repro.messenger.adapters`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.filters.topics import TopicNamespace
+from repro.messenger.adapters import InMemoryBackbone, MessagingBackbone
+from repro.messenger.detection import DetectedSpec, SpecDetectionError, SpecFamily, detect_spec
+from repro.messenger.journal import SubscriptionJournal
+from repro.messenger import mediation
+from repro.soap.envelope import SoapEnvelope
+from repro.soap.fault import FaultCode, SoapFault
+from repro.transport.endpoint import SoapEndpoint
+from repro.transport.network import SimulatedNetwork
+from repro.wsa.epr import EndpointReference
+from repro.wsa.headers import MessageHeaders
+from repro.wse.model import DeliveryMode
+from repro.wse.source import EventSource
+from repro.wse.subscriber import WseSubscriber
+from repro.wse.versions import WseVersion
+from repro.wsn.producer import NotificationProducer
+from repro.wsn.pullpoint import PullPointFactory
+from repro.wsn.subscriber import WsnSubscriber
+from repro.wsn.versions import WsnVersion
+from repro.xmlkit.element import XElem
+
+
+@dataclass
+class BrokerStats:
+    """Observability: what the detection layer saw."""
+
+    detected: dict[str, int] = field(default_factory=dict)
+    publications: int = 0
+    detection_failures: int = 0
+
+    def record(self, spec: DetectedSpec) -> None:
+        key = f"{spec.family.value}/{spec.version.name}"
+        self.detected[key] = self.detected.get(key, 0) + 1
+
+
+class WsMessenger:
+    """The mediation broker."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        address: str,
+        *,
+        backbone: Optional[MessagingBackbone] = None,
+        topic_namespace: Optional[TopicNamespace] = None,
+        wse_versions: Optional[list[WseVersion]] = None,
+        wsn_versions: Optional[list[WsnVersion]] = None,
+        journal: Optional["SubscriptionJournal"] = None,
+    ) -> None:
+        self.network = network
+        self.address = address
+        self.stats = BrokerStats()
+        self.backbone = backbone or InMemoryBackbone()
+        #: optional crash-recovery journal (see repro.messenger.journal)
+        self.journal = journal
+        topics = topic_namespace or TopicNamespace()
+        # internal per-version implementations on hidden sub-addresses; the
+        # manager EPRs they mint are handed to clients verbatim, so Renew /
+        # Unsubscribe / GetStatus / Pull flow to them directly, already in
+        # the right dialect.
+        self.wse_sources: dict[WseVersion, EventSource] = {}
+        for version in wse_versions if wse_versions is not None else list(WseVersion):
+            tag = version.name.lower()
+            self.wse_sources[version] = EventSource(
+                network,
+                f"{address}/{tag}",
+                version=version,
+                manager_address=f"{address}/{tag}/subscriptions",
+                topic_header=mediation.WSE_TOPIC_HEADER,
+            )
+        self.wsn_producers: dict[WsnVersion, NotificationProducer] = {}
+        for version in wsn_versions if wsn_versions is not None else list(WsnVersion):
+            tag = version.name.lower()
+            self.wsn_producers[version] = NotificationProducer(
+                network,
+                f"{address}/{tag}",
+                version=version,
+                manager_address=f"{address}/{tag}/subscriptions",
+                topic_namespace=topics,
+            )
+        # pull points for firewalled WSN 1.3 consumers
+        self.pullpoint_factory = (
+            PullPointFactory(network, f"{address}/pullpoints", version=WsnVersion.V1_3)
+            if WsnVersion.V1_3 in self.wsn_producers
+            else None
+        )
+        # the front door
+        self.endpoint = SoapEndpoint(network, address)
+        self.endpoint.on_any(self._front_door)
+        # bridging roles (lazy): the broker as subscriber/consumer upstream
+        self._ingest_counter = 0
+        self._ingest_endpoints: list[object] = []
+        self.backbone.start(self._fan_out)
+
+    def epr(self) -> EndpointReference:
+        return EndpointReference(self.address)
+
+    def close(self) -> None:
+        self.endpoint.close()
+        for source in self.wse_sources.values():
+            source.close()
+        for producer in self.wsn_producers.values():
+            producer.close()
+
+    # --- the front door -----------------------------------------------------------
+
+    def _front_door(
+        self, envelope: SoapEnvelope, headers: MessageHeaders
+    ) -> Optional[SoapEnvelope]:
+        try:
+            spec = detect_spec(envelope)
+        except SpecDetectionError as exc:
+            self.stats.detection_failures += 1
+            raise SoapFault(FaultCode.SENDER, f"specification detection failed: {exc}")
+        self.stats.record(spec)
+        if spec.operation == "Notify" and spec.family is SpecFamily.WS_NOTIFICATION:
+            return self._accept_wsn_publication(envelope, spec)
+        reply = self._route(envelope, headers, spec)
+        if spec.operation == "Subscribe" and self.journal is not None:
+            self.journal.record(envelope)  # only reached on success (no fault)
+        return reply
+
+    def _route(
+        self, envelope: SoapEnvelope, headers: MessageHeaders, spec: DetectedSpec
+    ) -> Optional[SoapEnvelope]:
+        if spec.operation == "CreatePullPoint":
+            if self.pullpoint_factory is None:
+                raise SoapFault(FaultCode.SENDER, "pull points require WSN 1.3")
+            return self.pullpoint_factory._handle_create(envelope, headers)
+        if spec.family is SpecFamily.WS_EVENTING:
+            implementation = self.wse_sources.get(spec.version)
+        else:
+            implementation = self.wsn_producers.get(spec.version)
+        if implementation is None:
+            raise SoapFault(
+                FaultCode.SENDER,
+                f"{spec.describe()} is not enabled on this broker",
+            )
+        handler = implementation.endpoint._handlers.get(headers.action)
+        if handler is None:
+            # WSE 01/2004 mounts manager ops on the source endpoint itself, so
+            # they resolve above; for every other version, management flows to
+            # the subscription-manager EPR minted at Subscribe time, not here.
+            raise SoapFault(
+                FaultCode.SENDER,
+                f"operation {spec.operation!r} ({spec.describe()}) is not accepted "
+                "at the broker front door; management operations go to the "
+                "subscription-manager EPR",
+            )
+        return handler(envelope, headers)
+
+    def _accept_wsn_publication(
+        self, envelope: SoapEnvelope, spec: DetectedSpec
+    ) -> None:
+        body = envelope.body_element()
+        for item in mediation.neutral_from_wsn_notify(body, spec.version):
+            self.publish(item.payload, topic=item.topic)
+        return None
+
+    # --- publication & fan-out ------------------------------------------------------
+
+    def publish(self, payload: XElem, *, topic: Optional[str] = None) -> None:
+        """Publish a notification through the backbone to every consumer
+        whose subscription matches — regardless of which spec they used."""
+        self.stats.publications += 1
+        self.backbone.publish(payload, topic)
+
+    def _fan_out(self, payload: XElem, topic: Optional[str]) -> None:
+        for source in self.wse_sources.values():
+            source.publish(payload, topic=topic)
+        for producer in self.wsn_producers.values():
+            if topic is None and producer.version.requires_topic:
+                continue  # <=1.2 subscriptions are all topic-filtered anyway
+            producer.publish(payload, topic=topic)
+
+    def flush(self) -> None:
+        """Flush wrapped-mode batches in the internal WSE sources."""
+        for source in self.wse_sources.values():
+            source.flush()
+
+    # --- introspection ---------------------------------------------------------------
+
+    def subscription_count(self) -> int:
+        return sum(len(s.store) for s in self.wse_sources.values()) + sum(
+            len(p.live_subscriptions()) for p in self.wsn_producers.values()
+        )
+
+    # --- bridging: the broker as a consumer of external producers ------------------------
+
+    def bridge_from_wse_source(
+        self,
+        source: EndpointReference,
+        *,
+        version: WseVersion = WseVersion.V2004_08,
+        filter: Optional[str] = None,
+        filter_namespaces: Optional[dict[str, str]] = None,
+    ) -> None:
+        """Subscribe the broker to an external WS-Eventing source; everything
+        it pushes is re-published to all broker subscribers (mediation from
+        WSE publishers to consumers of either spec)."""
+        self._ingest_counter += 1
+        ingest_address = f"{self.address}/ingest-{self._ingest_counter}"
+        ingest = SoapEndpoint(self.network, ingest_address)
+
+        def on_notification(envelope: SoapEnvelope, headers: MessageHeaders):
+            item = mediation.neutral_from_wse_envelope(envelope)
+            self.publish(item.payload, topic=item.topic)
+            return None
+
+        ingest.on_any(on_notification)
+        self._ingest_endpoints.append(ingest)
+        subscriber = WseSubscriber(self.network, version=version)
+        subscriber.subscribe(
+            source,
+            notify_to=EndpointReference(ingest_address),
+            mode=DeliveryMode.PUSH,
+            filter=filter,
+            filter_namespaces=filter_namespaces,
+        )
+
+    def bridge_from_wsn_producer(
+        self,
+        producer: EndpointReference,
+        *,
+        version: WsnVersion = WsnVersion.V1_3,
+        topic: Optional[str] = None,
+        topic_dialect: Optional[str] = None,
+    ) -> None:
+        """Subscribe the broker to an external WS-Notification producer."""
+        self._ingest_counter += 1
+        ingest_address = f"{self.address}/ingest-{self._ingest_counter}"
+        ingest = SoapEndpoint(self.network, ingest_address)
+
+        def on_notify(envelope: SoapEnvelope, headers: MessageHeaders):
+            body = envelope.body_element()
+            if body.name == version.qname("Notify"):
+                for item in mediation.neutral_from_wsn_notify(body, version):
+                    self.publish(item.payload, topic=item.topic)
+            else:
+                self.publish(body.copy())
+            return None
+
+        ingest.on_action(version.action("Notify"), on_notify)
+        ingest.on_any(on_notify)
+        self._ingest_endpoints.append(ingest)
+        subscriber = WsnSubscriber(self.network, version=version)
+        kwargs = {}
+        if topic_dialect is not None:
+            kwargs["topic_dialect"] = topic_dialect
+        subscriber.subscribe(
+            producer, EndpointReference(ingest_address), topic=topic, **kwargs
+        )

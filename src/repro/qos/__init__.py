@@ -1,0 +1,27 @@
+"""Quality-of-Service property models.
+
+Table 3's QoS row contrasts: CORBA Notification *defines* 13 QoS properties
+"that must be understood by all implementations even though they are not
+required to be implemented"; JMS defines priority/persistence/durability/
+transactions/ordering; the WS-based specifications define **none**, deferring
+to composition with WS-Reliability / WS-Transaction et al. — the paper's
+section VI observation (4).
+"""
+
+from repro.qos.properties import (
+    CORBA_QOS_PROPERTIES,
+    JMS_QOS_CRITERIA,
+    DiscardPolicy,
+    OrderPolicy,
+    QosProfile,
+    QosError,
+)
+
+__all__ = [
+    "CORBA_QOS_PROPERTIES",
+    "JMS_QOS_CRITERIA",
+    "QosProfile",
+    "QosError",
+    "OrderPolicy",
+    "DiscardPolicy",
+]

@@ -1,0 +1,23 @@
+"""SOAP 1.1/1.2 envelope model and codec.
+
+Both WS-Eventing and WS-Notification exchange SOAP envelopes; the paper's
+message-format comparison (section V.4) is a comparison of the headers and
+bodies built here.  The model is version-parametric: the same
+:class:`SoapEnvelope` serializes under SOAP 1.1 or 1.2 namespaces, and faults
+render in the version-correct shape.
+"""
+
+from repro.soap.envelope import SoapEnvelope, SoapVersion, HeaderBlock
+from repro.soap.fault import SoapFault, FaultCode
+from repro.soap.codec import parse_envelope, serialize_envelope, SoapCodecError
+
+__all__ = [
+    "SoapEnvelope",
+    "SoapVersion",
+    "HeaderBlock",
+    "SoapFault",
+    "FaultCode",
+    "parse_envelope",
+    "serialize_envelope",
+    "SoapCodecError",
+]

@@ -1,0 +1,74 @@
+"""Parse and serialize SOAP envelopes to/from wire XML."""
+
+from __future__ import annotations
+
+from repro.soap.envelope import HeaderBlock, SoapEnvelope, SoapVersion
+from repro.xmlkit.element import XElem
+from repro.xmlkit.parser import XmlParseError, parse_xml
+from repro.xmlkit.writer import serialize_xml
+
+
+class SoapCodecError(ValueError):
+    """The payload is XML but not a well-formed SOAP envelope."""
+
+
+def serialize_envelope(envelope: SoapEnvelope, *, indent: bool = False) -> str:
+    """Render an envelope to XML text."""
+    version = envelope.version
+    root = XElem(version.qname("Envelope"))
+    if envelope.headers:
+        header = XElem(version.qname("Header"))
+        for block in envelope.headers:
+            content = block.content.copy()
+            if block.must_understand:
+                content.attrs[version.qname("mustUnderstand")] = (
+                    "1" if version is SoapVersion.V11 else "true"
+                )
+            if block.actor is not None:
+                attr = "actor" if version is SoapVersion.V11 else "role"
+                content.attrs[version.qname(attr)] = block.actor
+            header.append(content)
+        root.append(header)
+    body = XElem(version.qname("Body"))
+    for payload in envelope.body:
+        body.append(payload)
+    root.append(body)
+    return serialize_xml(root, xml_declaration=True, indent=indent)
+
+
+def parse_envelope(text: str | bytes) -> SoapEnvelope:
+    """Parse wire XML into a :class:`SoapEnvelope`."""
+    try:
+        root = parse_xml(text)
+    except XmlParseError as exc:
+        raise SoapCodecError(str(exc)) from exc
+    if root.name.local != "Envelope":
+        raise SoapCodecError(f"root element is <{root.name}>, not a SOAP Envelope")
+    try:
+        version = SoapVersion.from_namespace(root.name.namespace)
+    except ValueError as exc:
+        raise SoapCodecError(str(exc)) from exc
+    envelope = SoapEnvelope(version)
+    header = root.find(version.qname("Header"))
+    if header is not None:
+        for content in header.elements():
+            envelope.headers.append(_parse_header_block(content, version))
+    body = root.find(version.qname("Body"))
+    if body is None:
+        raise SoapCodecError("envelope has no Body")
+    for payload in body.elements():
+        envelope.body.append(payload)
+    return envelope
+
+
+def _parse_header_block(content: XElem, version: SoapVersion) -> HeaderBlock:
+    mu_attr = version.qname("mustUnderstand")
+    actor_attr = version.qname("actor" if version is SoapVersion.V11 else "role")
+    must_understand = content.attrs.pop(mu_attr, "") in ("1", "true")
+    actor = content.attrs.pop(actor_attr, None)
+    return HeaderBlock(content, must_understand, actor)
+
+
+def envelope_bytes(envelope: SoapEnvelope) -> bytes:
+    """UTF-8 wire bytes; the transport layer accounts message sizes with this."""
+    return serialize_envelope(envelope).encode("utf-8")

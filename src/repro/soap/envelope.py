@@ -1,0 +1,136 @@
+"""The SOAP envelope data model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Optional
+
+from repro.xmlkit.element import XElem
+from repro.xmlkit.names import Namespaces, QName
+
+
+class SoapVersion(Enum):
+    """SOAP protocol version; carries its envelope namespace."""
+
+    V11 = Namespaces.SOAP11
+    V12 = Namespaces.SOAP12
+
+    @property
+    def namespace(self) -> str:
+        return self.value
+
+    def qname(self, local: str) -> QName:
+        return QName(self.namespace, local)
+
+    @classmethod
+    def from_namespace(cls, uri: str) -> "SoapVersion":
+        for version in cls:
+            if version.namespace == uri:
+                return version
+        raise ValueError(f"not a SOAP envelope namespace: {uri!r}")
+
+
+@dataclass
+class HeaderBlock:
+    """One SOAP header block with its processing attributes."""
+
+    content: XElem
+    must_understand: bool = False
+    #: SOAP 1.1 ``actor`` / SOAP 1.2 ``role`` URI (``None`` = ultimate receiver)
+    actor: Optional[str] = None
+
+    @property
+    def name(self) -> QName:
+        return self.content.name
+
+
+@dataclass
+class SoapEnvelope:
+    """A SOAP message: header blocks plus body elements.
+
+    The body holds zero or more payload elements (zero is legal for
+    acknowledgement-style responses; WS-Eventing ``UnsubscribeResponse`` has
+    an empty body in the 08/2004 version).
+    """
+
+    version: SoapVersion = SoapVersion.V11
+    headers: list[HeaderBlock] = field(default_factory=list)
+    body: list[XElem] = field(default_factory=list)
+
+    # --- header access -----------------------------------------------------
+
+    def add_header(
+        self,
+        content: XElem,
+        *,
+        must_understand: bool = False,
+        actor: Optional[str] = None,
+    ) -> "SoapEnvelope":
+        self.headers.append(HeaderBlock(content, must_understand, actor))
+        return self
+
+    def header(self, name: QName) -> Optional[XElem]:
+        """First header block with the given qualified name."""
+        for block in self.headers:
+            if block.name == name:
+                return block.content
+        return None
+
+    def header_text(self, name: QName) -> Optional[str]:
+        block = self.header(name)
+        return block.full_text().strip() if block is not None else None
+
+    def headers_named(self, name: QName) -> list[XElem]:
+        return [block.content for block in self.headers if block.name == name]
+
+    def remove_headers(self, name: QName) -> int:
+        before = len(self.headers)
+        self.headers = [block for block in self.headers if block.name != name]
+        return before - len(self.headers)
+
+    # --- body access ----------------------------------------------------------
+
+    def add_body(self, content: XElem) -> "SoapEnvelope":
+        self.body.append(content)
+        return self
+
+    def body_element(self) -> XElem:
+        """The single body payload element; raises when not exactly one."""
+        elements = [child for child in self.body if isinstance(child, XElem)]
+        if len(elements) != 1:
+            raise ValueError(f"expected exactly one body element, found {len(elements)}")
+        return elements[0]
+
+    def first_body(self) -> Optional[XElem]:
+        for child in self.body:
+            if isinstance(child, XElem):
+                return child
+        return None
+
+    def is_fault(self) -> bool:
+        first = self.first_body()
+        return first is not None and first.name == self.version.qname("Fault")
+
+    # --- misc -----------------------------------------------------------------
+
+    def copy(self) -> "SoapEnvelope":
+        return SoapEnvelope(
+            self.version,
+            [HeaderBlock(block.content.copy(), block.must_understand, block.actor) for block in self.headers],
+            [element.copy() for element in self.body],
+        )
+
+
+def build_envelope(
+    version: SoapVersion,
+    headers: Iterable[XElem] = (),
+    body: Iterable[XElem] = (),
+) -> SoapEnvelope:
+    """Convenience constructor from plain element iterables."""
+    envelope = SoapEnvelope(version)
+    for header in headers:
+        envelope.add_header(header)
+    for payload in body:
+        envelope.add_body(payload)
+    return envelope

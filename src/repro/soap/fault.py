@@ -1,0 +1,154 @@
+"""SOAP faults, rendered version-correctly for SOAP 1.1 and 1.2.
+
+WS-Eventing and WS-Notification both report subscription errors as SOAP
+faults (e.g. ``wse:EventSourceUnableToProcess``,
+``wsnt:UnacceptableInitialTerminationTimeFault``); the fault subcode carries
+the spec-specific fault QName.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.soap.envelope import SoapEnvelope, SoapVersion
+from repro.xmlkit.element import XElem, text_element
+from repro.xmlkit.names import QName
+
+
+class FaultCode(Enum):
+    """The standard top-level fault codes, mapped per SOAP version."""
+
+    SENDER = ("Client", "Sender")
+    RECEIVER = ("Server", "Receiver")
+    MUST_UNDERSTAND = ("MustUnderstand", "MustUnderstand")
+    VERSION_MISMATCH = ("VersionMismatch", "VersionMismatch")
+
+    def local_for(self, version: SoapVersion) -> str:
+        return self.value[0] if version is SoapVersion.V11 else self.value[1]
+
+
+@dataclass
+class SoapFault(Exception):
+    """A SOAP fault, usable both as a message payload and a raised error."""
+
+    code: FaultCode
+    reason: str
+    #: spec-specific subcode, e.g. ``wse:DeliveryModeRequestedUnavailable``
+    subcode: Optional[QName] = None
+    detail: Optional[XElem] = None
+
+    def __str__(self) -> str:
+        subcode = f" [{self.subcode}]" if self.subcode else ""
+        return f"{self.code.name}{subcode}: {self.reason}"
+
+    # --- serialization ----------------------------------------------------
+
+    def to_envelope(self, version: SoapVersion) -> SoapEnvelope:
+        envelope = SoapEnvelope(version)
+        envelope.add_body(self.to_element(version))
+        return envelope
+
+    def to_element(self, version: SoapVersion) -> XElem:
+        if version is SoapVersion.V11:
+            return self._to_soap11(version)
+        return self._to_soap12(version)
+
+    def _to_soap11(self, version: SoapVersion) -> XElem:
+        fault = XElem(version.qname("Fault"))
+        # SOAP 1.1 faultcode is a QName in text content; the envelope prefix
+        # convention from the writer is stable, so emit Clark-ish local form.
+        code_text = f"{version.qname(self.code.local_for(version)).local}"
+        fault.append(text_element(QName("", "faultcode"), code_text))
+        fault.append(text_element(QName("", "faultstring"), self.reason))
+        if self.subcode is not None or self.detail is not None:
+            detail = XElem(QName("", "detail"))
+            if self.subcode is not None:
+                detail.append(text_element(self.subcode, ""))
+            if self.detail is not None:
+                detail.append(self.detail.copy())
+            fault.append(detail)
+        return fault
+
+    def _to_soap12(self, version: SoapVersion) -> XElem:
+        fault = XElem(version.qname("Fault"))
+        code = XElem(version.qname("Code"))
+        code.append(text_element(version.qname("Value"), self.code.local_for(version)))
+        if self.subcode is not None:
+            sub = XElem(version.qname("Subcode"))
+            value = text_element(version.qname("Value"), self.subcode.local)
+            # carry the namespace in an element so parsing can recover the QName
+            value.attrs[QName("", "namespace")] = self.subcode.namespace
+            sub.append(value)
+            code.append(sub)
+        fault.append(code)
+        reason = XElem(version.qname("Reason"))
+        text = text_element(version.qname("Text"), self.reason)
+        reason.append(text)
+        fault.append(reason)
+        if self.detail is not None:
+            detail = XElem(version.qname("Detail"))
+            detail.append(self.detail.copy())
+            fault.append(detail)
+        return fault
+
+    # --- parsing --------------------------------------------------------------
+
+    @classmethod
+    def from_element(cls, element: XElem, version: SoapVersion) -> "SoapFault":
+        if version is SoapVersion.V11:
+            return cls._from_soap11(element)
+        return cls._from_soap12(element, version)
+
+    @classmethod
+    def _from_soap11(cls, element: XElem) -> "SoapFault":
+        code_text = ""
+        reason = ""
+        subcode: Optional[QName] = None
+        detail: Optional[XElem] = None
+        for child in element.elements():
+            if child.name.local == "faultcode":
+                code_text = child.text().strip()
+            elif child.name.local == "faultstring":
+                reason = child.text().strip()
+            elif child.name.local == "detail":
+                subelems = list(child.elements())
+                if subelems:
+                    subcode = subelems[0].name
+                    if len(subelems) > 1:
+                        detail = subelems[1]
+        return cls(_code_from_local(code_text), reason, subcode, detail)
+
+    @classmethod
+    def _from_soap12(cls, element: XElem, version: SoapVersion) -> "SoapFault":
+        code_elem = element.find(version.qname("Code"))
+        code_text = ""
+        subcode: Optional[QName] = None
+        if code_elem is not None:
+            value = code_elem.find(version.qname("Value"))
+            code_text = value.text().strip() if value is not None else ""
+            sub = code_elem.find(version.qname("Subcode"))
+            if sub is not None:
+                sub_value = sub.find(version.qname("Value"))
+                if sub_value is not None:
+                    subcode = QName(
+                        sub_value.attrs.get(QName("", "namespace"), ""),
+                        sub_value.text().strip(),
+                    )
+        reason = ""
+        reason_elem = element.find(version.qname("Reason"))
+        if reason_elem is not None:
+            text = reason_elem.find(version.qname("Text"))
+            reason = text.text() if text is not None else ""
+        detail_elem = element.find(version.qname("Detail"))
+        detail = next(detail_elem.elements(), None) if detail_elem is not None else None
+        return cls(_code_from_local(code_text), reason, subcode, detail)
+
+
+def _code_from_local(local: str) -> FaultCode:
+    local = local.split(":")[-1]
+    for code in FaultCode:
+        if local in code.value:
+            return code
+    return FaultCode.RECEIVER

@@ -1,0 +1,42 @@
+"""Deterministic in-process transport substrate.
+
+The paper's systems ran over real HTTP between real hosts.  Here the wire is
+simulated so every experiment is reproducible on one machine, while still
+exercising the full serialization path: every SOAP message is rendered to
+XML, framed as an HTTP/1.1 request, routed through the simulated network
+(latency, loss, firewall zones), unframed and re-parsed on the far side.
+
+- :mod:`repro.transport.clock` -- virtual time (subscription expiry, latency
+  accounting) with no wall-clock dependence.
+- :mod:`repro.transport.network` -- address registry, zones with inbound
+  firewalls (the reason pull delivery exists, per the paper), latency and
+  loss models, byte/message accounting.
+- :mod:`repro.transport.http` -- minimal HTTP/1.1 request/response framing.
+- :mod:`repro.transport.endpoint` -- SOAP endpoint with per-action dispatch
+  and a SOAP client helper.
+"""
+
+from repro.transport.clock import VirtualClock
+from repro.transport.network import (
+    AddressUnreachable,
+    FirewallBlocked,
+    MessageLost,
+    NetworkError,
+    NetworkStats,
+    SimulatedNetwork,
+    Zone,
+)
+from repro.transport.endpoint import SoapClient, SoapEndpoint
+
+__all__ = [
+    "VirtualClock",
+    "SimulatedNetwork",
+    "Zone",
+    "NetworkError",
+    "AddressUnreachable",
+    "FirewallBlocked",
+    "MessageLost",
+    "NetworkStats",
+    "SoapEndpoint",
+    "SoapClient",
+]

@@ -1,0 +1,169 @@
+"""SOAP endpoints and clients over the simulated network.
+
+A :class:`SoapEndpoint` registers under a URI, unframes incoming HTTP,
+parses the SOAP envelope, extracts WS-Addressing headers and dispatches on
+``wsa:Action`` — the coarse-grained, message-level interoperability style the
+paper identifies as the key shift away from fine-grained API interop
+(section VI, observation 6).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.soap.codec import parse_envelope, serialize_envelope
+from repro.soap.envelope import SoapEnvelope, SoapVersion
+from repro.soap.fault import FaultCode, SoapFault
+from repro.transport.http import build_request, build_response, parse_request, parse_response
+from repro.transport.network import PUBLIC_ZONE, SimulatedNetwork
+from repro.wsa.epr import EndpointReference
+from repro.wsa.headers import MessageHeaders, apply_headers, extract_headers
+from repro.wsa.versions import WsaVersion
+from repro.xmlkit.element import XElem
+
+#: an action handler: (request envelope, addressing headers) -> reply or None
+ActionHandler = Callable[[SoapEnvelope, MessageHeaders], Optional[SoapEnvelope]]
+
+
+class SoapEndpoint:
+    """A Web service bound to an address on the simulated network."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        address: str,
+        *,
+        zone: str = PUBLIC_ZONE,
+        soap_version: SoapVersion = SoapVersion.V11,
+    ) -> None:
+        self.network = network
+        self.address = address
+        self.zone = zone
+        self.soap_version = soap_version
+        self._handlers: dict[str, ActionHandler] = {}
+        self._fallback: Optional[ActionHandler] = None
+        network.register(address, self._handle_wire, zone=zone)
+
+    def epr(self) -> EndpointReference:
+        return EndpointReference(self.address)
+
+    def on_action(self, action: str, handler: ActionHandler) -> "SoapEndpoint":
+        """Register a handler for one ``wsa:Action`` URI."""
+        self._handlers[action] = handler
+        return self
+
+    def on_any(self, handler: ActionHandler) -> "SoapEndpoint":
+        """Fallback for actions with no explicit handler (e.g. raw notifies)."""
+        self._fallback = handler
+        return self
+
+    def close(self) -> None:
+        self.network.unregister(self.address)
+
+    # --- wire handling ----------------------------------------------------
+
+    def _handle_wire(self, wire: bytes) -> bytes:
+        request = parse_request(wire)
+        try:
+            envelope = parse_envelope(request.body)
+        except ValueError as exc:
+            fault = SoapFault(FaultCode.SENDER, f"unparseable envelope: {exc}")
+            return build_response(400, self._fault_bytes(fault, SoapVersion.V11))
+        try:
+            headers = extract_headers(envelope)
+        except ValueError:
+            headers = MessageHeaders(to=self.address, action="")
+        handler = self._handlers.get(headers.action, self._fallback)
+        if handler is None:
+            fault = SoapFault(
+                FaultCode.SENDER, f"no handler for action {headers.action!r}"
+            )
+            return build_response(500, self._fault_bytes(fault, envelope.version))
+        try:
+            reply = handler(envelope, headers)
+        except SoapFault as fault:
+            return build_response(500, self._fault_bytes(fault, envelope.version))
+        if reply is None:
+            return build_response(202)
+        return build_response(200, serialize_envelope(reply).encode("utf-8"))
+
+    def _fault_bytes(self, fault: SoapFault, version: SoapVersion) -> bytes:
+        return serialize_envelope(fault.to_envelope(version)).encode("utf-8")
+
+
+class SoapClient:
+    """Builds, addresses, sends and unwraps SOAP request/response exchanges."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        *,
+        zone: str = PUBLIC_ZONE,
+        wsa_version: WsaVersion = WsaVersion.V2005_08,
+        soap_version: SoapVersion = SoapVersion.V11,
+        envelope_filter: Optional[Callable[[SoapEnvelope], None]] = None,
+    ) -> None:
+        self.network = network
+        self.zone = zone
+        self.wsa_version = wsa_version
+        self.soap_version = soap_version
+        #: composition hook: applied to every outgoing envelope just before
+        #: serialization (e.g. WS-Security signing, WS-Reliability sequencing)
+        self.envelope_filter = envelope_filter
+
+    def call(
+        self,
+        target: EndpointReference,
+        action: str,
+        body: list[XElem],
+        *,
+        reply_to: Optional[EndpointReference] = None,
+        expect_reply: bool = True,
+        extra_headers: Optional[list[XElem]] = None,
+    ) -> Optional[SoapEnvelope]:
+        """Send a request; returns the reply envelope (or ``None`` on 202).
+
+        Raises :class:`SoapFault` when the peer answered with a fault, and
+        the transport's :class:`NetworkError` subclasses on wire failures.
+        """
+        envelope = SoapEnvelope(self.soap_version)
+        headers = MessageHeaders.request(target, action, reply_to=reply_to)
+        apply_headers(envelope, headers, self.wsa_version)
+        for header in extra_headers or []:
+            envelope.add_header(header.copy())
+        for element in body:
+            envelope.add_body(element)
+        if self.envelope_filter is not None:
+            self.envelope_filter(envelope)
+        wire = build_request(
+            target.address,
+            serialize_envelope(envelope).encode("utf-8"),
+            soap_action=action,
+        )
+        raw = self.network.send_request(target.address, wire, from_zone=self.zone)
+        response = parse_response(raw)
+        if not response.body:
+            return None
+        reply = parse_envelope(response.body)
+        if reply.is_fault():
+            raise SoapFault.from_element(reply.body_element(), reply.version)
+        return reply if expect_reply else None
+
+    def send_envelope(self, target_address: str, envelope: SoapEnvelope) -> Optional[SoapEnvelope]:
+        """Send a pre-built envelope (used by the mediation layer)."""
+        if self.envelope_filter is not None:
+            self.envelope_filter(envelope)
+        headers = extract_headers(envelope)
+        wire = build_request(
+            target_address,
+            serialize_envelope(envelope).encode("utf-8"),
+            soap_action=headers.action,
+        )
+        raw = self.network.send_request(target_address, wire, from_zone=self.zone)
+        response = parse_response(raw)
+        if not response.body:
+            return None
+        reply = parse_envelope(response.body)
+        if reply.is_fault():
+            raise SoapFault.from_element(reply.body_element(), reply.version)
+        return reply

@@ -1,0 +1,107 @@
+"""Minimal HTTP/1.1 framing for SOAP messages.
+
+Every envelope crosses the simulated wire as a real HTTP request so the
+benchmarks can account true message sizes (Table 3's "message transport" row
+contrasts RPC-bound protocols with transport-independent SOAP; we demonstrate
+the HTTP binding while the codec itself stays transport-agnostic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from urllib.parse import urlparse
+
+_CRLF = "\r\n"
+
+
+class HttpFramingError(ValueError):
+    """Malformed HTTP framing on the simulated wire."""
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+@dataclass
+class HttpResponse:
+    status: int
+    reason: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+def build_request(
+    url: str, body: bytes, *, soap_action: str = "", content_type: str = "text/xml; charset=utf-8"
+) -> bytes:
+    """Frame a SOAP POST to ``url``."""
+    parts = urlparse(url)
+    path = parts.path or "/"
+    headers = [
+        f"POST {path} HTTP/1.1",
+        f"Host: {parts.netloc or 'localhost'}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f'SOAPAction: "{soap_action}"',
+        "",
+        "",
+    ]
+    return _CRLF.join(headers).encode("ascii") + body
+
+
+def parse_request(wire: bytes) -> HttpRequest:
+    head, _, body = wire.partition(b"\r\n\r\n")
+    lines = head.decode("ascii", errors="replace").split(_CRLF)
+    if not lines or " " not in lines[0]:
+        raise HttpFramingError("missing request line")
+    try:
+        method, path, _version = lines[0].split(" ", 2)
+    except ValueError as exc:
+        raise HttpFramingError(f"bad request line: {lines[0]!r}") from exc
+    headers = _parse_headers(lines[1:])
+    return HttpRequest(method, path, headers, body)
+
+
+def build_response(status: int, body: bytes = b"", reason: str | None = None) -> bytes:
+    reason = reason or {200: "OK", 202: "Accepted", 400: "Bad Request", 500: "Internal Server Error"}.get(
+        status, "Unknown"
+    )
+    headers = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: text/xml; charset=utf-8",
+        f"Content-Length: {len(body)}",
+        "",
+        "",
+    ]
+    return _CRLF.join(headers).encode("ascii") + body
+
+
+def parse_response(wire: bytes) -> HttpResponse:
+    head, _, body = wire.partition(b"\r\n\r\n")
+    lines = head.decode("ascii", errors="replace").split(_CRLF)
+    if not lines or not lines[0].startswith("HTTP/"):
+        raise HttpFramingError("missing status line")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2:
+        raise HttpFramingError(f"bad status line: {lines[0]!r}")
+    status = int(parts[1])
+    reason = parts[2] if len(parts) > 2 else ""
+    headers = _parse_headers(lines[1:])
+    return HttpResponse(status, reason, headers, body)
+
+
+def _parse_headers(lines: list[str]) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    for line in lines:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip()] = value.strip()
+    return headers

@@ -1,0 +1,159 @@
+"""The simulated network: addresses, zones, firewalls, latency and loss.
+
+Endpoints register a handler under a URI address inside a *zone*.  Zones
+model network segments; a zone may block inbound connections (a stateful
+firewall / NAT), in which case hosts inside it can originate requests but
+cannot be reached from other zones.  This is precisely the scenario the paper
+gives for the pull delivery mode: "delivering messages to consumers behind
+firewalls".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.transport.clock import VirtualClock
+
+Handler = Callable[[bytes], bytes]
+
+PUBLIC_ZONE = "public"
+
+
+class NetworkError(Exception):
+    """Base class for transport-level failures."""
+
+
+class AddressUnreachable(NetworkError):
+    """No endpoint is registered under the target address."""
+
+
+class FirewallBlocked(NetworkError):
+    """The target's zone rejects inbound connections from the caller's zone."""
+
+
+class MessageLost(NetworkError):
+    """The loss model dropped the message in flight."""
+
+
+@dataclass
+class Zone:
+    """A network segment."""
+
+    name: str
+    #: when True, requests originating in *other* zones are refused
+    blocks_inbound: bool = False
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate wire accounting, reset-able between benchmark phases."""
+
+    requests: int = 0
+    responses: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    refused: int = 0
+    lost: int = 0
+
+    def reset(self) -> None:
+        self.requests = self.responses = 0
+        self.bytes_sent = self.bytes_received = 0
+        self.refused = self.lost = 0
+
+
+@dataclass
+class _Registration:
+    address: str
+    handler: Handler
+    zone: str
+
+
+class SimulatedNetwork:
+    """Synchronous request/response fabric with latency, loss and firewalls.
+
+    One-way notification delivery is modelled as an HTTP request that elicits
+    an empty 202 response, mirroring SOAP-over-HTTP practice.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[VirtualClock] = None,
+        *,
+        latency: float = 0.001,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self.latency = latency
+        self.loss_rate = loss_rate
+        self.stats = NetworkStats()
+        self._rng = random.Random(seed)
+        self._zones: dict[str, Zone] = {PUBLIC_ZONE: Zone(PUBLIC_ZONE)}
+        self._registrations: dict[str, _Registration] = {}
+        self._link_latency: dict[tuple[str, str], float] = {}
+        #: wire observers: called with (target_address, request_bytes) for
+        #: every delivered request (interaction tracing for the figures)
+        self.observers: list[Callable[[str, bytes], None]] = []
+
+    # --- topology ----------------------------------------------------------
+
+    def add_zone(self, name: str, *, blocks_inbound: bool = False) -> Zone:
+        zone = Zone(name, blocks_inbound)
+        self._zones[name] = zone
+        return zone
+
+    def set_link_latency(self, from_zone: str, to_zone: str, latency: float) -> None:
+        self._link_latency[(from_zone, to_zone)] = latency
+
+    def register(self, address: str, handler: Handler, *, zone: str = PUBLIC_ZONE) -> None:
+        if zone not in self._zones:
+            raise ValueError(f"unknown zone {zone!r}")
+        self._registrations[address] = _Registration(address, handler, zone)
+
+    def unregister(self, address: str) -> None:
+        self._registrations.pop(address, None)
+
+    def is_registered(self, address: str) -> bool:
+        return address in self._registrations
+
+    def zone_of(self, address: str) -> Optional[str]:
+        registration = self._registrations.get(address)
+        return registration.zone if registration else None
+
+    # --- transfer --------------------------------------------------------------
+
+    def send_request(
+        self, target_address: str, payload: bytes, *, from_zone: str = PUBLIC_ZONE
+    ) -> bytes:
+        """Deliver request bytes to the endpoint at ``target_address``.
+
+        Raises :class:`AddressUnreachable`, :class:`FirewallBlocked` or
+        :class:`MessageLost`; otherwise advances the clock by the round-trip
+        latency and returns the response bytes.
+        """
+        registration = self._registrations.get(target_address)
+        if registration is None:
+            self.stats.refused += 1
+            raise AddressUnreachable(target_address)
+        target_zone = self._zones[registration.zone]
+        if target_zone.blocks_inbound and from_zone != registration.zone:
+            self.stats.refused += 1
+            raise FirewallBlocked(
+                f"zone {target_zone.name!r} refuses inbound connections from {from_zone!r}"
+            )
+        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+            self.stats.lost += 1
+            raise MessageLost(target_address)
+        one_way = self._link_latency.get((from_zone, registration.zone), self.latency)
+        for observer in self.observers:
+            observer(target_address, payload)
+        self.stats.requests += 1
+        self.stats.bytes_sent += len(payload)
+        self.clock.advance(one_way)
+        response = registration.handler(payload)
+        self.clock.advance(one_way)
+        self.stats.responses += 1
+        self.stats.bytes_received += len(response)
+        return response

@@ -1,0 +1,19 @@
+"""Shared utilities (XML Schema time lexical forms over the virtual clock)."""
+
+from repro.util.xstime import (
+    EPOCH_ISO,
+    format_datetime,
+    format_duration,
+    parse_datetime,
+    parse_duration,
+    parse_expires,
+)
+
+__all__ = [
+    "EPOCH_ISO",
+    "parse_duration",
+    "format_duration",
+    "parse_datetime",
+    "format_datetime",
+    "parse_expires",
+]

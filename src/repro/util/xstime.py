@@ -1,0 +1,121 @@
+"""XML Schema ``xs:duration`` and ``xs:dateTime`` over the virtual clock.
+
+Table 1 has a row for exactly this: "Specify subscription expiration using
+duration" — WS-Eventing always allowed ``xs:duration`` expirations, WSN 1.0
+required absolute ``xs:dateTime`` termination times, and WSN 1.3 adopted
+durations.  Both lexical forms are implemented here.  Absolute times map
+onto the virtual clock with second 0 = 2006-01-01T00:00:00Z (the paper's
+era), so every wire message carries real, schema-valid timestamps while the
+simulation stays deterministic.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from typing import Optional
+
+#: virtual-clock second 0 in real-calendar terms
+_EPOCH = _dt.datetime(2006, 1, 1, tzinfo=_dt.timezone.utc)
+EPOCH_ISO = "2006-01-01T00:00:00Z"
+
+_DURATION_RE = re.compile(
+    r"^(?P<sign>-)?P"
+    r"(?:(?P<years>\d+)Y)?"
+    r"(?:(?P<months>\d+)M)?"
+    r"(?:(?P<days>\d+)D)?"
+    r"(?:T"
+    r"(?:(?P<hours>\d+)H)?"
+    r"(?:(?P<minutes>\d+)M)?"
+    r"(?:(?P<seconds>\d+(?:\.\d+)?)S)?"
+    r")?$"
+)
+
+# fixed-size approximations, consistent in both directions
+_SECONDS_PER = {
+    "years": 365 * 86400.0,
+    "months": 30 * 86400.0,
+    "days": 86400.0,
+    "hours": 3600.0,
+    "minutes": 60.0,
+    "seconds": 1.0,
+}
+
+
+def parse_duration(text: str) -> float:
+    """Parse an ``xs:duration`` lexical form to seconds."""
+    text = text.strip()
+    match = _DURATION_RE.match(text)
+    if match is None or text in ("P", "-P", "PT", "-PT"):
+        raise ValueError(f"invalid xs:duration: {text!r}")
+    total = 0.0
+    for name, scale in _SECONDS_PER.items():
+        value = match.group(name)
+        if value is not None:
+            total += float(value) * scale
+    if match.group("sign"):
+        total = -total
+    return total
+
+
+def format_duration(seconds: float) -> str:
+    """Render seconds as a canonical-ish ``xs:duration``."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    whole = int(seconds)
+    fraction = seconds - whole
+    days, rest = divmod(whole, 86400)
+    hours, rest = divmod(rest, 3600)
+    minutes, secs = divmod(rest, 60)
+    date_part = f"{days}D" if days else ""
+    time_parts = []
+    if hours:
+        time_parts.append(f"{hours}H")
+    if minutes:
+        time_parts.append(f"{minutes}M")
+    if secs or fraction or not (days or hours or minutes):
+        if fraction:
+            time_parts.append(f"{secs + fraction:.3f}".rstrip("0").rstrip(".") + "S")
+        else:
+            time_parts.append(f"{secs}S")
+    time_part = "T" + "".join(time_parts) if time_parts else ""
+    return f"P{date_part}{time_part}"
+
+
+def parse_datetime(text: str) -> float:
+    """Parse an ``xs:dateTime`` to virtual-clock seconds."""
+    text = text.strip()
+    normalized = text[:-1] + "+00:00" if text.endswith("Z") else text
+    try:
+        moment = _dt.datetime.fromisoformat(normalized)
+    except ValueError as exc:
+        raise ValueError(f"invalid xs:dateTime: {text!r}") from exc
+    if moment.tzinfo is None:
+        moment = moment.replace(tzinfo=_dt.timezone.utc)
+    return (moment - _EPOCH).total_seconds()
+
+
+def format_datetime(virtual_seconds: float) -> str:
+    """Render virtual-clock seconds as an ``xs:dateTime`` (UTC)."""
+    moment = _EPOCH + _dt.timedelta(seconds=virtual_seconds)
+    rendered = moment.strftime("%Y-%m-%dT%H:%M:%S")
+    micro = moment.microsecond
+    if micro:
+        rendered += f".{micro:06d}".rstrip("0")
+    return rendered + "Z"
+
+
+def parse_expires(text: str, now: float) -> Optional[float]:
+    """Parse an Expires element value: duration *or* absolute dateTime.
+
+    Returns an absolute virtual-clock expiry, or ``None`` for a non-expiring
+    request (empty text, by local convention).  Durations are relative to
+    ``now``.  This dual acceptance is exactly what WSE (both versions) and
+    WSN 1.3 allow; WSN <= 1.2 callers pass only dateTimes.
+    """
+    text = text.strip()
+    if not text:
+        return None
+    if text.startswith("P") or text.startswith("-P"):
+        return now + parse_duration(text)
+    return parse_datetime(text)

@@ -1,0 +1,22 @@
+"""WS-Addressing, in the three versions the two spec families bind to.
+
+The paper's Table 1 closes with the row "WS-Addressing version": WSE 01/2004
+and WSN 1.0 use the 2003/03 member submission, WSE 08/2004 uses 2004/08, and
+WSN 1.3 uses the 2005/08 W3C recommendation.  The versions differ in
+namespace, in the anonymous-endpoint URI, and crucially in whether an
+endpoint reference carries ``ReferenceProperties`` (2003/03, 2004/08) or
+``ReferenceParameters`` (2004/08, 2005/08) — the very element the paper notes
+the two specs disagree on when returning subscription identifiers.
+"""
+
+from repro.wsa.versions import WsaVersion
+from repro.wsa.epr import EndpointReference
+from repro.wsa.headers import MessageHeaders, apply_headers, extract_headers
+
+__all__ = [
+    "WsaVersion",
+    "EndpointReference",
+    "MessageHeaders",
+    "apply_headers",
+    "extract_headers",
+]

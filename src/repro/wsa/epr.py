@@ -1,0 +1,107 @@
+"""Endpoint references.
+
+An :class:`EndpointReference` is how both specifications address event sinks,
+subscription managers, notification consumers and pull points.  The paper
+highlights (section V.4, category 1) that WS-Eventing returns the
+subscription identifier inside ``ReferenceParameters`` while the
+WS-BaseNotification of the day used ``ReferenceProperties`` — both are
+modelled here, selected by the WS-Addressing version profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.wsa.versions import WsaVersion
+from repro.xmlkit.element import XElem, text_element
+from repro.xmlkit.names import QName
+
+
+@dataclass
+class EndpointReference:
+    """A WS-Addressing endpoint reference.
+
+    ``reference_parameters`` / ``reference_properties`` are opaque elements
+    that the sender must echo as SOAP headers when addressing the endpoint —
+    this is the mechanism both specs use to route subscription-manager
+    operations to the right subscription resource.
+    """
+
+    address: str
+    reference_parameters: list[XElem] = field(default_factory=list)
+    reference_properties: list[XElem] = field(default_factory=list)
+
+    def with_parameter(self, element: XElem) -> "EndpointReference":
+        self.reference_parameters.append(element)
+        return self
+
+    def with_property(self, element: XElem) -> "EndpointReference":
+        self.reference_properties.append(element)
+        return self
+
+    def parameter(self, name: QName) -> Optional[XElem]:
+        for elem in self.reference_parameters:
+            if elem.name == name:
+                return elem
+        for elem in self.reference_properties:
+            if elem.name == name:
+                return elem
+        return None
+
+    def parameter_text(self, name: QName) -> Optional[str]:
+        elem = self.parameter(name)
+        return elem.full_text().strip() if elem is not None else None
+
+    # --- serialization ----------------------------------------------------
+
+    def to_element(self, version: WsaVersion, name: QName | None = None) -> XElem:
+        """Serialize under a wrapper name (default ``wsa:EndpointReference``)."""
+        wrapper = XElem(name or version.qname("EndpointReference"))
+        wrapper.append(text_element(version.qname("Address"), self.address))
+        if self.reference_properties:
+            if not version.supports_reference_properties:
+                # 2005/08 dropped ReferenceProperties; fold into parameters,
+                # which is exactly what the WSN 1.3 migration did.
+                for elem in self.reference_properties:
+                    self.reference_parameters.append(elem)
+            else:
+                props = XElem(version.qname("ReferenceProperties"))
+                for elem in self.reference_properties:
+                    props.append(elem.copy())
+                wrapper.append(props)
+        if self.reference_parameters:
+            if not version.supports_reference_parameters:
+                # 2003/03 predates ReferenceParameters: carry as properties.
+                props = wrapper.find(version.qname("ReferenceProperties"))
+                if props is None:
+                    props = XElem(version.qname("ReferenceProperties"))
+                    wrapper.append(props)
+                for elem in self.reference_parameters:
+                    props.append(elem.copy())
+            else:
+                params = XElem(version.qname("ReferenceParameters"))
+                for elem in self.reference_parameters:
+                    params.append(elem.copy())
+                wrapper.append(params)
+        return wrapper
+
+    # --- parsing --------------------------------------------------------------
+
+    @classmethod
+    def from_element(cls, element: XElem, version: WsaVersion) -> "EndpointReference":
+        address_elem = element.find(version.qname("Address"))
+        if address_elem is None:
+            raise ValueError(f"<{element.name}> has no wsa:Address")
+        epr = cls(address_elem.full_text().strip())
+        params = element.find(version.qname("ReferenceParameters"))
+        if params is not None:
+            epr.reference_parameters = [child.copy() for child in params.elements()]
+        props = element.find(version.qname("ReferenceProperties"))
+        if props is not None:
+            epr.reference_properties = [child.copy() for child in props.elements()]
+        return epr
+
+    @classmethod
+    def anonymous(cls, version: WsaVersion) -> "EndpointReference":
+        return cls(version.anonymous_uri)

@@ -1,0 +1,130 @@
+"""WS-Addressing message-information headers.
+
+``apply_headers`` stamps To/Action/MessageID/ReplyTo/RelatesTo onto an
+outgoing SOAP envelope, echoing the destination EPR's reference
+parameters/properties as headers (the routing trick both specifications use
+to address individual subscription resources).  ``extract_headers`` recovers
+the same information, auto-detecting the WS-Addressing version — which is one
+of the signals WS-Messenger's spec detection relies on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.soap.envelope import SoapEnvelope
+from repro.wsa.epr import EndpointReference
+from repro.wsa.versions import WsaVersion
+from repro.xmlkit.element import XElem, text_element
+
+_message_counter = itertools.count(1)
+
+
+def fresh_message_id() -> str:
+    """Deterministic, process-unique message identifiers (no wall clock)."""
+    return f"urn:uuid:msg-{next(_message_counter):08d}"
+
+
+@dataclass
+class MessageHeaders:
+    """The addressing properties of one message."""
+
+    to: str
+    action: str
+    message_id: Optional[str] = None
+    relates_to: Optional[str] = None
+    reply_to: Optional[EndpointReference] = None
+    fault_to: Optional[EndpointReference] = None
+    #: reference parameters/properties echoed from the target EPR
+    echoed: list[XElem] = field(default_factory=list)
+
+    @classmethod
+    def request(
+        cls,
+        target: EndpointReference,
+        action: str,
+        *,
+        reply_to: Optional[EndpointReference] = None,
+    ) -> "MessageHeaders":
+        headers = cls(to=target.address, action=action, message_id=fresh_message_id())
+        headers.reply_to = reply_to
+        headers.echoed = [
+            elem.copy()
+            for elem in (*target.reference_parameters, *target.reference_properties)
+        ]
+        return headers
+
+    @classmethod
+    def reply(cls, request: "MessageHeaders", action: str, version: WsaVersion) -> "MessageHeaders":
+        reply_address = (
+            request.reply_to.address if request.reply_to else version.anonymous_uri
+        )
+        return cls(
+            to=reply_address,
+            action=action,
+            message_id=fresh_message_id(),
+            relates_to=request.message_id,
+        )
+
+
+def apply_headers(
+    envelope: SoapEnvelope, headers: MessageHeaders, version: WsaVersion
+) -> SoapEnvelope:
+    """Stamp addressing headers onto an envelope (mutates and returns it)."""
+    envelope.add_header(text_element(version.qname("To"), headers.to), must_understand=True)
+    envelope.add_header(
+        text_element(version.qname("Action"), headers.action), must_understand=True
+    )
+    if headers.message_id:
+        envelope.add_header(text_element(version.qname("MessageID"), headers.message_id))
+    if headers.relates_to:
+        envelope.add_header(text_element(version.qname("RelatesTo"), headers.relates_to))
+    if headers.reply_to is not None:
+        envelope.add_header(headers.reply_to.to_element(version, version.qname("ReplyTo")))
+    if headers.fault_to is not None:
+        envelope.add_header(headers.fault_to.to_element(version, version.qname("FaultTo")))
+    for echoed in headers.echoed:
+        block = echoed.copy()
+        if version is WsaVersion.V2005_08:
+            block.attrs[version.is_reference_parameter_attr] = "true"
+        envelope.add_header(block)
+    return envelope
+
+
+def detect_wsa_version(envelope: SoapEnvelope) -> Optional[WsaVersion]:
+    """Find which WS-Addressing namespace the envelope's headers use."""
+    for block in envelope.headers:
+        try:
+            return WsaVersion.from_namespace(block.name.namespace)
+        except ValueError:
+            continue
+    return None
+
+
+def extract_headers(envelope: SoapEnvelope, version: Optional[WsaVersion] = None) -> MessageHeaders:
+    """Recover addressing headers; auto-detects the version when not given."""
+    if version is None:
+        version = detect_wsa_version(envelope)
+        if version is None:
+            raise ValueError("envelope carries no WS-Addressing headers")
+    to = envelope.header_text(version.qname("To")) or ""
+    action = envelope.header_text(version.qname("Action")) or ""
+    headers = MessageHeaders(to=to, action=action)
+    headers.message_id = envelope.header_text(version.qname("MessageID"))
+    headers.relates_to = envelope.header_text(version.qname("RelatesTo"))
+    reply_to = envelope.header(version.qname("ReplyTo"))
+    if reply_to is not None:
+        headers.reply_to = EndpointReference.from_element(reply_to, version)
+    fault_to = envelope.header(version.qname("FaultTo"))
+    if fault_to is not None:
+        headers.fault_to = EndpointReference.from_element(fault_to, version)
+    known = {
+        version.qname(local)
+        for local in ("To", "Action", "MessageID", "RelatesTo", "ReplyTo", "FaultTo", "From")
+    }
+    headers.echoed = [
+        block.content for block in envelope.headers if block.name not in known
+    ]
+    return headers

@@ -1,0 +1,341 @@
+"""WS-Eventing message construction and parsing, per version.
+
+Version differences reproduced here (paper section IV):
+
+- 01/2004 identifies subscriptions with a bare ``wse:Id`` element in message
+  bodies, and its SubscribeResponse has no SubscriptionManager EPR (the event
+  source *is* the manager).
+- 08/2004 returns a ``wse:SubscriptionManager`` endpoint reference whose
+  ``wse:Identifier`` ReferenceParameter carries the subscription id — the
+  "treat subscriptions as resources" style adopted from WS-Notification.
+- The Delivery element's ``Mode`` attribute is the extension point through
+  which 08/2004 selects pull or wrapped delivery; 01/2004 rejects non-push
+  modes.
+
+Filter expressions may use namespace prefixes.  Real messages declare those
+prefixes with ``xmlns:`` attributes, which XML parsers consume during name
+resolution; to keep prefix bindings intact across our wire round-trip, the
+Filter element carries them as attributes in a private namespace
+(``ns-<prefix>``).  ``encode_filter``/``decode_filter`` hide this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.soap.fault import FaultCode, SoapFault
+from repro.wsa.epr import EndpointReference
+from repro.wse.model import DeliveryMode, SubscriptionEndCode
+from repro.wse.versions import WseVersion
+from repro.xmlkit.element import XElem, text_element
+from repro.xmlkit.names import Namespaces, QName
+
+#: private namespace for carrying filter prefix bindings through the wire
+FILTER_NS_BINDING = "http://repro.invalid/xmlns-binding"
+
+
+def encode_filter_namespaces(filter_elem: XElem, namespaces: dict[str, str]) -> None:
+    for prefix, uri in namespaces.items():
+        filter_elem.attrs[QName(FILTER_NS_BINDING, f"ns-{prefix}")] = uri
+
+
+def decode_filter_namespaces(filter_elem: XElem) -> dict[str, str]:
+    namespaces: dict[str, str] = {}
+    for attr, uri in filter_elem.attrs.items():
+        if attr.namespace == FILTER_NS_BINDING and attr.local.startswith("ns-"):
+            namespaces[attr.local[3:]] = uri
+    return namespaces
+
+
+@dataclass
+class SubscribeRequest:
+    """Parsed content of a wse:Subscribe body."""
+
+    mode: DeliveryMode
+    notify_to: Optional[EndpointReference]
+    end_to: Optional[EndpointReference]
+    expires_text: Optional[str]
+    filter_expression: Optional[str]
+    filter_dialect: Optional[str]
+    filter_namespaces: dict[str, str] = field(default_factory=dict)
+
+
+def build_subscribe(
+    version: WseVersion,
+    *,
+    mode: DeliveryMode = DeliveryMode.PUSH,
+    notify_to: Optional[EndpointReference] = None,
+    end_to: Optional[EndpointReference] = None,
+    expires_text: Optional[str] = None,
+    filter_expression: Optional[str] = None,
+    filter_dialect: Optional[str] = None,
+    filter_namespaces: Optional[dict[str, str]] = None,
+) -> XElem:
+    wsa = version.wsa_version
+    subscribe = XElem(version.qname("Subscribe"))
+    if end_to is not None:
+        subscribe.append(end_to.to_element(wsa, version.qname("EndTo")))
+    delivery = XElem(version.qname("Delivery"))
+    if mode is not DeliveryMode.PUSH:
+        delivery.attrs[QName("", "Mode")] = mode.uri(version)
+    if notify_to is not None:
+        delivery.append(notify_to.to_element(wsa, version.qname("NotifyTo")))
+    subscribe.append(delivery)
+    if expires_text is not None:
+        subscribe.append(text_element(version.qname("Expires"), expires_text))
+    if filter_expression is not None:
+        filter_elem = text_element(version.qname("Filter"), filter_expression)
+        filter_elem.attrs[QName("", "Dialect")] = (
+            filter_dialect or Namespaces.DIALECT_XPATH10
+        )
+        if filter_namespaces:
+            encode_filter_namespaces(filter_elem, filter_namespaces)
+        subscribe.append(filter_elem)
+    return subscribe
+
+
+def parse_subscribe(body: XElem, version: WseVersion) -> SubscribeRequest:
+    if body.name != version.qname("Subscribe"):
+        raise SoapFault(
+            FaultCode.SENDER,
+            f"expected {version.qname('Subscribe')}, got {body.name}",
+        )
+    wsa = version.wsa_version
+    delivery = body.find(version.qname("Delivery"))
+    if delivery is None:
+        raise SoapFault(FaultCode.SENDER, "Subscribe has no Delivery element")
+    mode_uri = delivery.attrs.get(QName("", "Mode"))
+    if mode_uri is None:
+        mode = DeliveryMode.PUSH
+    else:
+        try:
+            mode = DeliveryMode.from_uri(mode_uri, version)
+        except ValueError as exc:
+            raise SoapFault(
+                FaultCode.SENDER,
+                str(exc),
+                subcode=version.qname("DeliveryModeRequestedUnavailable"),
+            ) from exc
+    notify_elem = delivery.find(version.qname("NotifyTo"))
+    notify_to = (
+        EndpointReference.from_element(notify_elem, wsa) if notify_elem is not None else None
+    )
+    end_elem = body.find(version.qname("EndTo"))
+    end_to = EndpointReference.from_element(end_elem, wsa) if end_elem is not None else None
+    expires_elem = body.find(version.qname("Expires"))
+    expires_text = expires_elem.full_text().strip() if expires_elem is not None else None
+    filter_elem = body.find(version.qname("Filter"))
+    if filter_elem is not None:
+        expression = filter_elem.full_text().strip()
+        dialect = filter_elem.attrs.get(QName("", "Dialect"), Namespaces.DIALECT_XPATH10)
+        namespaces = decode_filter_namespaces(filter_elem)
+    else:
+        expression = dialect = None
+        namespaces = {}
+    return SubscribeRequest(mode, notify_to, end_to, expires_text, expression, dialect, namespaces)
+
+
+# --- subscription identity ---------------------------------------------------
+
+
+def identifier_param(version: WseVersion, sub_id: str) -> XElem:
+    return text_element(version.qname("Identifier"), sub_id)
+
+
+def build_subscribe_response(
+    version: WseVersion,
+    *,
+    sub_id: str,
+    manager_address: str,
+    expires_text: str,
+) -> XElem:
+    response = XElem(version.qname("SubscribeResponse"))
+    if version.subscription_id_in_epr:
+        manager = EndpointReference(manager_address)
+        manager.with_parameter(identifier_param(version, sub_id))
+        response.append(
+            manager.to_element(version.wsa_version, version.qname("SubscriptionManager"))
+        )
+    else:
+        # 01/2004: a bare Id element; the source itself is the manager
+        response.append(text_element(version.qname("Id"), sub_id))
+    response.append(text_element(version.qname("Expires"), expires_text))
+    return response
+
+
+@dataclass
+class SubscribeResult:
+    manager: EndpointReference
+    sub_id: str
+    expires_text: str
+
+
+def parse_subscribe_response(
+    body: XElem, version: WseVersion, source_address: str
+) -> SubscribeResult:
+    if body.name != version.qname("SubscribeResponse"):
+        raise SoapFault(FaultCode.SENDER, f"unexpected response {body.name}")
+    expires_elem = body.find(version.qname("Expires"))
+    expires_text = expires_elem.full_text().strip() if expires_elem is not None else ""
+    if version.subscription_id_in_epr:
+        manager_elem = body.require(version.qname("SubscriptionManager"))
+        manager = EndpointReference.from_element(manager_elem, version.wsa_version)
+        sub_id = manager.parameter_text(version.qname("Identifier")) or ""
+    else:
+        sub_id = body.require(version.qname("Id")).full_text().strip()
+        manager = EndpointReference(source_address)
+    return SubscribeResult(manager, sub_id, expires_text)
+
+
+def subscription_id_from_request(
+    version: WseVersion, body: XElem, echoed_headers: list[XElem]
+) -> str:
+    """Recover the subscription id from a manager-bound request.
+
+    08/2004: the ``wse:Identifier`` reference parameter echoed as a header.
+    01/2004: a ``wse:Id`` element inside the request body.
+    """
+    if version.subscription_id_in_epr:
+        for header in echoed_headers:
+            if header.name == version.qname("Identifier"):
+                return header.full_text().strip()
+        raise SoapFault(FaultCode.SENDER, "missing wse:Identifier reference parameter")
+    id_elem = body.find(version.qname("Id"))
+    if id_elem is None:
+        raise SoapFault(FaultCode.SENDER, "missing wse:Id element")
+    return id_elem.full_text().strip()
+
+
+def attach_subscription_id(version: WseVersion, body: XElem, sub_id: str) -> None:
+    """01/2004 style: place the id inside the request body."""
+    if not version.subscription_id_in_epr:
+        body.append(text_element(version.qname("Id"), sub_id))
+
+
+# --- Renew / GetStatus / Unsubscribe ---------------------------------------------
+
+
+def build_renew(version: WseVersion, expires_text: Optional[str]) -> XElem:
+    renew = XElem(version.qname("Renew"))
+    if expires_text is not None:
+        renew.append(text_element(version.qname("Expires"), expires_text))
+    return renew
+
+
+def build_renew_response(version: WseVersion, expires_text: str) -> XElem:
+    response = XElem(version.qname("RenewResponse"))
+    response.append(text_element(version.qname("Expires"), expires_text))
+    return response
+
+
+def build_get_status(version: WseVersion) -> XElem:
+    if not version.has_get_status:
+        raise SoapFault(
+            FaultCode.SENDER,
+            "GetStatus is not defined in WS-Eventing 01/2004",
+            subcode=version.qname("ActionNotSupported"),
+        )
+    return XElem(version.qname("GetStatus"))
+
+
+def build_get_status_response(version: WseVersion, expires_text: str) -> XElem:
+    response = XElem(version.qname("GetStatusResponse"))
+    response.append(text_element(version.qname("Expires"), expires_text))
+    return response
+
+
+def build_unsubscribe(version: WseVersion) -> XElem:
+    return XElem(version.qname("Unsubscribe"))
+
+
+def build_unsubscribe_response(version: WseVersion) -> XElem:
+    return XElem(version.qname("UnsubscribeResponse"))
+
+
+def expires_from_body(body: XElem, version: WseVersion) -> Optional[str]:
+    expires = body.find(version.qname("Expires"))
+    return expires.full_text().strip() if expires is not None else None
+
+
+# --- SubscriptionEnd ----------------------------------------------------------
+
+
+def build_subscription_end(
+    version: WseVersion,
+    *,
+    manager_address: str,
+    sub_id: str,
+    code: SubscriptionEndCode,
+    reason: str = "",
+) -> XElem:
+    end = XElem(version.qname("SubscriptionEnd"))
+    manager = EndpointReference(manager_address)
+    manager.with_parameter(identifier_param(version, sub_id))
+    end.append(manager.to_element(version.wsa_version, version.qname("SubscriptionManager")))
+    end.append(text_element(version.qname("Status"), f"{version.namespace}/{code.value}"))
+    if reason:
+        end.append(text_element(version.qname("Reason"), reason))
+    return end
+
+
+@dataclass
+class SubscriptionEnd:
+    sub_id: str
+    code: SubscriptionEndCode
+    reason: str
+
+
+def parse_subscription_end(body: XElem, version: WseVersion) -> SubscriptionEnd:
+    manager_elem = body.require(version.qname("SubscriptionManager"))
+    manager = EndpointReference.from_element(manager_elem, version.wsa_version)
+    sub_id = manager.parameter_text(version.qname("Identifier")) or ""
+    status_text = body.require(version.qname("Status")).full_text().strip()
+    code = SubscriptionEndCode.SOURCE_CANCELING
+    for candidate in SubscriptionEndCode:
+        if status_text.endswith(candidate.value):
+            code = candidate
+            break
+    reason_elem = body.find(version.qname("Reason"))
+    reason = reason_elem.full_text().strip() if reason_elem is not None else ""
+    return SubscriptionEnd(sub_id, code, reason)
+
+
+# --- pull delivery (08/2004 extension; format is our concretization) ---------------
+
+
+def build_pull(version: WseVersion, max_messages: int = 0) -> XElem:
+    pull = XElem(version.qname("Pull"))
+    if max_messages:
+        pull.append(text_element(version.qname("MaxMessages"), str(max_messages)))
+    return pull
+
+
+def build_pull_response(version: WseVersion, messages: list[XElem]) -> XElem:
+    response = XElem(version.qname("PullResponse"))
+    for message in messages:
+        response.append(message.copy())
+    return response
+
+
+def parse_pull_response(body: XElem, version: WseVersion) -> list[XElem]:
+    if body.name != version.qname("PullResponse"):
+        raise SoapFault(FaultCode.SENDER, f"unexpected response {body.name}")
+    return [child.copy() for child in body.elements()]
+
+
+# --- wrapped delivery (format undefined by the spec; ours documented) ----------------
+
+
+def build_wrapped_notification(version: WseVersion, messages: list[XElem]) -> XElem:
+    """WSE 08/2004 permits wrapped mode but 'does not specify message formats
+    of the wrapped notification messages' (paper section IV) — this local
+    wrapper element is our documented concretization."""
+    wrapper = XElem(version.qname("Notifications"))
+    for message in messages:
+        wrapper.append(message.copy())
+    return wrapper
+
+
+def parse_wrapped_notification(body: XElem, version: WseVersion) -> list[XElem]:
+    return [child.copy() for child in body.elements()]

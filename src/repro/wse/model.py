@@ -1,0 +1,109 @@
+"""Subscription state shared by the WS-Eventing source and manager."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Optional
+
+from repro.filters.base import Filter, FilterContext
+from repro.transport.clock import VirtualClock
+from repro.wsa.epr import EndpointReference
+from repro.wse.versions import WseVersion
+from repro.xmlkit.element import XElem
+
+
+class DeliveryMode(Enum):
+    """How notifications reach the sink."""
+
+    PUSH = "Push"
+    PULL = "Pull"
+    WRAPPED = "Wrap"
+
+    def uri(self, version: WseVersion) -> str:
+        return f"{version.namespace}/DeliveryModes/{self.value}"
+
+    @classmethod
+    def from_uri(cls, uri: str, version: WseVersion) -> "DeliveryMode":
+        for mode in cls:
+            if mode.uri(version) == uri:
+                return mode
+        raise ValueError(f"unknown delivery mode URI: {uri!r}")
+
+
+class SubscriptionEndCode(Enum):
+    """Status codes carried by a SubscriptionEnd message."""
+
+    DELIVERY_FAILURE = "DeliveryFailure"
+    SOURCE_SHUTTING_DOWN = "SourceShuttingDown"
+    SOURCE_CANCELING = "SourceCanceling"
+
+
+@dataclass
+class WseSubscription:
+    """One live subscription at an event source."""
+
+    id: str
+    version: WseVersion
+    notify_to: Optional[EndpointReference]  # None in pull mode
+    mode: DeliveryMode
+    filter: Filter
+    #: absolute virtual-clock expiry; None = never expires
+    expires: Optional[float] = None
+    end_to: Optional[EndpointReference] = None
+    #: pending messages (pull mode queue / wrapped mode batch)
+    queue: list[XElem] = field(default_factory=list)
+    ended: bool = False
+
+    def is_expired(self, now: float) -> bool:
+        return self.expires is not None and now >= self.expires
+
+    def accepts(self, context: FilterContext) -> bool:
+        return self.filter.matches(context)
+
+
+class SubscriptionStore:
+    """Subscriptions held by one event source, with soft-state expiry.
+
+    ``on_end`` callbacks let the source emit SubscriptionEnd messages when a
+    subscription dies for a reason other than Unsubscribe (expiry sweep,
+    source shutdown, delivery failure) — the paper's Table 2 row
+    "SubscriptionEnd".
+    """
+
+    def __init__(self, clock: VirtualClock, prefix: str = "wse-sub") -> None:
+        self.clock = clock
+        self._prefix = prefix
+        self._counter = itertools.count(1)
+        self._subscriptions: dict[str, WseSubscription] = {}
+
+    def create(self, **kwargs) -> WseSubscription:
+        sub_id = f"{self._prefix}-{next(self._counter)}"
+        subscription = WseSubscription(id=sub_id, **kwargs)
+        self._subscriptions[sub_id] = subscription
+        return subscription
+
+    def get(self, sub_id: str) -> Optional[WseSubscription]:
+        subscription = self._subscriptions.get(sub_id)
+        if subscription is None or subscription.is_expired(self.clock.now()):
+            return None
+        return subscription
+
+    def remove(self, sub_id: str) -> Optional[WseSubscription]:
+        return self._subscriptions.pop(sub_id, None)
+
+    def live(self) -> list[WseSubscription]:
+        now = self.clock.now()
+        return [s for s in self._subscriptions.values() if not s.is_expired(now)]
+
+    def sweep_expired(self) -> list[WseSubscription]:
+        """Drop (and return) expired subscriptions."""
+        now = self.clock.now()
+        expired = [s for s in self._subscriptions.values() if s.is_expired(now)]
+        for subscription in expired:
+            del self._subscriptions[subscription.id]
+        return expired
+
+    def __len__(self) -> int:
+        return len(self.live())

@@ -1,0 +1,86 @@
+"""The WS-Eventing event sink: the endpoint notifications are pushed to.
+
+Per the paper's architecture comparison, the sink is deliberately dumb: it
+"only needs to handle received messages" — subscription creation lives in the
+separate subscriber role (:mod:`repro.wse.subscriber`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.soap.envelope import SoapEnvelope
+from repro.transport.endpoint import SoapEndpoint
+from repro.transport.network import PUBLIC_ZONE, SimulatedNetwork
+from repro.wsa.epr import EndpointReference
+from repro.wsa.headers import MessageHeaders
+from repro.wse import messages
+from repro.wse.messages import SubscriptionEnd
+from repro.wse.versions import WseVersion
+from repro.xmlkit.element import XElem
+
+
+@dataclass
+class ReceivedNotification:
+    action: str
+    payload: XElem
+    wrapped: bool = False
+
+
+class EventSink:
+    """Receives raw and wrapped notifications plus SubscriptionEnd notices."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        address: str,
+        *,
+        version: WseVersion = WseVersion.V2004_08,
+        zone: str = PUBLIC_ZONE,
+    ) -> None:
+        self.version = version
+        self.endpoint = SoapEndpoint(network, address, zone=zone)
+        self.received: list[ReceivedNotification] = []
+        self.subscription_ends: list[SubscriptionEnd] = []
+        self.endpoint.on_action(
+            version.action("SubscriptionEnd"), self._handle_subscription_end
+        )
+        self.endpoint.on_action(version.action("Notifications"), self._handle_wrapped)
+        self.endpoint.on_any(self._handle_notification)
+
+    @property
+    def address(self) -> str:
+        return self.endpoint.address
+
+    def epr(self) -> EndpointReference:
+        return EndpointReference(self.address)
+
+    def close(self) -> None:
+        self.endpoint.close()
+
+    def payloads(self) -> list[XElem]:
+        return [item.payload for item in self.received]
+
+    # --- handlers ------------------------------------------------------------
+
+    def _handle_notification(
+        self, envelope: SoapEnvelope, headers: MessageHeaders
+    ) -> Optional[SoapEnvelope]:
+        self.received.append(ReceivedNotification(headers.action, envelope.body_element()))
+        return None
+
+    def _handle_wrapped(
+        self, envelope: SoapEnvelope, headers: MessageHeaders
+    ) -> Optional[SoapEnvelope]:
+        for payload in messages.parse_wrapped_notification(envelope.body_element(), self.version):
+            self.received.append(ReceivedNotification(headers.action, payload, wrapped=True))
+        return None
+
+    def _handle_subscription_end(
+        self, envelope: SoapEnvelope, headers: MessageHeaders
+    ) -> Optional[SoapEnvelope]:
+        self.subscription_ends.append(
+            messages.parse_subscription_end(envelope.body_element(), self.version)
+        )
+        return None

@@ -1,0 +1,386 @@
+"""The WS-Eventing event source (and its subscription manager).
+
+In WS-Eventing the event source is both the notification producer and the
+publisher (the paper's Fig. 1: Subscribe arrives at the source, notifications
+leave from it).  In 08/2004 the *subscription manager* — the endpoint that
+handles Renew/GetStatus/Unsubscribe — is a separate entity; in 01/2004 those
+operations land on the event source itself.  Both layouts are implemented
+here, switched by the version profile.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.filters.base import AcceptAllFilter, Filter, FilterContext, FilterError
+from repro.filters.content import MessageContentFilter
+from repro.soap.envelope import SoapEnvelope, SoapVersion
+from repro.soap.fault import FaultCode, SoapFault
+from repro.transport.endpoint import SoapClient, SoapEndpoint
+from repro.transport.network import NetworkError, SimulatedNetwork
+from repro.wsa.epr import EndpointReference
+from repro.wsa.headers import MessageHeaders, apply_headers
+from repro.wse import messages
+from repro.wse.model import (
+    DeliveryMode,
+    SubscriptionEndCode,
+    SubscriptionStore,
+    WseSubscription,
+)
+from repro.wse.versions import WseVersion
+from repro.xmlkit.element import XElem
+from repro.xmlkit.names import Namespaces, QName
+from repro.util.xstime import format_datetime, parse_expires
+
+#: default action URI stamped on raw (unwrapped) notification messages
+DEFAULT_NOTIFY_ACTION = "http://repro.invalid/wse/Notify"
+
+
+class EventSource:
+    """A WS-Eventing event source bound to the simulated network."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        address: str,
+        *,
+        version: WseVersion = WseVersion.V2004_08,
+        manager_address: Optional[str] = None,
+        default_lifetime: Optional[float] = 3600.0,
+        max_lifetime: Optional[float] = None,
+        wrapped_batch_size: int = 10,
+        producer_properties: Optional[dict[str, str]] = None,
+        topic_header: Optional["QName"] = None,
+        delivery_retries: int = 0,
+    ) -> None:
+        self.network = network
+        self.version = version
+        self.clock = network.clock
+        self.default_lifetime = default_lifetime
+        self.max_lifetime = max_lifetime
+        self.wrapped_batch_size = wrapped_batch_size
+        self.producer_properties = dict(producer_properties or {})
+        # mediation hook (section V.4 category 6): WSE has no body slot for a
+        # topic, so when set, published topics ride as this SOAP header
+        self.topic_header = topic_header
+        #: transient failures (lost messages) are retried this many times
+        #: before the subscription is ended with DeliveryFailure
+        self.delivery_retries = delivery_retries
+        self.store = SubscriptionStore(self.clock)
+        self._client = SoapClient(
+            network, wsa_version=version.wsa_version, soap_version=SoapVersion.V11
+        )
+        self.endpoint = SoapEndpoint(network, address)
+        self.endpoint.on_action(version.action("Subscribe"), self._handle_subscribe)
+        if version.separate_subscription_manager:
+            self.manager_address = manager_address or f"{address}/subscriptions"
+            self.manager_endpoint = SoapEndpoint(network, self.manager_address)
+        else:
+            # 01/2004: the source *is* the manager
+            self.manager_address = address
+            self.manager_endpoint = self.endpoint
+        self._register_manager_handlers(self.manager_endpoint)
+        #: SubscriptionEnd messages we emitted (observability for tests/benches)
+        self.ended_subscriptions: list[tuple[str, SubscriptionEndCode]] = []
+
+    @property
+    def address(self) -> str:
+        return self.endpoint.address
+
+    def epr(self) -> EndpointReference:
+        return EndpointReference(self.address)
+
+    def wsdl(self) -> str:
+        """This source's self-description as a WSDL 1.1 document."""
+        from repro.wsdl.generator import wsdl_for_wse_source
+
+        return wsdl_for_wse_source(self.version, address=self.address).to_xml()
+
+    def close(self) -> None:
+        self.endpoint.close()
+        if self.manager_endpoint is not self.endpoint:
+            self.manager_endpoint.close()
+
+    # --- subscribe --------------------------------------------------------------
+
+    def _handle_subscribe(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        request = messages.parse_subscribe(envelope.body_element(), self.version)
+        if request.mode is not DeliveryMode.PUSH and not (
+            self.version.supports_pull_delivery or request.mode is DeliveryMode.WRAPPED
+        ):
+            raise SoapFault(
+                FaultCode.SENDER,
+                f"delivery mode {request.mode.value} unavailable in {self.version.name}",
+                subcode=self.version.qname("DeliveryModeRequestedUnavailable"),
+            )
+        if request.mode is DeliveryMode.WRAPPED and not self.version.supports_wrapped_delivery:
+            raise SoapFault(
+                FaultCode.SENDER,
+                "wrapped delivery unavailable in WS-Eventing 01/2004",
+                subcode=self.version.qname("DeliveryModeRequestedUnavailable"),
+            )
+        if request.mode is not DeliveryMode.PULL and request.notify_to is None:
+            raise SoapFault(FaultCode.SENDER, "push/wrapped delivery requires NotifyTo")
+        subscription_filter = self._build_filter(request)
+        expires = self._grant_expiry(request.expires_text)
+        subscription = self.store.create(
+            version=self.version,
+            notify_to=request.notify_to,
+            mode=request.mode,
+            filter=subscription_filter,
+            expires=expires,
+            end_to=request.end_to,
+        )
+        response_body = messages.build_subscribe_response(
+            self.version,
+            sub_id=subscription.id,
+            manager_address=self.manager_address,
+            expires_text=self._expires_text(expires),
+        )
+        return self._reply(headers, self.version.action("SubscribeResponse"), response_body)
+
+    def _build_filter(self, request: messages.SubscribeRequest) -> Filter:
+        if request.filter_expression is None:
+            return AcceptAllFilter()
+        dialect = request.filter_dialect or Namespaces.DIALECT_XPATH10
+        if dialect != Namespaces.DIALECT_XPATH10:
+            raise SoapFault(
+                FaultCode.SENDER,
+                f"filter dialect {dialect!r} unavailable",
+                subcode=self.version.qname("FilteringRequestedUnavailable"),
+            )
+        try:
+            return MessageContentFilter(request.filter_expression, request.filter_namespaces)
+        except FilterError as exc:
+            raise SoapFault(
+                FaultCode.SENDER,
+                str(exc),
+                subcode=self.version.qname("FilteringRequestedUnavailable"),
+            ) from exc
+
+    def _grant_expiry(self, expires_text: Optional[str]) -> Optional[float]:
+        now = self.clock.now()
+        if expires_text is None:
+            return None if self.default_lifetime is None else now + self.default_lifetime
+        try:
+            requested = parse_expires(expires_text, now)
+        except ValueError as exc:
+            raise SoapFault(
+                FaultCode.SENDER,
+                f"invalid expiration: {exc}",
+                subcode=self.version.qname("InvalidExpirationTime"),
+            ) from exc
+        if requested is not None and requested <= now:
+            raise SoapFault(
+                FaultCode.SENDER,
+                "expiration is in the past",
+                subcode=self.version.qname("InvalidExpirationTime"),
+            )
+        if self.max_lifetime is not None:
+            ceiling = now + self.max_lifetime
+            if requested is None or requested > ceiling:
+                return ceiling
+        return requested
+
+    def _expires_text(self, expires: Optional[float]) -> str:
+        # granted expiry is reported as an absolute dateTime; "never" is
+        # reported as the largest representable lease in this implementation
+        if expires is None:
+            return format_datetime(self.clock.now() + 10 * 365 * 86400)
+        return format_datetime(expires)
+
+    # --- manager operations ---------------------------------------------------------
+
+    def _register_manager_handlers(self, endpoint: SoapEndpoint) -> None:
+        version = self.version
+        endpoint.on_action(version.action("Renew"), self._handle_renew)
+        endpoint.on_action(version.action("Unsubscribe"), self._handle_unsubscribe)
+        if version.has_get_status:
+            endpoint.on_action(version.action("GetStatus"), self._handle_get_status)
+        if version.supports_pull_delivery:
+            endpoint.on_action(version.action("Pull"), self._handle_pull)
+
+    def _subscription_for(self, envelope: SoapEnvelope, headers: MessageHeaders) -> WseSubscription:
+        body = envelope.body_element()
+        sub_id = messages.subscription_id_from_request(self.version, body, headers.echoed)
+        subscription = self.store.get(sub_id)
+        if subscription is None:
+            raise SoapFault(
+                FaultCode.SENDER,
+                f"unknown subscription {sub_id!r}",
+                subcode=self.version.qname("InvalidMessage"),
+            )
+        return subscription
+
+    def _handle_renew(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        subscription = self._subscription_for(envelope, headers)
+        expires_text = messages.expires_from_body(envelope.body_element(), self.version)
+        subscription.expires = self._grant_expiry(expires_text)
+        body = messages.build_renew_response(
+            self.version, self._expires_text(subscription.expires)
+        )
+        return self._reply(headers, self.version.action("RenewResponse"), body)
+
+    def _handle_get_status(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        subscription = self._subscription_for(envelope, headers)
+        body = messages.build_get_status_response(
+            self.version, self._expires_text(subscription.expires)
+        )
+        return self._reply(headers, self.version.action("GetStatusResponse"), body)
+
+    def _handle_unsubscribe(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        subscription = self._subscription_for(envelope, headers)
+        self.store.remove(subscription.id)
+        body = messages.build_unsubscribe_response(self.version)
+        return self._reply(headers, self.version.action("UnsubscribeResponse"), body)
+
+    def _handle_pull(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        subscription = self._subscription_for(envelope, headers)
+        if subscription.mode is not DeliveryMode.PULL:
+            raise SoapFault(FaultCode.SENDER, "subscription is not in pull mode")
+        body_elem = envelope.body_element()
+        max_elem = body_elem.find(self.version.qname("MaxMessages"))
+        limit = int(max_elem.full_text().strip()) if max_elem is not None else len(subscription.queue)
+        batch = subscription.queue[: limit or len(subscription.queue)]
+        del subscription.queue[: len(batch)]
+        body = messages.build_pull_response(self.version, batch)
+        return self._reply(headers, self.version.action("PullResponse"), body)
+
+    def _reply(self, request_headers: MessageHeaders, action: str, body: XElem) -> SoapEnvelope:
+        reply = SoapEnvelope(SoapVersion.V11)
+        headers = MessageHeaders.reply(request_headers, action, self.version.wsa_version)
+        apply_headers(reply, headers, self.version.wsa_version)
+        reply.add_body(body)
+        return reply
+
+    # --- publication ------------------------------------------------------------------
+
+    def publish(
+        self,
+        payload: XElem,
+        *,
+        action: str = DEFAULT_NOTIFY_ACTION,
+        topic: Optional[str] = None,
+    ) -> int:
+        """Publish one event; returns the number of subscriptions it reached.
+
+        WS-Eventing has no topic model — ``topic`` only feeds filters that
+        look at it (the mediation layer maps WSN topics through here).
+        """
+        self.store.sweep_expired()
+        context = FilterContext(
+            payload, topic=topic, producer_properties=self.producer_properties
+        )
+        delivered = 0
+        for subscription in list(self.store.live()):
+            if not subscription.accepts(context):
+                continue
+            delivered += 1
+            if subscription.mode is DeliveryMode.PULL:
+                subscription.queue.append(payload.copy())
+            elif subscription.mode is DeliveryMode.WRAPPED:
+                subscription.queue.append(payload.copy())
+                if len(subscription.queue) >= self.wrapped_batch_size:
+                    self._flush_wrapped(subscription)
+            else:
+                self._push(subscription, payload, action, topic)
+        return delivered
+
+    def flush(self) -> None:
+        """Deliver any batched wrapped-mode notifications immediately."""
+        for subscription in self.store.live():
+            if subscription.mode is DeliveryMode.WRAPPED and subscription.queue:
+                self._flush_wrapped(subscription)
+
+    def _push(
+        self,
+        subscription: WseSubscription,
+        payload: XElem,
+        action: str,
+        topic: Optional[str] = None,
+    ) -> None:
+        extra = []
+        if topic is not None and self.topic_header is not None:
+            from repro.xmlkit.element import text_element
+
+            extra.append(text_element(self.topic_header, topic))
+
+        def attempt() -> None:
+            self._client.call(
+                subscription.notify_to,
+                action,
+                [payload.copy()],
+                expect_reply=False,
+                extra_headers=extra,
+            )
+
+        self._deliver_with_retries(subscription, attempt)
+
+    def _deliver_with_retries(self, subscription: WseSubscription, attempt) -> None:
+        from repro.transport.network import MessageLost
+
+        for remaining in range(self.delivery_retries, -1, -1):
+            try:
+                attempt()
+                return
+            except MessageLost as exc:
+                if remaining == 0:  # transient, but retries exhausted
+                    self._end_subscription(
+                        subscription, SubscriptionEndCode.DELIVERY_FAILURE, str(exc)
+                    )
+            except (NetworkError, SoapFault) as exc:
+                # hard failure (unreachable/refused/fault): no point retrying
+                self._end_subscription(
+                    subscription, SubscriptionEndCode.DELIVERY_FAILURE, str(exc)
+                )
+                return
+
+    def _flush_wrapped(self, subscription: WseSubscription) -> None:
+        batch, subscription.queue = subscription.queue, []
+        wrapper = messages.build_wrapped_notification(self.version, batch)
+
+        def attempt() -> None:
+            self._client.call(
+                subscription.notify_to,
+                self.version.action("Notifications"),
+                [wrapper],
+                expect_reply=False,
+            )
+
+        self._deliver_with_retries(subscription, attempt)
+
+    # --- termination -----------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Terminate every subscription with SourceShuttingDown, then close."""
+        for subscription in list(self.store.live()):
+            self._end_subscription(
+                subscription, SubscriptionEndCode.SOURCE_SHUTTING_DOWN, "source shutting down"
+            )
+        self.close()
+
+    def _end_subscription(
+        self, subscription: WseSubscription, code: SubscriptionEndCode, reason: str
+    ) -> None:
+        self.store.remove(subscription.id)
+        subscription.ended = True
+        self.ended_subscriptions.append((subscription.id, code))
+        if subscription.end_to is None:
+            # per the paper: no EndTo in the request => no SubscriptionEnd message
+            return
+        body = messages.build_subscription_end(
+            self.version,
+            manager_address=self.manager_address,
+            sub_id=subscription.id,
+            code=code,
+            reason=reason,
+        )
+        try:
+            self._client.call(
+                subscription.end_to,
+                self.version.action("SubscriptionEnd"),
+                [body],
+                expect_reply=False,
+            )
+        except (NetworkError, SoapFault):
+            pass  # best-effort: the sink may be the thing that died

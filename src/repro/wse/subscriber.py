@@ -1,0 +1,121 @@
+"""The WS-Eventing subscriber: the client role that manages subscriptions.
+
+08/2004 separates this role from the event sink (Table 1 row 2); the sink
+only receives, while the subscriber knows source/manager locations and sends
+Subscribe/Renew/GetStatus/Unsubscribe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.soap.envelope import SoapVersion
+from repro.soap.fault import FaultCode, SoapFault
+from repro.transport.endpoint import SoapClient
+from repro.transport.network import PUBLIC_ZONE, SimulatedNetwork
+from repro.wsa.epr import EndpointReference
+from repro.wse import messages
+from repro.wse.model import DeliveryMode
+from repro.wse.versions import WseVersion
+from repro.xmlkit.element import XElem
+
+
+@dataclass
+class SubscriptionHandle:
+    """Everything a client needs to manage one subscription."""
+
+    version: WseVersion
+    manager: EndpointReference
+    sub_id: str
+    expires_text: str
+
+
+class WseSubscriber:
+    """Client-side API over the WS-Eventing message exchanges."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        *,
+        version: WseVersion = WseVersion.V2004_08,
+        zone: str = PUBLIC_ZONE,
+    ) -> None:
+        self.version = version
+        self._client = SoapClient(
+            network, zone=zone, wsa_version=version.wsa_version, soap_version=SoapVersion.V11
+        )
+
+    # --- subscribe --------------------------------------------------------------
+
+    def subscribe(
+        self,
+        source: EndpointReference,
+        *,
+        notify_to: Optional[EndpointReference] = None,
+        mode: DeliveryMode = DeliveryMode.PUSH,
+        end_to: Optional[EndpointReference] = None,
+        expires: Optional[str] = None,
+        filter: Optional[str] = None,
+        filter_dialect: Optional[str] = None,
+        filter_namespaces: Optional[dict[str, str]] = None,
+    ) -> SubscriptionHandle:
+        body = messages.build_subscribe(
+            self.version,
+            mode=mode,
+            notify_to=notify_to,
+            end_to=end_to,
+            expires_text=expires,
+            filter_expression=filter,
+            filter_dialect=filter_dialect,
+            filter_namespaces=filter_namespaces,
+        )
+        reply = self._client.call(source, self.version.action("Subscribe"), [body])
+        if reply is None:
+            raise SoapFault(FaultCode.RECEIVER, "no response to Subscribe")
+        result = messages.parse_subscribe_response(
+            reply.body_element(), self.version, source.address
+        )
+        return SubscriptionHandle(self.version, result.manager, result.sub_id, result.expires_text)
+
+    # --- management -------------------------------------------------------------
+
+    def _manager_call(self, handle: SubscriptionHandle, action_local: str, body: XElem):
+        target = self._manager_target(handle)
+        messages.attach_subscription_id(self.version, body, handle.sub_id)
+        reply = self._client.call(target, self.version.action(action_local), [body])
+        if reply is None:
+            raise SoapFault(FaultCode.RECEIVER, f"no response to {action_local}")
+        return reply.body_element()
+
+    def _manager_target(self, handle: SubscriptionHandle) -> EndpointReference:
+        if self.version.subscription_id_in_epr:
+            return handle.manager  # identifier travels as a reference parameter
+        return EndpointReference(handle.manager.address)  # id travels in the body
+
+    def renew(self, handle: SubscriptionHandle, expires: Optional[str] = None) -> str:
+        body = self._manager_call(handle, "Renew", messages.build_renew(self.version, expires))
+        new_expires = messages.expires_from_body(body, self.version) or ""
+        handle.expires_text = new_expires
+        return new_expires
+
+    def get_status(self, handle: SubscriptionHandle) -> str:
+        request = messages.build_get_status(self.version)  # faults on 01/2004
+        body = self._manager_call(handle, "GetStatus", request)
+        return messages.expires_from_body(body, self.version) or ""
+
+    def unsubscribe(self, handle: SubscriptionHandle) -> None:
+        self._manager_call(handle, "Unsubscribe", messages.build_unsubscribe(self.version))
+
+    def pull(self, handle: SubscriptionHandle, max_messages: int = 0) -> list[XElem]:
+        """Retrieve queued messages for a pull-mode subscription."""
+        if not self.version.supports_pull_delivery:
+            raise SoapFault(
+                FaultCode.SENDER,
+                "pull delivery is not defined in WS-Eventing 01/2004",
+                subcode=self.version.qname("DeliveryModeRequestedUnavailable"),
+            )
+        body = self._manager_call(
+            handle, "Pull", messages.build_pull(self.version, max_messages)
+        )
+        return [child.copy() for child in body.elements()]

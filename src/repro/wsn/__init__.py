@@ -1,0 +1,44 @@
+"""WS-Notification: WS-BaseNotification 1.0/1.2/1.3, WS-Topics,
+WS-BrokeredNotification and pull points.
+
+The family splits the paper's Fig. 2 roles into separate entities:
+
+- **NotificationProducer** (:mod:`repro.wsn.producer`) accepts Subscribe and
+  emits notifications; unlike WS-Eventing it is distinct from the
+  **Publisher**, which merely hands events to a producer/broker.
+- **SubscriptionManager** handles Renew/Unsubscribe (native in 1.3;
+  via WSRF resource lifetime in 1.0/1.2) plus the WSN-only
+  Pause/ResumeSubscription.
+- **NotificationConsumer** (:mod:`repro.wsn.consumer`) receives ``Notify``
+  (wrapped) or raw messages.
+- **NotificationBroker** (:mod:`repro.wsn.broker`, WS-BrokeredNotification)
+  decouples publishers from consumers, supports publisher registration and
+  demand-based publishing.
+- **PullPoint** (:mod:`repro.wsn.pullpoint`, 1.3 only) lets firewalled
+  consumers poll for messages.
+
+Version differences (Table 1) are driven by
+:class:`~repro.wsn.versions.WsnVersion`: 1.0/1.2 require WSRF and a topic in
+every subscription and mandate pause/resume; 1.3 drops the WSRF dependency,
+adds Unsubscribe/Renew, the XPath message-content dialect, duration
+expirations and the PullPoint interface.
+"""
+
+from repro.wsn.versions import WsnVersion
+from repro.wsn.producer import NotificationProducer
+from repro.wsn.consumer import NotificationConsumer
+from repro.wsn.subscriber import WsnSubscriber, WsnSubscriptionHandle
+from repro.wsn.broker import NotificationBroker, PublisherRegistration
+from repro.wsn.pullpoint import PullPointFactory, PullPointClient
+
+__all__ = [
+    "WsnVersion",
+    "NotificationProducer",
+    "NotificationConsumer",
+    "WsnSubscriber",
+    "WsnSubscriptionHandle",
+    "NotificationBroker",
+    "PublisherRegistration",
+    "PullPointFactory",
+    "PullPointClient",
+]

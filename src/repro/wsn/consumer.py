@@ -1,0 +1,101 @@
+"""The WS-Notification NotificationConsumer endpoint."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.soap.envelope import SoapEnvelope
+from repro.transport.endpoint import SoapEndpoint
+from repro.transport.network import PUBLIC_ZONE, SimulatedNetwork
+from repro.wsa.epr import EndpointReference
+from repro.wsa.headers import MessageHeaders
+from repro.wsn import messages
+from repro.wsn.versions import WsnVersion
+from repro.xmlkit.element import XElem
+from repro.xmlkit.names import Namespaces, QName
+
+
+@dataclass
+class ReceivedWsnNotification:
+    payload: XElem
+    topic: Optional[str] = None
+    wrapped: bool = True
+    subscription_address: Optional[str] = None
+
+
+class NotificationConsumer:
+    """Receives wrapped ``Notify`` messages, raw messages, and WSRF
+    termination notifications."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        address: str,
+        *,
+        version: WsnVersion = WsnVersion.V1_3,
+        zone: str = PUBLIC_ZONE,
+    ) -> None:
+        self.version = version
+        self.endpoint = SoapEndpoint(network, address, zone=zone)
+        self.received: list[ReceivedWsnNotification] = []
+        self.termination_notices: list[str] = []
+        self.endpoint.on_action(version.action("Notify"), self._handle_notify)
+        self.endpoint.on_action(
+            messages.wsrf_lifetime_action("TerminationNotification"),
+            self._handle_termination,
+        )
+        self.endpoint.on_any(self._handle_raw)
+
+    @property
+    def address(self) -> str:
+        return self.endpoint.address
+
+    def epr(self) -> EndpointReference:
+        return EndpointReference(self.address)
+
+    def close(self) -> None:
+        self.endpoint.close()
+
+    def payloads(self) -> list[XElem]:
+        return [item.payload for item in self.received]
+
+    def topics_seen(self) -> list[Optional[str]]:
+        return [item.topic for item in self.received]
+
+    # --- handlers -----------------------------------------------------------
+
+    def _handle_notify(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        body = envelope.body_element()
+        if body.name == self.version.qname("Notify"):
+            for item in messages.parse_notify(body, self.version):
+                self.received.append(
+                    ReceivedWsnNotification(
+                        item.payload,
+                        topic=item.topic,
+                        wrapped=True,
+                        subscription_address=(
+                            item.subscription_reference.address
+                            if item.subscription_reference
+                            else None
+                        ),
+                    )
+                )
+        else:
+            # raw delivery arrives under the Notify action with a bare payload
+            self.received.append(ReceivedWsnNotification(body, wrapped=False))
+        return None
+
+    def _handle_raw(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        self.received.append(
+            ReceivedWsnNotification(envelope.body_element(), wrapped=False)
+        )
+        return None
+
+    def _handle_termination(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        body = envelope.body_element()
+        reason = body.find(QName(Namespaces.WSRF_RL, "TerminationReason"))
+        self.termination_notices.append(
+            reason.full_text().strip() if reason is not None else ""
+        )
+        return None

@@ -1,0 +1,386 @@
+"""WS-Notification message construction and parsing, per version.
+
+Shapes reproduced from the specs (and exercised by the paper's
+message-format comparison):
+
+- 1.3 Subscribe carries a ``Filter`` element wrapping any of TopicExpression /
+  ProducerProperties / MessageContent, and an ``InitialTerminationTime`` that
+  may be a duration; the reply's SubscriptionReference carries the id in
+  ``ReferenceParameters`` (WSA 2005/08).
+- 1.0/1.2 Subscribe carries ``TopicExpression`` (required), an optional
+  ``Selector`` (content filter, no dialect defined), ``UseNotify`` (wrapped
+  vs raw), and an absolute ``InitialTerminationTime``; the reply encloses the
+  id in ``ReferenceProperties`` (the paper's category-1 format difference).
+- A wrapped notification is ``Notify`` containing ``NotificationMessage``
+  elements, each with Topic, SubscriptionReference, ProducerReference and the
+  ``Message`` payload — versus WSE's raw-body style (category 5/6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.soap.fault import FaultCode, SoapFault
+from repro.wsa.epr import EndpointReference
+from repro.wsn.versions import WsnVersion
+from repro.xmlkit.element import XElem, text_element
+from repro.xmlkit.names import Namespaces, QName
+
+from repro.wse.messages import decode_filter_namespaces, encode_filter_namespaces
+
+_DIALECT = QName("", "Dialect")
+
+
+@dataclass
+class WsnFilterSpec:
+    """The filter content of a Subscribe request (any combination)."""
+
+    topic_expression: Optional[str] = None
+    topic_dialect: str = Namespaces.DIALECT_TOPIC_CONCRETE
+    producer_properties: Optional[str] = None
+    message_content: Optional[str] = None
+    message_content_dialect: str = Namespaces.DIALECT_XPATH10
+    namespaces: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class WsnSubscribeRequest:
+    consumer: EndpointReference
+    filter: WsnFilterSpec
+    initial_termination_text: Optional[str]
+    use_raw: bool  # False = wrapped Notify (the default in every version)
+
+
+def build_subscribe(
+    version: WsnVersion,
+    *,
+    consumer: EndpointReference,
+    filter: Optional[WsnFilterSpec] = None,
+    initial_termination: Optional[str] = None,
+    use_raw: bool = False,
+) -> XElem:
+    wsa = version.wsa_version
+    filter = filter or WsnFilterSpec()
+    subscribe = XElem(version.qname("Subscribe"))
+    subscribe.append(consumer.to_element(wsa, version.qname("ConsumerReference")))
+    if version.has_filter_element:
+        filter_elem = XElem(version.qname("Filter"))
+        _append_filter_parts(version, filter_elem, filter)
+        if list(filter_elem.elements()):
+            subscribe.append(filter_elem)
+        if use_raw:
+            policy = XElem(version.qname("SubscriptionPolicy"))
+            policy.append(XElem(version.qname("UseRaw")))
+            subscribe.append(policy)
+    else:
+        # 1.0/1.2: filter parts sit directly in Subscribe; UseNotify picks raw/wrapped
+        _append_filter_parts(version, subscribe, filter)
+        subscribe.append(
+            text_element(version.qname("UseNotify"), "false" if use_raw else "true")
+        )
+    if initial_termination is not None:
+        subscribe.append(
+            text_element(version.qname("InitialTerminationTime"), initial_termination)
+        )
+    return subscribe
+
+
+def _append_filter_parts(version: WsnVersion, parent: XElem, filter: WsnFilterSpec) -> None:
+    if filter.topic_expression is not None:
+        topic = text_element(version.qname("TopicExpression"), filter.topic_expression)
+        topic.attrs[_DIALECT] = filter.topic_dialect
+        parent.append(topic)
+    if filter.producer_properties is not None:
+        props = text_element(version.qname("ProducerProperties"), filter.producer_properties)
+        props.attrs[_DIALECT] = Namespaces.DIALECT_XPATH10
+        if filter.namespaces:
+            encode_filter_namespaces(props, filter.namespaces)
+        parent.append(props)
+    if filter.message_content is not None:
+        local = "MessageContent" if version.has_filter_element else "Selector"
+        content = text_element(version.qname(local), filter.message_content)
+        if version.defines_xpath_dialect:
+            content.attrs[_DIALECT] = filter.message_content_dialect
+        if filter.namespaces:
+            encode_filter_namespaces(content, filter.namespaces)
+        parent.append(content)
+
+
+def parse_subscribe(body: XElem, version: WsnVersion) -> WsnSubscribeRequest:
+    if body.name != version.qname("Subscribe"):
+        raise SoapFault(FaultCode.SENDER, f"expected wsnt:Subscribe, got {body.name}")
+    consumer_elem = body.find(version.qname("ConsumerReference"))
+    if consumer_elem is None:
+        raise SoapFault(FaultCode.SENDER, "Subscribe has no ConsumerReference")
+    consumer = EndpointReference.from_element(consumer_elem, version.wsa_version)
+    filter = WsnFilterSpec()
+    use_raw = False
+    if version.has_filter_element:
+        filter_elem = body.find(version.qname("Filter"))
+        if filter_elem is not None:
+            _parse_filter_parts(version, filter_elem, filter)
+        policy = body.find(version.qname("SubscriptionPolicy"))
+        if policy is not None and policy.find(version.qname("UseRaw")) is not None:
+            use_raw = True
+    else:
+        _parse_filter_parts(version, body, filter)
+        use_notify = body.find(version.qname("UseNotify"))
+        if use_notify is not None and use_notify.full_text().strip() == "false":
+            use_raw = True
+    term_elem = body.find(version.qname("InitialTerminationTime"))
+    termination = term_elem.full_text().strip() if term_elem is not None else None
+    return WsnSubscribeRequest(consumer, filter, termination, use_raw)
+
+
+def _parse_filter_parts(version: WsnVersion, parent: XElem, filter: WsnFilterSpec) -> None:
+    topic = parent.find(version.qname("TopicExpression"))
+    if topic is not None:
+        filter.topic_expression = topic.full_text().strip()
+        filter.topic_dialect = topic.attrs.get(_DIALECT, Namespaces.DIALECT_TOPIC_CONCRETE)
+    props = parent.find(version.qname("ProducerProperties"))
+    if props is not None:
+        filter.producer_properties = props.full_text().strip()
+        filter.namespaces.update(decode_filter_namespaces(props))
+    content = parent.find(version.qname("MessageContent")) or parent.find(
+        version.qname("Selector")
+    )
+    if content is not None:
+        filter.message_content = content.full_text().strip()
+        filter.message_content_dialect = content.attrs.get(
+            _DIALECT, Namespaces.DIALECT_XPATH10
+        )
+        filter.namespaces.update(decode_filter_namespaces(content))
+
+
+# --- SubscribeResponse -----------------------------------------------------------
+
+SUBSCRIPTION_ID = QName("http://repro.invalid/wsn", "SubscriptionId")
+
+
+def build_subscribe_response(
+    version: WsnVersion,
+    *,
+    manager_address: str,
+    sub_id: str,
+    current_time_text: Optional[str] = None,
+    termination_time_text: Optional[str] = None,
+) -> XElem:
+    response = XElem(version.qname("SubscribeResponse"))
+    reference = EndpointReference(manager_address)
+    id_elem = text_element(SUBSCRIPTION_ID, sub_id)
+    if version.uses_reference_properties:
+        reference.with_property(id_elem)  # pre-2005/08 WSA style
+    else:
+        reference.with_parameter(id_elem)
+    response.append(
+        reference.to_element(version.wsa_version, version.qname("SubscriptionReference"))
+    )
+    if current_time_text is not None:
+        response.append(text_element(version.qname("CurrentTime"), current_time_text))
+    if termination_time_text is not None:
+        response.append(
+            text_element(version.qname("TerminationTime"), termination_time_text)
+        )
+    return response
+
+
+@dataclass
+class WsnSubscribeResult:
+    reference: EndpointReference
+    sub_id: str
+    termination_time_text: Optional[str]
+
+
+def parse_subscribe_response(body: XElem, version: WsnVersion) -> WsnSubscribeResult:
+    if body.name != version.qname("SubscribeResponse"):
+        raise SoapFault(FaultCode.SENDER, f"unexpected response {body.name}")
+    ref_elem = body.require(version.qname("SubscriptionReference"))
+    reference = EndpointReference.from_element(ref_elem, version.wsa_version)
+    sub_id = reference.parameter_text(SUBSCRIPTION_ID) or ""
+    term = body.find(version.qname("TerminationTime"))
+    return WsnSubscribeResult(
+        reference, sub_id, term.full_text().strip() if term is not None else None
+    )
+
+
+def subscription_id_from_headers(echoed: list[XElem]) -> str:
+    for header in echoed:
+        if header.name == SUBSCRIPTION_ID:
+            return header.full_text().strip()
+    raise SoapFault(FaultCode.SENDER, "missing SubscriptionId reference parameter/property")
+
+
+# --- Notify ----------------------------------------------------------------------
+
+
+@dataclass
+class NotificationMessage:
+    payload: XElem
+    topic: Optional[str] = None
+    topic_dialect: str = Namespaces.DIALECT_TOPIC_CONCRETE
+    subscription_reference: Optional[EndpointReference] = None
+    producer_reference: Optional[EndpointReference] = None
+
+
+def build_notify(version: WsnVersion, notifications: list[NotificationMessage]) -> XElem:
+    notify = XElem(version.qname("Notify"))
+    for item in notifications:
+        message = XElem(version.qname("NotificationMessage"))
+        if item.subscription_reference is not None:
+            message.append(
+                item.subscription_reference.to_element(
+                    version.wsa_version, version.qname("SubscriptionReference")
+                )
+            )
+        if item.topic is not None:
+            topic = text_element(version.qname("Topic"), item.topic)
+            topic.attrs[_DIALECT] = item.topic_dialect
+            message.append(topic)
+        if item.producer_reference is not None:
+            message.append(
+                item.producer_reference.to_element(
+                    version.wsa_version, version.qname("ProducerReference")
+                )
+            )
+        wrapper = XElem(version.qname("Message"))
+        wrapper.append(item.payload.copy())
+        message.append(wrapper)
+        notify.append(message)
+    return notify
+
+
+def parse_notify(body: XElem, version: WsnVersion) -> list[NotificationMessage]:
+    if body.name != version.qname("Notify"):
+        raise SoapFault(FaultCode.SENDER, f"expected wsnt:Notify, got {body.name}")
+    notifications: list[NotificationMessage] = []
+    for message in body.find_all(version.qname("NotificationMessage")):
+        wrapper = message.require(version.qname("Message"))
+        payload = next(wrapper.elements(), None)
+        if payload is None:
+            raise SoapFault(FaultCode.SENDER, "NotificationMessage has empty Message")
+        item = NotificationMessage(payload.copy())
+        topic = message.find(version.qname("Topic"))
+        if topic is not None:
+            item.topic = topic.full_text().strip()
+            item.topic_dialect = topic.attrs.get(
+                _DIALECT, Namespaces.DIALECT_TOPIC_CONCRETE
+            )
+        sub_ref = message.find(version.qname("SubscriptionReference"))
+        if sub_ref is not None:
+            item.subscription_reference = EndpointReference.from_element(
+                sub_ref, version.wsa_version
+            )
+        prod_ref = message.find(version.qname("ProducerReference"))
+        if prod_ref is not None:
+            item.producer_reference = EndpointReference.from_element(
+                prod_ref, version.wsa_version
+            )
+        notifications.append(item)
+    return notifications
+
+
+# --- subscription management -----------------------------------------------------
+
+
+def build_renew(version: WsnVersion, termination_text: Optional[str]) -> XElem:
+    if not version.has_native_unsubscribe:
+        raise SoapFault(
+            FaultCode.SENDER,
+            f"Renew is not defined in WS-BaseNotification {version.name}; "
+            "use WSRF SetTerminationTime",
+        )
+    renew = XElem(version.qname("Renew"))
+    if termination_text is not None:
+        renew.append(text_element(version.qname("TerminationTime"), termination_text))
+    return renew
+
+
+def build_renew_response(version: WsnVersion, termination_text: str, current_text: str) -> XElem:
+    response = XElem(version.qname("RenewResponse"))
+    response.append(text_element(version.qname("TerminationTime"), termination_text))
+    response.append(text_element(version.qname("CurrentTime"), current_text))
+    return response
+
+
+def build_unsubscribe(version: WsnVersion) -> XElem:
+    if not version.has_native_unsubscribe:
+        raise SoapFault(
+            FaultCode.SENDER,
+            f"Unsubscribe is not defined in WS-BaseNotification {version.name}; "
+            "use WSRF Destroy",
+        )
+    return XElem(version.qname("Unsubscribe"))
+
+
+def build_pause(version: WsnVersion) -> XElem:
+    return XElem(version.qname("PauseSubscription"))
+
+
+def build_resume(version: WsnVersion) -> XElem:
+    return XElem(version.qname("ResumeSubscription"))
+
+
+def build_get_current_message(version: WsnVersion, topic: str, dialect: str) -> XElem:
+    request = XElem(version.qname("GetCurrentMessage"))
+    topic_elem = text_element(version.qname("Topic"), topic)
+    topic_elem.attrs[_DIALECT] = dialect
+    request.append(topic_elem)
+    return request
+
+
+def parse_get_current_message(body: XElem, version: WsnVersion) -> tuple[str, str]:
+    topic_elem = body.require(version.qname("Topic"))
+    return (
+        topic_elem.full_text().strip(),
+        topic_elem.attrs.get(_DIALECT, Namespaces.DIALECT_TOPIC_CONCRETE),
+    )
+
+
+# --- WSRF operations on subscription resources (actions + bodies) ------------------
+
+
+def wsrf_action(local: str) -> str:
+    return f"{Namespaces.WSRF_RP}/{local}"
+
+
+def wsrf_lifetime_action(local: str) -> str:
+    return f"{Namespaces.WSRF_RL}/{local}"
+
+
+def build_get_resource_property(name: QName) -> XElem:
+    request = XElem(QName(Namespaces.WSRF_RP, "GetResourceProperty"))
+    # carry the property QName as namespace + local attributes (prefix-free wire form)
+    request.attrs[QName("", "namespace")] = name.namespace
+    request.attrs[QName("", "local")] = name.local
+    return request
+
+
+def parse_get_resource_property(body: XElem) -> QName:
+    return QName(
+        body.attrs.get(QName("", "namespace"), ""),
+        body.attrs.get(QName("", "local"), ""),
+    )
+
+
+def build_set_termination_time(termination_text: Optional[str]) -> XElem:
+    request = XElem(QName(Namespaces.WSRF_RL, "SetTerminationTime"))
+    if termination_text is None:
+        request.append(XElem(QName(Namespaces.WSRF_RL, "RequestedLifetimeDuration")))
+    else:
+        request.append(
+            text_element(
+                QName(Namespaces.WSRF_RL, "RequestedTerminationTime"), termination_text
+            )
+        )
+    return request
+
+
+def build_destroy() -> XElem:
+    return XElem(QName(Namespaces.WSRF_RL, "Destroy"))
+
+
+def build_termination_notification(reason: str) -> XElem:
+    note = XElem(QName(Namespaces.WSRF_RL, "TerminationNotification"))
+    note.append(text_element(QName(Namespaces.WSRF_RL, "TerminationReason"), reason))
+    return note

@@ -1,0 +1,531 @@
+"""The WS-Notification NotificationProducer and its SubscriptionManager.
+
+Subscriptions are genuine WS-Resources (:mod:`repro.wsrf`): their filter,
+status and termination time are resource properties, their lifetime is
+managed through WSRF in 1.0/1.2 (mandatorily) and 1.3 (optionally, alongside
+the native Renew/Unsubscribe), and their demise triggers a WSRF
+TerminationNotification to the consumer — which is how WSN <= 1.2 realizes
+WS-Eventing's SubscriptionEnd (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.filters.base import AcceptAllFilter, AndFilter, Filter, FilterContext, FilterError
+from repro.filters.content import MessageContentFilter
+from repro.filters.producer import ProducerPropertiesFilter
+from repro.filters.topics import TopicFilter, TopicNamespace
+from repro.soap.envelope import SoapEnvelope, SoapVersion
+from repro.soap.fault import FaultCode, SoapFault
+from repro.transport.endpoint import SoapClient, SoapEndpoint
+from repro.transport.network import NetworkError, SimulatedNetwork
+from repro.wsa.epr import EndpointReference
+from repro.wsa.headers import MessageHeaders, apply_headers
+from repro.wsn import messages
+from repro.wsn.messages import NotificationMessage, WsnFilterSpec, WsnSubscribeRequest
+from repro.wsn.versions import WsnVersion
+from repro.wsrf.lifetime import set_termination_time
+from repro.wsrf.properties import get_resource_property
+from repro.wsrf.resource import ResourceRegistry, ResourceUnknownFault, WsResource
+from repro.xmlkit.element import XElem, text_element
+from repro.xmlkit.names import Namespaces, QName
+from repro.util.xstime import format_datetime, parse_datetime, parse_expires
+
+# resource property names of a subscription resource
+PROP_STATUS = QName(Namespaces.WSNT_13, "SubscriptionStatus")
+PROP_TERMINATION = QName(Namespaces.WSRF_RL, "TerminationTime")
+PROP_CONSUMER = QName(Namespaces.WSNT_13, "ConsumerReference")
+PROP_FILTER = QName(Namespaces.WSNT_13, "FilterDescription")
+PROP_TOPIC_SET = QName(Namespaces.WSTOP_13, "TopicSet")
+
+
+@dataclass
+class WsnSubscription:
+    """Runtime state attached to a subscription resource."""
+
+    resource: WsResource
+    consumer: EndpointReference
+    filter: Filter
+    topic_expression: Optional[str]
+    use_raw: bool
+    paused: bool = False
+    paused_queue: list[NotificationMessage] = field(default_factory=list)
+
+    @property
+    def key(self) -> str:
+        return self.resource.key
+
+
+class NotificationProducer:
+    """A WSN producer bound to the simulated network.
+
+    The producer is distinct from the *publisher* (Fig. 2): publishers call
+    :meth:`publish`; consumers never talk to publishers directly.
+    """
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        address: str,
+        *,
+        version: WsnVersion = WsnVersion.V1_3,
+        manager_address: Optional[str] = None,
+        topic_namespace: Optional[TopicNamespace] = None,
+        default_lifetime: Optional[float] = 3600.0,
+        producer_properties: Optional[dict[str, str]] = None,
+        enable_wsrf: Optional[bool] = None,
+    ) -> None:
+        self.network = network
+        self.version = version
+        self.clock = network.clock
+        self.default_lifetime = default_lifetime
+        self.topics = topic_namespace or TopicNamespace()
+        self.producer_properties = dict(producer_properties or {})
+        # WSRF port: mandatory <= 1.2, optional (default on) in 1.3
+        if enable_wsrf is None:
+            self.wsrf_enabled = True
+        else:
+            self.wsrf_enabled = enable_wsrf or version.requires_wsrf
+        self.registry = ResourceRegistry(self.clock, key_prefix="wsn-sub")
+        self._subscriptions: dict[str, WsnSubscription] = {}
+        self._current_message: dict[str, XElem] = {}  # last message per topic
+        self._client = SoapClient(
+            network, wsa_version=version.wsa_version, soap_version=SoapVersion.V11
+        )
+        #: listeners for broker demand accounting: (event, subscription)
+        self.subscription_listeners: list[Callable[[str, WsnSubscription], None]] = []
+        self.endpoint = SoapEndpoint(network, address)
+        self.endpoint.on_action(version.action("Subscribe"), self._handle_subscribe)
+        self.endpoint.on_action(
+            version.action("GetCurrentMessage"), self._handle_get_current_message
+        )
+        if self.wsrf_enabled:
+            # the producer itself is a WS-Resource: its TopicSet and
+            # producer properties are readable via GetResourceProperty
+            self.endpoint.on_action(
+                messages.wsrf_action("GetResourceProperty"),
+                self._handle_producer_property,
+            )
+        self.manager_address = manager_address or f"{address}/subscriptions"
+        self.manager_endpoint = SoapEndpoint(network, self.manager_address)
+        self._register_manager_handlers(self.manager_endpoint)
+
+    @property
+    def address(self) -> str:
+        return self.endpoint.address
+
+    def epr(self) -> EndpointReference:
+        return EndpointReference(self.address)
+
+    def wsdl(self) -> str:
+        """This producer's self-description as a WSDL 1.1 document."""
+        from repro.wsdl.generator import wsdl_for_wsn_producer
+
+        return wsdl_for_wsn_producer(
+            self.version, address=self.address, include_wsrf=self.wsrf_enabled
+        ).to_xml()
+
+    def close(self) -> None:
+        self.endpoint.close()
+        self.manager_endpoint.close()
+
+    # --- subscribe -----------------------------------------------------------
+
+    def _handle_subscribe(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        request = messages.parse_subscribe(envelope.body_element(), self.version)
+        subscription = self.create_subscription(request)
+        termination = subscription.resource.termination_time
+        body = messages.build_subscribe_response(
+            self.version,
+            manager_address=self.manager_address,
+            sub_id=subscription.key,
+            current_time_text=format_datetime(self.clock.now()),
+            termination_time_text=(
+                format_datetime(termination) if termination is not None else None
+            ),
+        )
+        return self._reply(headers, self.version.action("SubscribeResponse"), body)
+
+    def create_subscription(self, request: WsnSubscribeRequest) -> WsnSubscription:
+        """Core Subscribe logic (also called in-process by the broker)."""
+        if self.version.requires_topic and request.filter.topic_expression is None:
+            raise SoapFault(
+                FaultCode.SENDER,
+                f"WS-BaseNotification {self.version.name} requires a TopicExpression",
+                subcode=self.version.qname("TopicExpressionRequired"),
+            )
+        subscription_filter = self._build_filter(request.filter)
+        expiry = self._grant_termination(request.initial_termination_text)
+        resource = self.registry.create()
+        resource.termination_time = expiry
+        subscription = WsnSubscription(
+            resource=resource,
+            consumer=request.consumer,
+            filter=subscription_filter,
+            topic_expression=request.filter.topic_expression,
+            use_raw=request.use_raw,
+        )
+        self._subscriptions[resource.key] = subscription
+        self._set_resource_properties(subscription)
+        resource.termination_listeners.append(self._on_subscription_terminated)
+        self._notify_listeners("created", subscription)
+        return subscription
+
+    def _set_resource_properties(self, subscription: WsnSubscription) -> None:
+        resource = subscription.resource
+        resource.set_text_property(
+            PROP_STATUS, "Paused" if subscription.paused else "Active"
+        )
+        termination = resource.termination_time
+        resource.set_text_property(
+            PROP_TERMINATION,
+            format_datetime(termination) if termination is not None else "",
+        )
+        resource.set_property(
+            PROP_CONSUMER,
+            subscription.consumer.to_element(self.version.wsa_version, PROP_CONSUMER),
+        )
+        resource.set_text_property(PROP_FILTER, subscription.filter.describe())
+
+    def _build_filter(self, spec: WsnFilterSpec) -> Filter:
+        parts: list[Filter] = []
+        if spec.topic_expression is not None:
+            try:
+                parts.append(TopicFilter.parse(spec.topic_expression, spec.topic_dialect))
+            except FilterError as exc:
+                raise SoapFault(
+                    FaultCode.SENDER,
+                    str(exc),
+                    subcode=self.version.qname("InvalidTopicExpressionFault"),
+                ) from exc
+        if spec.producer_properties is not None:
+            try:
+                parts.append(
+                    ProducerPropertiesFilter(spec.producer_properties, spec.namespaces)
+                )
+            except FilterError as exc:
+                raise SoapFault(
+                    FaultCode.SENDER,
+                    str(exc),
+                    subcode=self.version.qname("InvalidProducerPropertiesExpressionFault"),
+                ) from exc
+        if spec.message_content is not None:
+            if spec.message_content_dialect != Namespaces.DIALECT_XPATH10:
+                raise SoapFault(
+                    FaultCode.SENDER,
+                    f"unsupported content dialect {spec.message_content_dialect!r}",
+                    subcode=self.version.qname("InvalidMessageContentExpressionFault"),
+                )
+            try:
+                parts.append(MessageContentFilter(spec.message_content, spec.namespaces))
+            except FilterError as exc:
+                raise SoapFault(
+                    FaultCode.SENDER,
+                    str(exc),
+                    subcode=self.version.qname("InvalidMessageContentExpressionFault"),
+                ) from exc
+        if not parts:
+            return AcceptAllFilter()
+        if len(parts) == 1:
+            return parts[0]
+        return AndFilter(parts)
+
+    def _grant_termination(self, text: Optional[str]) -> Optional[float]:
+        now = self.clock.now()
+        if text is None:
+            return None if self.default_lifetime is None else now + self.default_lifetime
+        fault = SoapFault(
+            FaultCode.SENDER,
+            f"unacceptable initial termination time {text!r}",
+            subcode=self.version.qname("UnacceptableInitialTerminationTimeFault"),
+        )
+        if text.startswith("P") or text.startswith("-P"):
+            if not self.version.supports_duration_expiry:
+                raise SoapFault(
+                    FaultCode.SENDER,
+                    f"WS-BaseNotification {self.version.name} accepts only absolute "
+                    "termination times (durations arrived in 1.3)",
+                    subcode=self.version.qname("UnacceptableInitialTerminationTimeFault"),
+                )
+            try:
+                requested = parse_expires(text, now)
+            except ValueError:
+                raise fault from None
+        else:
+            try:
+                requested = parse_datetime(text)
+            except ValueError:
+                raise fault from None
+        if requested is not None and requested <= now:
+            raise fault
+        return requested
+
+    # --- manager operations ---------------------------------------------------------
+
+    def _register_manager_handlers(self, endpoint: SoapEndpoint) -> None:
+        version = self.version
+        if version.has_native_unsubscribe:
+            endpoint.on_action(version.action("Renew"), self._handle_renew)
+            endpoint.on_action(version.action("Unsubscribe"), self._handle_unsubscribe)
+        endpoint.on_action(version.action("PauseSubscription"), self._handle_pause)
+        endpoint.on_action(version.action("ResumeSubscription"), self._handle_resume)
+        if self.wsrf_enabled:
+            endpoint.on_action(
+                messages.wsrf_action("GetResourceProperty"), self._handle_get_property
+            )
+            endpoint.on_action(
+                messages.wsrf_lifetime_action("SetTerminationTime"),
+                self._handle_set_termination_time,
+            )
+            endpoint.on_action(
+                messages.wsrf_lifetime_action("Destroy"), self._handle_destroy
+            )
+
+    def _subscription_for(self, headers: MessageHeaders) -> WsnSubscription:
+        sub_id = messages.subscription_id_from_headers(headers.echoed)
+        self.registry.get(sub_id)  # liveness check; faults ResourceUnknown
+        subscription = self._subscriptions.get(sub_id)
+        if subscription is None:
+            raise ResourceUnknownFault(sub_id)
+        return subscription
+
+    def _handle_renew(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        subscription = self._subscription_for(headers)
+        term_elem = envelope.body_element().find(self.version.qname("TerminationTime"))
+        text = term_elem.full_text().strip() if term_elem is not None else None
+        subscription.resource.termination_time = self._grant_termination(text)
+        self._set_resource_properties(subscription)
+        termination = subscription.resource.termination_time
+        body = messages.build_renew_response(
+            self.version,
+            format_datetime(termination) if termination is not None else "",
+            format_datetime(self.clock.now()),
+        )
+        return self._reply(headers, self.version.action("RenewResponse"), body)
+
+    def _handle_unsubscribe(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        subscription = self._subscription_for(headers)
+        self.registry.destroy(subscription.key, reason="unsubscribed")
+        body = XElem(self.version.qname("UnsubscribeResponse"))
+        return self._reply(headers, self.version.action("UnsubscribeResponse"), body)
+
+    def _handle_pause(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        subscription = self._subscription_for(headers)
+        subscription.paused = True
+        self._set_resource_properties(subscription)
+        self._notify_listeners("paused", subscription)
+        body = XElem(self.version.qname("PauseSubscriptionResponse"))
+        return self._reply(headers, self.version.action("PauseSubscriptionResponse"), body)
+
+    def _handle_resume(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        subscription = self._subscription_for(headers)
+        subscription.paused = False
+        self._set_resource_properties(subscription)
+        backlog, subscription.paused_queue = subscription.paused_queue, []
+        if backlog:
+            self._deliver(subscription, backlog)
+        self._notify_listeners("resumed", subscription)
+        body = XElem(self.version.qname("ResumeSubscriptionResponse"))
+        return self._reply(headers, self.version.action("ResumeSubscriptionResponse"), body)
+
+    def _handle_get_property(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        subscription = self._subscription_for(headers)
+        name = messages.parse_get_resource_property(envelope.body_element())
+        values = get_resource_property(subscription.resource, name)
+        body = XElem(QName(Namespaces.WSRF_RP, "GetResourcePropertyResponse"))
+        for value in values:
+            body.append(value.copy())
+        return self._reply(
+            headers, messages.wsrf_action("GetResourcePropertyResponse"), body
+        )
+
+    def _handle_set_termination_time(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        subscription = self._subscription_for(headers)
+        request = envelope.body_element()
+        requested = request.find(QName(Namespaces.WSRF_RL, "RequestedTerminationTime"))
+        if requested is None or not requested.full_text().strip():
+            new_time: Optional[float] = None
+        else:
+            new_time = parse_datetime(requested.full_text().strip())
+        set_termination_time(self.registry, subscription.resource, new_time)
+        self._set_resource_properties(subscription)
+        body = XElem(QName(Namespaces.WSRF_RL, "SetTerminationTimeResponse"))
+        body.append(
+            text_element(
+                QName(Namespaces.WSRF_RL, "NewTerminationTime"),
+                format_datetime(new_time) if new_time is not None else "",
+            )
+        )
+        return self._reply(
+            headers, messages.wsrf_lifetime_action("SetTerminationTimeResponse"), body
+        )
+
+    def _handle_destroy(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        subscription = self._subscription_for(headers)
+        self.registry.destroy(subscription.key, reason="destroyed")
+        body = XElem(QName(Namespaces.WSRF_RL, "DestroyResponse"))
+        return self._reply(headers, messages.wsrf_lifetime_action("DestroyResponse"), body)
+
+    def topic_set_document(self) -> XElem:
+        """The producer's advertised topic space (WS-Topics TopicSet)."""
+        document = XElem(PROP_TOPIC_SET)
+        for path in self.topics.all_paths():
+            document.append(
+                text_element(QName(Namespaces.WSTOP_13, "Topic"), path)
+            )
+        return document
+
+    def _handle_producer_property(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        name = messages.parse_get_resource_property(envelope.body_element())
+        body = XElem(QName(Namespaces.WSRF_RP, "GetResourcePropertyResponse"))
+        if name == PROP_TOPIC_SET:
+            body.append(self.topic_set_document())
+        elif name.local == "ProducerProperties":
+            from repro.filters.producer import properties_document
+
+            body.append(properties_document(self.producer_properties))
+        else:
+            from repro.wsrf.properties import InvalidResourcePropertyFault
+
+            raise InvalidResourcePropertyFault(name)
+        return self._reply(
+            headers, messages.wsrf_action("GetResourcePropertyResponse"), body
+        )
+
+    def _handle_get_current_message(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        topic, _dialect = messages.parse_get_current_message(
+            envelope.body_element(), self.version
+        )
+        payload = self._current_message.get(topic)
+        if payload is None:
+            raise SoapFault(
+                FaultCode.SENDER,
+                f"no current message on topic {topic!r}",
+                subcode=self.version.qname("NoCurrentMessageOnTopicFault"),
+            )
+        body = XElem(self.version.qname("GetCurrentMessageResponse"))
+        body.append(payload.copy())
+        return self._reply(
+            headers, self.version.action("GetCurrentMessageResponse"), body
+        )
+
+    def _reply(self, request_headers: MessageHeaders, action: str, body: XElem) -> SoapEnvelope:
+        reply = SoapEnvelope(SoapVersion.V11)
+        headers = MessageHeaders.reply(request_headers, action, self.version.wsa_version)
+        apply_headers(reply, headers, self.version.wsa_version)
+        reply.add_body(body)
+        return reply
+
+    # --- publication --------------------------------------------------------------------
+
+    def publish(self, payload: XElem, *, topic: Optional[str] = None) -> int:
+        """Publish one event on an (optional in 1.3) topic.
+
+        Returns the number of subscriptions the event matched (including
+        paused ones, whose copies are queued for resume).
+        """
+        if topic is None and self.version.requires_topic:
+            raise SoapFault(
+                FaultCode.SENDER,
+                f"WS-BaseNotification {self.version.name} publications require a topic",
+            )
+        if topic is not None:
+            try:
+                self.topics.validate_publication(topic)
+            except FilterError as exc:
+                raise SoapFault(FaultCode.SENDER, str(exc)) from exc
+            self._current_message[topic] = payload.copy()
+        self.registry.sweep()
+        context = FilterContext(
+            payload, topic=topic, producer_properties=self.producer_properties
+        )
+        matched = 0
+        for subscription in list(self._subscriptions.values()):
+            if not subscription.resource.alive(self.clock.now()):
+                continue
+            if not subscription.filter.matches(context):
+                continue
+            matched += 1
+            message = NotificationMessage(
+                payload.copy(),
+                topic=topic,
+                subscription_reference=self.registry.epr_for(
+                    subscription.resource, self.manager_address
+                ),
+                producer_reference=self.epr(),
+            )
+            if subscription.paused:
+                subscription.paused_queue.append(message)
+            else:
+                self._deliver(subscription, [message])
+        return matched
+
+    def _deliver(
+        self, subscription: WsnSubscription, notifications: list[NotificationMessage]
+    ) -> None:
+        try:
+            if subscription.use_raw:
+                for item in notifications:
+                    self._client.call(
+                        subscription.consumer,
+                        self.version.action("Notify"),
+                        [item.payload.copy()],
+                        expect_reply=False,
+                    )
+            else:
+                body = messages.build_notify(self.version, notifications)
+                self._client.call(
+                    subscription.consumer,
+                    self.version.action("Notify"),
+                    [body],
+                    expect_reply=False,
+                )
+        except (NetworkError, SoapFault):
+            # failed consumer: destroy the subscription (soft state would
+            # collect it anyway; this mirrors WSE's DeliveryFailure ending)
+            try:
+                self.registry.destroy(subscription.key, reason="delivery failure")
+            except ResourceUnknownFault:
+                pass
+
+    # --- termination -----------------------------------------------------------------------
+
+    def _on_subscription_terminated(self, resource: WsResource, reason: str) -> None:
+        subscription = self._subscriptions.pop(resource.key, None)
+        if subscription is None:
+            return
+        self._notify_listeners("destroyed", subscription)
+        if reason == "unsubscribed":
+            return  # orderly removal, no termination notice
+        if not self.wsrf_enabled:
+            # TerminationNotification is a WSRF resource-lifetime feature:
+            # mandatory <= 1.2, available in 1.3 exactly when WSRF is mounted
+            return
+        body = messages.build_termination_notification(reason)
+        try:
+            self._client.call(
+                subscription.consumer,
+                messages.wsrf_lifetime_action("TerminationNotification"),
+                [body],
+                expect_reply=False,
+            )
+        except (NetworkError, SoapFault):
+            pass
+
+    def sweep(self) -> None:
+        """Expire overdue subscriptions (fires termination notifications)."""
+        self.registry.sweep()
+
+    def _notify_listeners(self, event: str, subscription: WsnSubscription) -> None:
+        for listener in self.subscription_listeners:
+            listener(event, subscription)
+
+    # --- introspection -----------------------------------------------------------------
+
+    def live_subscriptions(self) -> list[WsnSubscription]:
+        now = self.clock.now()
+        return [
+            s for s in self._subscriptions.values() if s.resource.alive(now)
+        ]

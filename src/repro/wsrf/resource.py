@@ -1,0 +1,152 @@
+"""WS-Resources and the implied resource pattern."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.soap.fault import FaultCode, SoapFault
+from repro.transport.clock import VirtualClock
+from repro.wsa.epr import EndpointReference
+from repro.xmlkit.element import XElem, text_element
+from repro.xmlkit.names import Namespaces, QName
+
+#: the reference parameter that selects a resource (implied resource pattern)
+RESOURCE_ID = QName("http://repro.invalid/wsrf", "ResourceID")
+
+ResourceKey = str
+
+
+class ResourceUnknownFault(SoapFault):
+    """wsrf-bf ResourceUnknownFault: the EPR designates no live resource."""
+
+    def __init__(self, key: ResourceKey) -> None:
+        super().__init__(
+            FaultCode.SENDER,
+            f"resource {key!r} is unknown (destroyed or never existed)",
+            subcode=QName(Namespaces.WSRF_BF, "ResourceUnknownFault"),
+        )
+
+
+@dataclass
+class WsResource:
+    """One stateful resource with a property document and a lifetime.
+
+    Properties are multi-valued: each QName maps to a list of elements.  A
+    WSN subscription resource, for instance, exposes its filter, its
+    termination time and its paused state as properties.
+    """
+
+    key: ResourceKey
+    properties: dict[QName, list[XElem]] = field(default_factory=dict)
+    #: virtual-clock timestamp after which the resource is expired; None = infinite
+    termination_time: Optional[float] = None
+    destroyed: bool = False
+    #: callbacks run exactly once on destruction/expiry (termination notification)
+    termination_listeners: list[Callable[["WsResource", str], None]] = field(default_factory=list)
+
+    def set_property(self, name: QName, *values: XElem) -> None:
+        self.properties[name] = list(values)
+
+    def set_text_property(self, name: QName, value: str) -> None:
+        self.set_property(name, text_element(name, value))
+
+    def get_property(self, name: QName) -> list[XElem]:
+        return list(self.properties.get(name, []))
+
+    def property_text(self, name: QName) -> Optional[str]:
+        values = self.properties.get(name)
+        if not values:
+            return None
+        return values[0].full_text().strip()
+
+    def property_document(self, root_name: QName) -> XElem:
+        """The full resource property document as one element."""
+        document = XElem(root_name)
+        for values in self.properties.values():
+            for value in values:
+                document.append(value.copy())
+        return document
+
+    def is_expired(self, now: float) -> bool:
+        return self.termination_time is not None and now >= self.termination_time
+
+    def alive(self, now: float) -> bool:
+        return not self.destroyed and not self.is_expired(now)
+
+    def _fire_termination(self, reason: str) -> None:
+        listeners, self.termination_listeners = self.termination_listeners, []
+        for listener in listeners:
+            listener(self, reason)
+
+
+class ResourceRegistry:
+    """All live resources behind one Web service endpoint."""
+
+    def __init__(self, clock: VirtualClock, key_prefix: str = "res") -> None:
+        self.clock = clock
+        self._key_prefix = key_prefix
+        self._counter = itertools.count(1)
+        self._resources: dict[ResourceKey, WsResource] = {}
+
+    def create(self, *, lifetime: Optional[float] = None) -> WsResource:
+        """Create a resource; ``lifetime`` is seconds from now (soft state)."""
+        key = f"{self._key_prefix}-{next(self._counter)}"
+        resource = WsResource(key)
+        if lifetime is not None:
+            resource.termination_time = self.clock.now() + lifetime
+        self._resources[key] = resource
+        return resource
+
+    def get(self, key: ResourceKey) -> WsResource:
+        """Look up a live resource; raises :class:`ResourceUnknownFault`."""
+        resource = self._resources.get(key)
+        if resource is None or not resource.alive(self.clock.now()):
+            if resource is not None and resource.is_expired(self.clock.now()):
+                self._expire(resource)
+            raise ResourceUnknownFault(key)
+        return resource
+
+    def find(self, key: ResourceKey) -> Optional[WsResource]:
+        return self._resources.get(key)
+
+    def resolve(self, epr_or_headers_params: list[XElem]) -> WsResource:
+        """Implied resource pattern: the ResourceID echoed header picks the resource."""
+        for element in epr_or_headers_params:
+            if element.name == RESOURCE_ID:
+                return self.get(element.full_text().strip())
+        raise ResourceUnknownFault("<no ResourceID header>")
+
+    def epr_for(self, resource: WsResource, address: str) -> EndpointReference:
+        epr = EndpointReference(address)
+        epr.with_parameter(text_element(RESOURCE_ID, resource.key))
+        return epr
+
+    def destroy(self, key: ResourceKey, reason: str = "destroyed") -> None:
+        resource = self._resources.pop(key, None)
+        if resource is None or resource.destroyed:
+            raise ResourceUnknownFault(key)
+        resource.destroyed = True
+        resource._fire_termination(reason)
+
+    def sweep(self) -> list[WsResource]:
+        """Expire every resource whose termination time has passed."""
+        now = self.clock.now()
+        expired = [r for r in self._resources.values() if r.is_expired(now)]
+        for resource in expired:
+            self._expire(resource)
+        return expired
+
+    def _expire(self, resource: WsResource) -> None:
+        self._resources.pop(resource.key, None)
+        if not resource.destroyed:
+            resource.destroyed = True
+            resource._fire_termination("expired")
+
+    def live_resources(self) -> Iterator[WsResource]:
+        now = self.clock.now()
+        return (r for r in list(self._resources.values()) if r.alive(now))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.live_resources())

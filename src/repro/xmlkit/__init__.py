@@ -1,0 +1,33 @@
+"""XML infoset substrate for the WS-* event notification stack.
+
+This package provides everything the SOAP/WS-Addressing/WS-Eventing/
+WS-Notification layers need from XML, implemented from scratch so that the
+reproduction does not depend on any third-party web-services tooling:
+
+- :mod:`repro.xmlkit.names` -- qualified names and the namespace URIs used by
+  every specification in the paper (all three WS-Addressing versions, both
+  WS-Eventing versions, the WS-Notification family, WSRF, SOAP 1.1/1.2).
+- :mod:`repro.xmlkit.element` -- a small, explicit element tree (``XElem``).
+- :mod:`repro.xmlkit.parser` / :mod:`repro.xmlkit.writer` -- parse and
+  serialize with deterministic namespace-prefix management.
+- :mod:`repro.xmlkit.xpath` -- an XPath 1.0 subset engine (lexer, parser,
+  evaluator) used as the content-based filter dialect in both WS-Eventing and
+  WS-Notification 1.3.
+"""
+
+from repro.xmlkit.names import QName, Namespaces
+from repro.xmlkit.element import XElem
+from repro.xmlkit.parser import parse_xml, XmlParseError
+from repro.xmlkit.writer import serialize_xml
+from repro.xmlkit.xpath import XPath, XPathError
+
+__all__ = [
+    "QName",
+    "Namespaces",
+    "XElem",
+    "parse_xml",
+    "XmlParseError",
+    "serialize_xml",
+    "XPath",
+    "XPathError",
+]

@@ -1,0 +1,43 @@
+"""Parse XML text into :class:`~repro.xmlkit.element.XElem` trees.
+
+Uses the stdlib expat-backed ``xml.etree.ElementTree`` purely as a tokenizer;
+all namespace bookkeeping is converted into :class:`QName` values so the rest
+of the stack never sees prefixes or Clark strings.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.xmlkit.element import XElem
+from repro.xmlkit.names import QName
+
+
+class XmlParseError(ValueError):
+    """Raised when a wire payload is not well-formed XML."""
+
+
+def parse_xml(text: str | bytes) -> XElem:
+    """Parse an XML document and return its root element."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XmlParseError(f"malformed XML: {exc}") from exc
+    return _convert(root)
+
+
+def _convert(node: ET.Element) -> XElem:
+    elem = XElem(_qname(node.tag))
+    for key, value in node.attrib.items():
+        elem.attrs[_qname(key)] = value
+    if node.text:
+        elem.append(node.text)
+    for child in node:
+        elem.append(_convert(child))
+        if child.tail:
+            elem.append(child.tail)
+    return elem
+
+
+def _qname(tag: str) -> QName:
+    return QName.from_clark(tag)

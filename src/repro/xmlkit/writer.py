@@ -1,0 +1,132 @@
+"""Serialize :class:`XElem` trees to XML text.
+
+Prefix management is deterministic: the well-known WS-* namespaces get their
+conventional prefixes (``wsa``, ``wse``, ``wsnt``...), unknown namespaces get
+``ns0``, ``ns1``... in first-use order.  Deterministic output matters for the
+message-format comparison benchmarks, which diff serialized messages
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from repro.xmlkit.element import XElem
+from repro.xmlkit.names import Namespaces, QName
+
+_ESCAPES_TEXT = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ESCAPES_ATTR = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+
+
+def _escape(value: str, table: dict[str, str]) -> str:
+    for raw, enc in table.items():
+        value = value.replace(raw, enc)
+    return value
+
+
+class _PrefixAllocator:
+    def __init__(self) -> None:
+        self._by_uri: dict[str, str] = {}
+        self._used: set[str] = set()
+        self._counter = 0
+
+    def prefix_for(self, uri: str) -> str:
+        if uri in self._by_uri:
+            return self._by_uri[uri]
+        preferred = Namespaces.PREFERRED_PREFIXES.get(uri)
+        if preferred and preferred not in self._used:
+            prefix = preferred
+        else:
+            prefix = f"ns{self._counter}"
+            self._counter += 1
+            while prefix in self._used:
+                prefix = f"ns{self._counter}"
+                self._counter += 1
+        self._by_uri[uri] = prefix
+        self._used.add(prefix)
+        return prefix
+
+    def declared(self) -> dict[str, str]:
+        return dict(self._by_uri)
+
+
+def serialize_xml(root: XElem, *, xml_declaration: bool = False, indent: bool = False) -> str:
+    """Serialize a tree to a string.
+
+    All namespace declarations are hoisted to the root element (a single
+    two-pass walk), which keeps notification payload serialization compact
+    and stable regardless of tree construction order.
+    """
+    allocator = _PrefixAllocator()
+    _collect_namespaces(root, allocator)
+    parts: list[str] = []
+    if xml_declaration:
+        parts.append('<?xml version="1.0" encoding="utf-8"?>')
+        if indent:
+            parts.append("\n")
+    _write(root, allocator, parts, declare_namespaces=True, indent=0 if indent else None)
+    return "".join(parts)
+
+
+def _collect_namespaces(elem: XElem, allocator: _PrefixAllocator) -> None:
+    if elem.name.namespace:
+        allocator.prefix_for(elem.name.namespace)
+    for attr in elem.attrs:
+        if attr.namespace and attr.namespace not in (Namespaces.XMLNS, Namespaces.XML):
+            allocator.prefix_for(attr.namespace)
+    for child in elem.elements():
+        _collect_namespaces(child, allocator)
+
+
+def _tag(name: QName, allocator: _PrefixAllocator) -> str:
+    if not name.namespace:
+        return name.local
+    return f"{allocator.prefix_for(name.namespace)}:{name.local}"
+
+
+def _write(
+    elem: XElem,
+    allocator: _PrefixAllocator,
+    parts: list[str],
+    *,
+    declare_namespaces: bool,
+    indent: int | None,
+) -> None:
+    pad = "  " * indent if indent is not None else ""
+    tag = _tag(elem.name, allocator)
+    parts.append(f"{pad}<{tag}")
+    if declare_namespaces:
+        for uri, prefix in sorted(allocator.declared().items(), key=lambda kv: kv[1]):
+            parts.append(f' xmlns:{prefix}="{_escape(uri, _ESCAPES_ATTR)}"')
+    for attr, value in elem.attrs.items():
+        if attr.namespace == Namespaces.XML:
+            attr_tag = f"xml:{attr.local}"
+        elif attr.namespace:
+            attr_tag = f"{allocator.prefix_for(attr.namespace)}:{attr.local}"
+        else:
+            attr_tag = attr.local
+        parts.append(f' {attr_tag}="{_escape(value, _ESCAPES_ATTR)}"')
+    if not elem.children:
+        parts.append("/>")
+        if indent is not None:
+            parts.append("\n")
+        return
+    parts.append(">")
+    # indentation must not alter mixed content, so any text child disables it
+    only_text = any(isinstance(child, str) for child in elem.children)
+    if indent is not None and not only_text:
+        parts.append("\n")
+    for child in elem.children:
+        if isinstance(child, str):
+            parts.append(_escape(child, _ESCAPES_TEXT))
+        else:
+            _write(
+                child,
+                allocator,
+                parts,
+                declare_namespaces=False,
+                indent=indent + 1 if indent is not None and not only_text else None,
+            )
+    if indent is not None and not only_text:
+        parts.append(pad)
+    parts.append(f"</{tag}>")
+    if indent is not None:
+        parts.append("\n")

@@ -1,0 +1,72 @@
+"""AST node definitions for the XPath 1.0 subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class NumberLit:
+    value: float
+
+
+@dataclass(frozen=True)
+class StringLit:
+    value: str
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    name: str
+    args: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str  # or and = != < <= > >= + - * div mod |
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class UnaryMinus:
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class NodeTest:
+    """A node test within a step.
+
+    ``kind`` is ``"name"`` (with ``prefix``/``local``, either possibly ``*``),
+    ``"text"`` or ``"node"``.
+    """
+
+    kind: str
+    prefix: Optional[str] = None
+    local: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Step:
+    axis: str  # child attribute self parent descendant descendant-or-self
+    test: NodeTest
+    predicates: tuple["Expr", ...] = field(default=())
+
+
+@dataclass(frozen=True)
+class LocationPath:
+    absolute: bool
+    steps: tuple[Step, ...]
+
+
+@dataclass(frozen=True)
+class FilterPath:
+    """A primary expression filtered by predicates and/or followed by a path."""
+
+    primary: "Expr"
+    predicates: tuple["Expr", ...]
+    steps: tuple[Step, ...]
+
+
+Expr = Union[NumberLit, StringLit, FunctionCall, BinaryOp, UnaryMinus, LocationPath, FilterPath]

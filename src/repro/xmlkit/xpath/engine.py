@@ -1,0 +1,239 @@
+"""The XPath evaluator and the public :class:`XPath` compiled-expression API."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.xmlkit.element import XElem
+from repro.xmlkit.xpath import ast
+from repro.xmlkit.xpath.errors import XPathEvaluationError
+from repro.xmlkit.xpath.functions import FUNCTIONS, Context
+from repro.xmlkit.xpath.nodes import (
+    AttributeNode,
+    ElementNode,
+    RootNode,
+    TextNode,
+    XNode,
+    build_tree,
+    descendants,
+)
+from repro.xmlkit.xpath.parser import parse_xpath
+from repro.xmlkit.xpath.values import (
+    NodeSet,
+    XPathValue,
+    compare,
+    is_node_set,
+    merge_node_sets,
+    to_boolean,
+    to_number,
+)
+
+
+class XPath:
+    """A compiled XPath expression.
+
+    ``namespaces`` maps the prefixes used in the expression to namespace URIs
+    (the way a WSE/WSN subscription message carries in-scope namespace
+    bindings for its filter expression).
+    """
+
+    def __init__(self, expression: str, namespaces: Optional[dict[str, str]] = None) -> None:
+        self.expression = expression
+        self.namespaces = dict(namespaces or {})
+        self._ast = parse_xpath(expression)
+
+    def __repr__(self) -> str:
+        return f"XPath({self.expression!r})"
+
+    def evaluate(self, root: XElem) -> XPathValue:
+        """Evaluate against a document whose root element is ``root``.
+
+        Returns the raw XPath value: a node-set is returned as a list of the
+        underlying :class:`XElem`/attribute/text values.
+        """
+        doc = build_tree(root)
+        ctx = Context(doc, 1, 1, self.namespaces)
+        value = _evaluate(self._ast, ctx)
+        if is_node_set(value):
+            return [_unwrap(node) for node in value]
+        return value
+
+    def matches(self, root: XElem) -> bool:
+        """Boolean-coerced evaluation — the WS filter-dialect semantics."""
+        doc = build_tree(root)
+        ctx = Context(doc, 1, 1, self.namespaces)
+        return to_boolean(_evaluate(self._ast, ctx))
+
+    def select(self, root: XElem) -> list[XElem]:
+        """Evaluate and keep only element nodes (common in tests/tools)."""
+        value = self.evaluate(root)
+        if not is_node_set(value):
+            raise XPathEvaluationError(
+                f"{self.expression!r} evaluated to a {type(value).__name__}, not a node-set"
+            )
+        return [item for item in value if isinstance(item, XElem)]
+
+
+def _unwrap(node: XNode):
+    if isinstance(node, ElementNode):
+        return node.elem
+    if isinstance(node, AttributeNode):
+        return node.value
+    if isinstance(node, TextNode):
+        return node.value
+    return node  # RootNode
+
+
+# --- expression evaluation ---------------------------------------------------
+
+
+def _evaluate(expr: ast.Expr, ctx: Context) -> XPathValue:
+    if isinstance(expr, ast.NumberLit):
+        return expr.value
+    if isinstance(expr, ast.StringLit):
+        return expr.value
+    if isinstance(expr, ast.UnaryMinus):
+        return -to_number(_evaluate(expr.operand, ctx))
+    if isinstance(expr, ast.BinaryOp):
+        return _evaluate_binary(expr, ctx)
+    if isinstance(expr, ast.FunctionCall):
+        fn = FUNCTIONS.get(expr.name)
+        if fn is None:
+            raise XPathEvaluationError(f"unknown function {expr.name}()")
+        args = [_evaluate(arg, ctx) for arg in expr.args]
+        return fn(ctx, args)
+    if isinstance(expr, ast.LocationPath):
+        return _evaluate_path(expr, ctx)
+    if isinstance(expr, ast.FilterPath):
+        return _evaluate_filter_path(expr, ctx)
+    raise XPathEvaluationError(f"unhandled AST node {type(expr).__name__}")
+
+
+def _evaluate_binary(expr: ast.BinaryOp, ctx: Context) -> XPathValue:
+    op = expr.op
+    if op == "or":
+        return to_boolean(_evaluate(expr.left, ctx)) or to_boolean(_evaluate(expr.right, ctx))
+    if op == "and":
+        return to_boolean(_evaluate(expr.left, ctx)) and to_boolean(_evaluate(expr.right, ctx))
+    left = _evaluate(expr.left, ctx)
+    right = _evaluate(expr.right, ctx)
+    if op in ("=", "!=", "<", "<=", ">", ">="):
+        return compare(op, left, right)
+    if op == "|":
+        if not (is_node_set(left) and is_node_set(right)):
+            raise XPathEvaluationError("'|' requires node-set operands")
+        return merge_node_sets(left, right)
+    a, b = to_number(left), to_number(right)
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "div":
+        if b == 0:
+            if a == 0 or math.isnan(a):
+                return math.nan
+            return math.inf if a > 0 else -math.inf
+        return a / b
+    if op == "mod":
+        if b == 0 or math.isnan(a) or math.isnan(b):
+            return math.nan
+        return math.fmod(a, b)
+    raise XPathEvaluationError(f"unknown operator {op!r}")
+
+
+def _evaluate_path(path: ast.LocationPath, ctx: Context) -> NodeSet:
+    if path.absolute:
+        node: XNode = ctx.node
+        while node.parent is not None:
+            node = node.parent
+        current: NodeSet = [node]
+    else:
+        current = [ctx.node]
+    return _apply_steps(path.steps, current, ctx)
+
+
+def _evaluate_filter_path(expr: ast.FilterPath, ctx: Context) -> XPathValue:
+    value = _evaluate(expr.primary, ctx)
+    if expr.predicates or expr.steps:
+        if not is_node_set(value):
+            raise XPathEvaluationError("predicates/steps require a node-set")
+        value = _filter_nodes(value, expr.predicates, ctx)
+        value = _apply_steps(expr.steps, value, ctx)
+    return value
+
+
+def _apply_steps(steps: tuple[ast.Step, ...], current: NodeSet, ctx: Context) -> NodeSet:
+    for step in steps:
+        gathered: list[XNode] = []
+        seen: set[int] = set()
+        for node in current:
+            for candidate in _axis_nodes(step.axis, node):
+                if _test_matches(step.test, step.axis, candidate, ctx):
+                    if id(candidate) not in seen:
+                        seen.add(id(candidate))
+                        gathered.append(candidate)
+        gathered.sort(key=lambda n: n.order)
+        current = _filter_nodes(gathered, step.predicates, ctx)
+    return current
+
+
+def _filter_nodes(nodes: NodeSet, predicates: tuple[ast.Expr, ...], ctx: Context) -> NodeSet:
+    for predicate in predicates:
+        kept: list[XNode] = []
+        size = len(nodes)
+        for position, node in enumerate(nodes, start=1):
+            value = _evaluate(predicate, ctx.with_node(node, position, size))
+            if isinstance(value, float):
+                if value == position:  # positional predicate
+                    kept.append(node)
+            elif to_boolean(value):
+                kept.append(node)
+        nodes = kept
+    return nodes
+
+
+def _axis_nodes(axis: str, node: XNode):
+    if axis == "child":
+        return list(getattr(node, "children", ()))
+    if axis == "attribute":
+        return list(getattr(node, "attributes", ()))
+    if axis == "self":
+        return [node]
+    if axis == "parent":
+        return [node.parent] if node.parent is not None else []
+    if axis == "descendant":
+        return list(descendants(node))
+    if axis == "descendant-or-self":
+        return [node, *descendants(node)]
+    raise XPathEvaluationError(f"unsupported axis {axis!r}")
+
+
+def _test_matches(test: ast.NodeTest, axis: str, node: XNode, ctx: Context) -> bool:
+    if test.kind == "node":
+        return True
+    if test.kind == "text":
+        return isinstance(node, TextNode)
+    # name test: the principal node type is attribute on the attribute axis,
+    # element everywhere else
+    if axis == "attribute":
+        if not isinstance(node, AttributeNode):
+            return False
+    else:
+        if not isinstance(node, ElementNode):
+            return False
+    if test.prefix is not None:
+        uri = ctx.namespaces.get(test.prefix)
+        if uri is None:
+            raise XPathEvaluationError(f"undeclared namespace prefix {test.prefix!r}")
+    else:
+        uri = ""
+    if test.local == "*":
+        if test.prefix is None:
+            return True
+        return node.name.namespace == uri
+    if node.name.local != test.local:
+        return False
+    return node.name.namespace == uri

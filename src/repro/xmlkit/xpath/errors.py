@@ -1,0 +1,18 @@
+"""XPath error hierarchy."""
+
+
+class XPathError(Exception):
+    """Base class for all XPath failures."""
+
+
+class XPathSyntaxError(XPathError):
+    """The expression text could not be lexed or parsed."""
+
+    def __init__(self, message: str, expression: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position} in {expression!r})")
+        self.expression = expression
+        self.position = position
+
+
+class XPathEvaluationError(XPathError):
+    """The expression is well-formed but failed at evaluation time."""

@@ -1,0 +1,198 @@
+"""XPath 1.0 lexer.
+
+Implements the XPath 1.0 lexical rules including the spec's disambiguation:
+``*`` is the multiply operator (and ``and``/``or``/``div``/``mod`` are
+operators rather than name tests) exactly when the preceding token could end
+an operand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.xmlkit.xpath.errors import XPathSyntaxError
+
+
+class TokenKind(Enum):
+    NUMBER = auto()
+    LITERAL = auto()
+    NAME = auto()          # NCName, possibly part of a QName
+    STAR = auto()          # wildcard name test
+    OPERATOR = auto()      # = != < <= > >= + - * div mod and or | / //
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    AT = auto()
+    COMMA = auto()
+    COLON = auto()
+    DOT = auto()
+    DOTDOT = auto()
+    AXIS = auto()          # name:: (axis specifier)
+    NODETYPE = auto()      # node( / text( / comment( / processing-instruction(
+    FUNC = auto()          # name( (function call)
+    EOF = auto()
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: TokenKind
+    value: str
+    position: int
+
+
+_OPERATOR_NAMES = {"and", "or", "div", "mod"}
+_NODE_TYPES = {"node", "text", "comment", "processing-instruction"}
+# token kinds after which '*' and the operator names are operators
+_OPERAND_ENDERS = {
+    TokenKind.NUMBER,
+    TokenKind.LITERAL,
+    TokenKind.NAME,
+    TokenKind.STAR,
+    TokenKind.RPAREN,
+    TokenKind.RBRACKET,
+    TokenKind.DOT,
+    TokenKind.DOTDOT,
+}
+
+
+_DIGITS = "0123456789"
+
+
+def _is_digit(ch: str) -> bool:
+    return ch in _DIGITS  # ASCII only: unicode "digits" pass isdigit() but not float()
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_-."
+
+
+def tokenize(expression: str) -> list[Token]:
+    """Tokenize an XPath expression, raising :class:`XPathSyntaxError`."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(expression)
+
+    def prev_kind() -> TokenKind | None:
+        return tokens[-1].kind if tokens else None
+
+    while i < n:
+        ch = expression[i]
+        if ch.isspace():
+            i += 1
+            continue
+        start = i
+        if ch in "([":
+            tokens.append(Token(TokenKind.LPAREN if ch == "(" else TokenKind.LBRACKET, ch, start))
+            i += 1
+        elif ch in ")]":
+            tokens.append(Token(TokenKind.RPAREN if ch == ")" else TokenKind.RBRACKET, ch, start))
+            i += 1
+        elif ch == "@":
+            tokens.append(Token(TokenKind.AT, ch, start))
+            i += 1
+        elif ch == ",":
+            tokens.append(Token(TokenKind.COMMA, ch, start))
+            i += 1
+        elif ch == "/":
+            if i + 1 < n and expression[i + 1] == "/":
+                tokens.append(Token(TokenKind.OPERATOR, "//", start))
+                i += 2
+            else:
+                tokens.append(Token(TokenKind.OPERATOR, "/", start))
+                i += 1
+        elif ch == "|":
+            tokens.append(Token(TokenKind.OPERATOR, "|", start))
+            i += 1
+        elif ch in "+-":
+            tokens.append(Token(TokenKind.OPERATOR, ch, start))
+            i += 1
+        elif ch == "=":
+            tokens.append(Token(TokenKind.OPERATOR, "=", start))
+            i += 1
+        elif ch == "!":
+            if i + 1 < n and expression[i + 1] == "=":
+                tokens.append(Token(TokenKind.OPERATOR, "!=", start))
+                i += 2
+            else:
+                raise XPathSyntaxError("unexpected '!'", expression, start)
+        elif ch in "<>":
+            if i + 1 < n and expression[i + 1] == "=":
+                tokens.append(Token(TokenKind.OPERATOR, ch + "=", start))
+                i += 2
+            else:
+                tokens.append(Token(TokenKind.OPERATOR, ch, start))
+                i += 1
+        elif ch == "*":
+            if prev_kind() in _OPERAND_ENDERS:
+                tokens.append(Token(TokenKind.OPERATOR, "*", start))
+            else:
+                tokens.append(Token(TokenKind.STAR, "*", start))
+            i += 1
+        elif ch == ".":
+            if i + 1 < n and expression[i + 1] == ".":
+                tokens.append(Token(TokenKind.DOTDOT, "..", start))
+                i += 2
+            elif i + 1 < n and _is_digit(expression[i + 1]):
+                i = _lex_number(expression, i, tokens)
+            else:
+                tokens.append(Token(TokenKind.DOT, ".", start))
+                i += 1
+        elif _is_digit(ch):
+            i = _lex_number(expression, i, tokens)
+        elif ch in "'\"":
+            end = expression.find(ch, i + 1)
+            if end < 0:
+                raise XPathSyntaxError("unterminated string literal", expression, start)
+            tokens.append(Token(TokenKind.LITERAL, expression[i + 1 : end], start))
+            i = end + 1
+        elif ch == ":":
+            tokens.append(Token(TokenKind.COLON, ":", start))
+            i += 1
+        elif _is_name_start(ch):
+            j = i + 1
+            while j < n and _is_name_char(expression[j]):
+                j += 1
+            name = expression[i:j]
+            # operator-name disambiguation (XPath 1.0 section 3.7)
+            if name in _OPERATOR_NAMES and prev_kind() in _OPERAND_ENDERS:
+                tokens.append(Token(TokenKind.OPERATOR, name, start))
+                i = j
+                continue
+            # look ahead past whitespace for '(' or '::'
+            k = j
+            while k < n and expression[k].isspace():
+                k += 1
+            if k + 1 < n and expression[k] == ":" and expression[k + 1] == ":":
+                tokens.append(Token(TokenKind.AXIS, name, start))
+                i = k + 2
+            elif k < n and expression[k] == "(":
+                kind = TokenKind.NODETYPE if name in _NODE_TYPES else TokenKind.FUNC
+                tokens.append(Token(kind, name, start))
+                tokens.append(Token(TokenKind.LPAREN, "(", k))
+                i = k + 1
+            else:
+                tokens.append(Token(TokenKind.NAME, name, start))
+                i = j
+        else:
+            raise XPathSyntaxError(f"unexpected character {ch!r}", expression, start)
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens
+
+
+def _lex_number(expression: str, i: int, tokens: list[Token]) -> int:
+    start = i
+    n = len(expression)
+    while i < n and _is_digit(expression[i]):
+        i += 1
+    if i < n and expression[i] == ".":
+        i += 1
+        while i < n and _is_digit(expression[i]):
+            i += 1
+    tokens.append(Token(TokenKind.NUMBER, expression[start:i], start))
+    return i

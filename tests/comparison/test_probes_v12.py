@@ -1,0 +1,47 @@
+"""WSN 1.2 probing: the paper skips 1.2 in Table 1 because it is "very
+similar to version 1.0" — verify that claim against the implementations by
+running every probe on both versions and diffing."""
+
+import pytest
+
+from repro.comparison import probes
+from repro.wsn.versions import WsnVersion
+
+PROBES = [
+    probes.probe_separate_manager,
+    probes.probe_get_status,
+    probes.probe_id_in_epr,
+    probes.probe_wrapped_delivery,
+    probes.probe_pull_delivery,
+    probes.probe_duration_expiry,
+    probes.probe_requires_topic,
+    probes.probe_get_current_message,
+    probes.probe_pull_point_interface,
+    probes.probe_pull_mode_in_subscription,
+    probes.probe_subscription_end_notice,
+    probes.probe_pause_resume,
+]
+
+
+@pytest.mark.parametrize("probe", PROBES, ids=lambda p: p.__name__)
+def test_v12_behaves_like_v10(probe):
+    assert probe(WsnVersion.V1_2) == probe(WsnVersion.V1_0)
+
+
+def test_v12_differs_only_in_namespace_and_wsa():
+    """The 1.0 -> 1.2 delta is packaging: namespace + WSA binding."""
+    assert WsnVersion.V1_2.namespace != WsnVersion.V1_0.namespace
+    assert WsnVersion.V1_2.wsa_version != WsnVersion.V1_0.wsa_version
+    structural_flags = [
+        "requires_wsrf",
+        "requires_topic",
+        "requires_pause_resume",
+        "has_native_unsubscribe",
+        "supports_duration_expiry",
+        "defines_xpath_dialect",
+        "has_filter_element",
+        "defines_pull_point_interface",
+        "requires_subscription_end",
+    ]
+    for flag in structural_flags:
+        assert getattr(WsnVersion.V1_2, flag) == getattr(WsnVersion.V1_0, flag), flag

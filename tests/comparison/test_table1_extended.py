@@ -1,0 +1,40 @@
+"""The extended Table 1: checking the paper's reason for omitting WSN 1.2."""
+
+import pytest
+
+from repro.comparison.table1 import build_table1, build_table1_extended
+
+
+@pytest.fixture(scope="module")
+def extended():
+    return build_table1_extended()
+
+
+class TestExtendedTable1:
+    def test_five_columns(self, extended):
+        assert extended.columns == [
+            "WSE 01/2004",
+            "WSN 1.0",
+            "WSN 1.2",
+            "WSE 08/2004",
+            "WSN 1.3",
+        ]
+
+    def test_v12_equals_v10_except_packaging(self, extended):
+        """The paper's omission rationale, measured: every 1.2 cell equals
+        the 1.0 cell except the version date and WSA binding rows."""
+        differing = []
+        for label, cells in extended.rows:
+            v10, v12 = cells[1], cells[2]
+            if v10 != v12:
+                differing.append(label)
+        assert differing == ["Version date", "WS-Addressing version"]
+
+    def test_v12_wsa_is_2004_08(self, extended):
+        assert extended.cell("WS-Addressing version", "WSN 1.2") == "2004/08"
+
+    def test_other_columns_unchanged(self, extended):
+        base = build_table1()
+        for label, cells in base.rows:
+            for column in base.columns:
+                assert extended.cell(label, column) == base.cell(label, column)

@@ -1,0 +1,210 @@
+"""WS-* composition tests: security and reliability layered around the
+unmodified notification specifications (paper section VI observation 4)."""
+
+import pytest
+
+from repro.composition import (
+    ReliableChannel,
+    SecurityFault,
+    make_reliable,
+    secure_endpoint,
+    sign_envelope,
+    verify_envelope,
+)
+from repro.soap import SoapEnvelope, SoapFault, parse_envelope, serialize_envelope
+from repro.transport import MessageLost, SimulatedNetwork, SoapClient, SoapEndpoint, VirtualClock
+from repro.wsa import EndpointReference
+from repro.wse import EventSink, EventSource, WseSubscriber
+from repro.xmlkit import parse_xml
+from repro.xmlkit.element import text_element
+from repro.xmlkit.names import QName
+
+KEY = b"shared-secret"
+
+
+def event(n=1):
+    return parse_xml(f'<e:V xmlns:e="urn:comp"><e:n>{n}</e:n></e:V>')
+
+
+@pytest.fixture
+def network():
+    return SimulatedNetwork(VirtualClock())
+
+
+class TestSigning:
+    def test_sign_verify_roundtrip_over_wire(self):
+        envelope = SoapEnvelope()
+        envelope.add_body(event())
+        sign_envelope(envelope, KEY)
+        again = parse_envelope(serialize_envelope(envelope))
+        assert verify_envelope(again, KEY)
+
+    def test_wrong_key_fails(self):
+        envelope = SoapEnvelope()
+        envelope.add_body(event())
+        sign_envelope(envelope, KEY)
+        assert not verify_envelope(envelope, b"other-key")
+
+    def test_tampered_body_fails(self):
+        envelope = SoapEnvelope()
+        envelope.add_body(event())
+        sign_envelope(envelope, KEY)
+        envelope.body[0].append(text_element(QName("urn:comp", "extra"), "injected"))
+        assert not verify_envelope(envelope, KEY)
+
+    def test_unsigned_fails(self):
+        envelope = SoapEnvelope()
+        envelope.add_body(event())
+        assert not verify_envelope(envelope, KEY)
+
+    def test_signature_header_is_must_understand(self):
+        envelope = SoapEnvelope()
+        envelope.add_body(event())
+        sign_envelope(envelope, KEY)
+        assert envelope.headers[-1].must_understand
+
+
+class TestSecuredWseStack:
+    """WS-Security composed around an untouched WS-Eventing exchange."""
+
+    def _secured_stack(self, network):
+        source = EventSource(network, "http://sec-source")
+        secure_endpoint(source.endpoint, KEY)
+        secure_endpoint(source.manager_endpoint, KEY)
+        sink = EventSink(network, "http://sec-sink")
+        return source, sink
+
+    def test_unsigned_subscribe_rejected(self, network):
+        source, sink = self._secured_stack(network)
+        subscriber = WseSubscriber(network)  # no signing filter
+        with pytest.raises(SoapFault) as excinfo:
+            subscriber.subscribe(source.epr(), notify_to=sink.epr())
+        assert excinfo.value.subcode.local == "FailedAuthentication"
+
+    def test_signed_subscribe_accepted(self, network):
+        source, sink = self._secured_stack(network)
+        subscriber = WseSubscriber(network)
+        subscriber._client.envelope_filter = lambda envelope: sign_envelope(envelope, KEY)
+        handle = subscriber.subscribe(source.epr(), notify_to=sink.epr())
+        assert handle.sub_id
+        # the notification spec itself was untouched: publish still works
+        assert source.publish(event()) == 1
+        assert len(sink.received) == 1
+
+    def test_signed_management_operations(self, network):
+        source, sink = self._secured_stack(network)
+        subscriber = WseSubscriber(network)
+        subscriber._client.envelope_filter = lambda envelope: sign_envelope(envelope, KEY)
+        handle = subscriber.subscribe(source.epr(), notify_to=sink.epr())
+        subscriber.renew(handle, "PT1H")
+        subscriber.unsubscribe(handle)
+        assert source.publish(event()) == 0
+
+    def test_wrong_key_client_rejected(self, network):
+        source, sink = self._secured_stack(network)
+        subscriber = WseSubscriber(network)
+        subscriber._client.envelope_filter = lambda envelope: sign_envelope(
+            envelope, b"wrong"
+        )
+        with pytest.raises(SoapFault):
+            subscriber.subscribe(source.epr(), notify_to=sink.epr())
+
+
+class _FlakyWire:
+    """Drop selected wire requests (by 1-based index since arming)."""
+
+    def __init__(self, network, drop):
+        self.count = 0
+        self.drop = drop
+        network.observers.append(self._observe)
+
+    def _observe(self, target, payload):
+        self.count += 1
+        if self.count in self.drop:
+            raise MessageLost(target)
+
+
+class TestReliability:
+    def _receiver(self, network):
+        received = []
+        endpoint = SoapEndpoint(network, "http://rel-sink")
+        endpoint.on_any(lambda envelope, headers: received.append(envelope.body_element()) or None)
+        make_reliable(endpoint)
+        return received, endpoint
+
+    def test_resend_recovers_loss(self, network):
+        received, _ = self._receiver(network)
+        client = SoapClient(network)
+        channel = ReliableChannel(client, EndpointReference("http://rel-sink"))
+        _FlakyWire(network, {1})  # first attempt lost
+        assert channel.send("urn:comp:Notify", event())
+        assert len(received) == 1
+        assert channel.resends == 1
+
+    def test_duplicate_suppression(self, network):
+        received, _ = self._receiver(network)
+        client = SoapClient(network)
+        channel = ReliableChannel(client, EndpointReference("http://rel-sink"))
+        # manually deliver the same numbered message twice
+        from repro.composition.reliability import _sequence_block
+
+        block = _sequence_block(channel.sequence_id, 1)
+        for _ in range(2):
+            client.call(
+                channel.target,
+                "urn:comp:Notify",
+                [event()],
+                expect_reply=False,
+                extra_headers=[block],
+            )
+        assert len(received) == 1  # second delivery acked but suppressed
+
+    def test_gives_up_after_retries(self, network):
+        received, _ = self._receiver(network)
+        client = SoapClient(network)
+        channel = ReliableChannel(
+            client, EndpointReference("http://rel-sink"), max_retries=2
+        )
+        _FlakyWire(network, {1, 2, 3})  # every attempt lost
+        assert not channel.send("urn:comp:Notify", event())
+        assert channel.gave_up == 1
+        assert received == []
+
+    def test_distinct_messages_all_delivered(self, network):
+        received, _ = self._receiver(network)
+        client = SoapClient(network)
+        channel = ReliableChannel(client, EndpointReference("http://rel-sink"))
+        for n in range(3):
+            assert channel.send("urn:comp:Notify", event(n))
+        assert len(received) == 3
+
+    def test_unsequenced_messages_pass_through(self, network):
+        received, _ = self._receiver(network)
+        client = SoapClient(network)
+        for _ in range(2):
+            client.call(
+                EndpointReference("http://rel-sink"),
+                "urn:comp:Notify",
+                [event()],
+                expect_reply=False,
+            )
+        assert len(received) == 2  # no sequence header, no dedup
+
+
+class TestComposedSecurityAndReliability:
+    def test_both_layers_stack(self, network):
+        """Signing AND sequencing around one unmodified exchange."""
+        received = []
+        endpoint = SoapEndpoint(network, "http://both-sink")
+        endpoint.on_any(
+            lambda envelope, headers: received.append(envelope.body_element()) or None
+        )
+        make_reliable(endpoint)
+        secure_endpoint(endpoint, KEY)
+        client = SoapClient(
+            network, envelope_filter=lambda envelope: sign_envelope(envelope, KEY)
+        )
+        channel = ReliableChannel(client, EndpointReference("http://both-sink"))
+        _FlakyWire(network, {1})
+        assert channel.send("urn:comp:Notify", event())
+        assert len(received) == 1

@@ -1,0 +1,28 @@
+"""Every example script must run clean end-to-end (they self-assert)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parents[2] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} printed nothing"
+
+
+def test_examples_discovered():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "grid_monitoring",
+        "mediation_demo",
+        "firewall_pullpoint",
+        "legacy_bridge",
+        "spec_evolution_report",
+    } <= names

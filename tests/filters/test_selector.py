@@ -1,0 +1,137 @@
+"""Tests for the JMS SQL92-subset message selector."""
+
+import pytest
+
+from repro.filters.base import FilterError
+from repro.filters.selector import MessageSelector
+
+FIELDS = {
+    "JMSPriority": 7,
+    "JMSType": "status",
+    "severity": "warning",
+    "progress": 75.0,
+    "retries": 0,
+    "active": True,
+    "label": "job_42%done",
+}
+
+
+def sel(expr):
+    return MessageSelector(expr).matches(FIELDS)
+
+
+class TestComparisons:
+    def test_numeric_equality(self):
+        assert sel("JMSPriority = 7")
+        assert not sel("JMSPriority = 6")
+
+    def test_numeric_int_float_equal(self):
+        assert sel("progress = 75")
+
+    def test_not_equal(self):
+        assert sel("JMSPriority <> 6")
+
+    def test_ordering(self):
+        assert sel("progress > 50 AND progress <= 75")
+        assert not sel("progress < 50")
+
+    def test_string_equality(self):
+        assert sel("JMSType = 'status'")
+        assert not sel("JMSType = 'error'")
+
+    def test_string_ordering_is_unknown(self):
+        # SQL ordering on strings is not in the JMS subset: unknown -> no match
+        assert not sel("JMSType > 'a'")
+
+    def test_boolean_literal(self):
+        assert sel("active = TRUE")
+        assert not sel("active = FALSE")
+
+    def test_cross_type_equality_false(self):
+        assert not sel("JMSType = 7")
+
+
+class TestLogic:
+    def test_and_or_not(self):
+        assert sel("JMSPriority = 7 AND JMSType = 'status'")
+        assert sel("JMSPriority = 0 OR JMSType = 'status'")
+        assert sel("NOT JMSPriority = 0")
+
+    def test_three_valued_unknown_and_false(self):
+        # missing = unknown; unknown AND false = false; NOT unknown = unknown
+        assert not sel("missing = 1 AND JMSPriority = 7")
+        assert sel("missing = 1 OR JMSPriority = 7")
+        assert not sel("NOT missing = 1")
+
+    def test_parentheses(self):
+        assert sel("(JMSPriority = 0 OR JMSPriority = 7) AND active = TRUE")
+
+
+class TestPredicates:
+    def test_between(self):
+        assert sel("progress BETWEEN 50 AND 100")
+        assert not sel("progress BETWEEN 80 AND 100")
+        assert sel("progress NOT BETWEEN 80 AND 100")
+
+    def test_in(self):
+        assert sel("severity IN ('warning', 'error')")
+        assert not sel("severity IN ('info')")
+        assert sel("severity NOT IN ('info')")
+
+    def test_in_with_null_is_unknown(self):
+        assert not sel("missing IN ('a')")
+        assert not sel("missing NOT IN ('a')")
+
+    def test_like_percent(self):
+        assert sel("JMSType LIKE 'sta%'")
+        assert not sel("JMSType LIKE 'err%'")
+
+    def test_like_underscore(self):
+        assert sel("JMSType LIKE 'stat_s'")
+
+    def test_like_escape(self):
+        assert sel("label LIKE 'job!_42!%done' ESCAPE '!'")
+        assert not sel("JMSType LIKE 'st!_tus' ESCAPE '!'")
+
+    def test_not_like(self):
+        assert sel("JMSType NOT LIKE 'err%'")
+
+    def test_is_null(self):
+        assert sel("missing IS NULL")
+        assert sel("JMSType IS NOT NULL")
+        assert not sel("JMSType IS NULL")
+
+
+class TestArithmetic:
+    def test_plus_times_precedence(self):
+        assert sel("retries + 2 * 3 = 6")
+
+    def test_division(self):
+        assert sel("progress / 3 = 25")
+
+    def test_unary_minus(self):
+        assert sel("-JMSPriority = -7")
+
+    def test_arith_on_string_is_unknown(self):
+        assert not sel("JMSType + 1 = 2")
+
+    def test_division_by_zero_unknown(self):
+        assert not sel("progress / retries > 1")
+
+
+class TestSyntax:
+    def test_keywords_case_insensitive(self):
+        assert sel("jmsPriority is not null or JMSPriority = 7")
+        assert MessageSelector("severity In ('warning')").matches(FIELDS)
+
+    def test_quoted_quote(self):
+        selector = MessageSelector("name = 'O''Brien'")
+        assert selector.matches({"name": "O'Brien"})
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "AND", "x =", "x BETWEEN 1", "x IN ()", "x LIKE 'a' ESCAPE 'ab'", "( x = 1", "x = 1 )"],
+    )
+    def test_bad_syntax_rejected(self, bad):
+        with pytest.raises(FilterError):
+            MessageSelector(bad)

@@ -1,0 +1,169 @@
+"""Tests for the TCL constraint language, XPath content filters, and
+producer-properties filters."""
+
+import pytest
+
+from repro.filters import (
+    AcceptAllFilter,
+    AndFilter,
+    FilterContext,
+    MessageContentFilter,
+    ProducerPropertiesFilter,
+)
+from repro.filters.base import FilterError
+from repro.filters.tcl import TclConstraint
+from repro.xmlkit import parse_xml
+
+EVENT = {
+    "header": {
+        "fixed_header": {
+            "event_type": {"domain_name": "grid", "type_name": "JobStatus"},
+            "event_name": "progress-update",
+        },
+        "variable_header": {"priority": 3},
+    },
+    "filterable_data": {
+        "progress": 75,
+        "severity": "warning",
+        "job": "job-42",
+        "tags": ["urgent", "batch"],
+    },
+    "variable_header": {"priority": 3},
+}
+
+
+def tcl(expr):
+    return TclConstraint(expr).matches(EVENT)
+
+
+class TestTclComponents:
+    def test_type_name_shorthand(self):
+        assert tcl("$type_name == 'JobStatus'")
+
+    def test_domain_name_shorthand(self):
+        assert tcl("$domain_name == 'grid'")
+
+    def test_event_name_shorthand(self):
+        assert tcl("$event_name == 'progress-update'")
+
+    def test_dotted_path(self):
+        assert tcl("$.header.fixed_header.event_type.type_name == 'JobStatus'")
+
+    def test_generic_name_searches_filterable_data(self):
+        assert tcl("$progress == 75")
+
+    def test_generic_name_falls_back_to_variable_header(self):
+        assert tcl("$priority == 3")
+
+    def test_missing_component_is_false(self):
+        assert not tcl("$nonexistent == 1")
+
+    def test_exist(self):
+        assert tcl("exist $progress")
+        assert not tcl("exist $nonexistent")
+
+
+class TestTclOperators:
+    def test_comparisons(self):
+        assert tcl("$progress > 50 and $progress <= 75")
+        assert tcl("$progress != 80")
+        assert not tcl("$progress < 50")
+
+    def test_boolean_connectives(self):
+        assert tcl("$progress > 50 or $severity == 'fatal'")
+        assert tcl("not ($severity == 'fatal')")
+
+    def test_arithmetic(self):
+        assert tcl("$progress + 25 == 100")
+        assert tcl("$progress * 2 > 100")
+        assert tcl("-$progress == -75")
+
+    def test_substring_match(self):
+        assert tcl("$job ~ 'job'")
+        assert not tcl("$job ~ 'xyz'")
+
+    def test_in_sequence(self):
+        assert tcl("'urgent' in $tags")
+        assert not tcl("'idle' in $tags")
+
+    def test_division_by_zero_is_false(self):
+        assert not tcl("$progress / 0 > 1")
+
+    def test_string_vs_number_comparison(self):
+        assert not tcl("$severity == 75")
+        assert tcl("$severity != 75")
+
+    @pytest.mark.parametrize("bad", ["", "$x ==", "(", "$x in", "foo == 1", "'s' ~"])
+    def test_bad_syntax(self, bad):
+        with pytest.raises(FilterError):
+            TclConstraint(bad)
+
+
+PAYLOAD = parse_xml(
+    '<ev:Status xmlns:ev="urn:grid"><ev:progress>75</ev:progress></ev:Status>'
+)
+NS = {"ev": "urn:grid"}
+
+
+class TestMessageContentFilter:
+    def test_matches_payload(self):
+        content = MessageContentFilter("/ev:Status[ev:progress > 50]", NS)
+        assert content.matches(FilterContext(PAYLOAD))
+
+    def test_rejects_payload(self):
+        content = MessageContentFilter("/ev:Status[ev:progress > 90]", NS)
+        assert not content.matches(FilterContext(PAYLOAD))
+
+    def test_invalid_expression(self):
+        with pytest.raises(FilterError):
+            MessageContentFilter("///", NS)
+
+    def test_dialect_is_xpath(self):
+        assert "xpath" in MessageContentFilter("/*", NS).dialect.lower()
+
+    def test_describe(self):
+        assert "/*" in MessageContentFilter("/*").describe()
+
+
+class TestProducerPropertiesFilter:
+    def test_matches_properties(self):
+        producer = ProducerPropertiesFilter("/*[cluster='A']")
+        context = FilterContext(PAYLOAD, producer_properties={"cluster": "A"})
+        assert producer.matches(context)
+
+    def test_rejects_properties(self):
+        producer = ProducerPropertiesFilter("/*[cluster='B']")
+        context = FilterContext(PAYLOAD, producer_properties={"cluster": "A"})
+        assert not producer.matches(context)
+
+    def test_numeric_property(self):
+        producer = ProducerPropertiesFilter("boolean(/*[load < 0.5])")
+        assert producer.matches(FilterContext(PAYLOAD, producer_properties={"load": "0.3"}))
+
+    def test_empty_properties(self):
+        producer = ProducerPropertiesFilter("/*[x='1']")
+        assert not producer.matches(FilterContext(PAYLOAD))
+
+
+class TestCombinators:
+    def test_accept_all(self):
+        assert AcceptAllFilter().matches(FilterContext(PAYLOAD))
+
+    def test_and_filter_conjunction(self):
+        combined = AndFilter(
+            [
+                MessageContentFilter("/ev:Status[ev:progress > 50]", NS),
+                ProducerPropertiesFilter("/*[cluster='A']"),
+            ]
+        )
+        good = FilterContext(PAYLOAD, producer_properties={"cluster": "A"})
+        bad = FilterContext(PAYLOAD, producer_properties={"cluster": "B"})
+        assert combined.matches(good)
+        assert not combined.matches(bad)
+
+    def test_empty_and_filter_accepts(self):
+        assert AndFilter([]).matches(FilterContext(PAYLOAD))
+
+    def test_describe_joins(self):
+        combined = AndFilter([AcceptAllFilter(), AcceptAllFilter()])
+        assert "AND" in combined.describe()

@@ -1,0 +1,159 @@
+"""Tests for topic spaces and the WS-Topics expression dialects."""
+
+import pytest
+
+from repro.filters import (
+    FilterContext,
+    TopicDialect,
+    TopicExpression,
+    TopicFilter,
+    TopicNamespace,
+    TopicPath,
+)
+from repro.filters.base import FilterError
+from repro.xmlkit.element import XElem
+from repro.xmlkit.names import QName
+
+PAYLOAD = XElem(QName("urn:x", "Event"))
+
+
+class TestTopicPath:
+    def test_parse(self):
+        path = TopicPath.parse("jobs/status/progress")
+        assert path.parts == ("jobs", "status", "progress")
+        assert path.root == "jobs"
+        assert str(path) == "jobs/status/progress"
+
+    def test_empty_rejected(self):
+        with pytest.raises(FilterError):
+            TopicPath.parse("   ")
+
+    def test_wildcard_part_rejected(self):
+        with pytest.raises(FilterError):
+            TopicPath(("a", "*"))
+
+
+class TestTopicNamespace:
+    def test_add_and_contains(self):
+        space = TopicNamespace("urn:grid")
+        space.add("jobs/status")
+        assert space.contains("jobs")
+        assert space.contains("jobs/status")
+        assert not space.contains("jobs/errors")
+
+    def test_all_paths(self):
+        space = TopicNamespace()
+        space.add("a/b")
+        space.add("a/c")
+        space.add("d")
+        assert space.all_paths() == ["a", "a/b", "a/c", "d"]
+
+    def test_final_topic_rejects_children(self):
+        space = TopicNamespace()
+        space.add("a/b", final=True)
+        with pytest.raises(FilterError):
+            space.add("a/b/c")
+
+    def test_open_namespace_grows_on_publication(self):
+        space = TopicNamespace()
+        space.validate_publication("new/topic")
+        assert space.contains("new/topic")
+
+    def test_fixed_namespace_rejects_unknown(self):
+        space = TopicNamespace(fixed=True)
+        space.add("known")
+        space.validate_publication("known")
+        with pytest.raises(FilterError):
+            space.validate_publication("unknown")
+
+
+class TestSimpleDialect:
+    def test_matches_root_only(self):
+        expr = TopicExpression("jobs", TopicDialect.SIMPLE)
+        assert expr.matches("jobs")
+        assert not expr.matches("jobs/status")
+        assert not expr.matches("other")
+
+    def test_rejects_paths(self):
+        with pytest.raises(FilterError):
+            TopicExpression("a/b", TopicDialect.SIMPLE)
+
+    def test_rejects_wildcards(self):
+        with pytest.raises(FilterError):
+            TopicExpression("a*", TopicDialect.SIMPLE)
+
+
+class TestConcreteDialect:
+    def test_exact_path_match(self):
+        expr = TopicExpression("jobs/status", TopicDialect.CONCRETE)
+        assert expr.matches("jobs/status")
+        assert not expr.matches("jobs")
+        assert not expr.matches("jobs/status/progress")
+
+    def test_rejects_wildcards_and_unions(self):
+        with pytest.raises(FilterError):
+            TopicExpression("jobs/*", TopicDialect.CONCRETE)
+        with pytest.raises(FilterError):
+            TopicExpression("a|b", TopicDialect.CONCRETE)
+
+
+class TestFullDialect:
+    def test_star_matches_one_level(self):
+        expr = TopicExpression("jobs/*", TopicDialect.FULL)
+        assert expr.matches("jobs/status")
+        assert expr.matches("jobs/errors")
+        assert not expr.matches("jobs")
+        assert not expr.matches("jobs/status/progress")
+
+    def test_descendant_gap(self):
+        expr = TopicExpression("jobs//progress", TopicDialect.FULL)
+        assert expr.matches("jobs/progress")
+        assert expr.matches("jobs/status/progress")
+        assert expr.matches("jobs/a/b/progress")
+        assert not expr.matches("jobs/status")
+
+    def test_trailing_subtree(self):
+        expr = TopicExpression("jobs//.", TopicDialect.FULL)
+        assert expr.matches("jobs")
+        assert expr.matches("jobs/status")
+        assert expr.matches("jobs/status/progress")
+        assert not expr.matches("other")
+
+    def test_union(self):
+        expr = TopicExpression("jobs/status | system/alerts", TopicDialect.FULL)
+        assert expr.matches("jobs/status")
+        assert expr.matches("system/alerts")
+        assert not expr.matches("jobs/errors")
+
+    def test_star_and_gap_combination(self):
+        expr = TopicExpression("*/status//.", TopicDialect.FULL)
+        assert expr.matches("jobs/status")
+        assert expr.matches("vm/status/cpu")
+        assert not expr.matches("jobs/errors")
+
+    def test_empty_branch_rejected(self):
+        with pytest.raises(FilterError):
+            TopicExpression("a |", TopicDialect.FULL)
+
+    def test_bare_subtree_rejected(self):
+        with pytest.raises(FilterError):
+            TopicExpression("//.", TopicDialect.FULL)
+
+
+class TestTopicFilter:
+    def test_filters_on_context_topic(self):
+        topic_filter = TopicFilter(TopicExpression("jobs//.", TopicDialect.FULL))
+        assert topic_filter.matches(FilterContext(PAYLOAD, topic="jobs/status"))
+        assert not topic_filter.matches(FilterContext(PAYLOAD, topic="system"))
+
+    def test_no_topic_never_matches(self):
+        topic_filter = TopicFilter(TopicExpression("jobs", TopicDialect.SIMPLE))
+        assert not topic_filter.matches(FilterContext(PAYLOAD))
+
+    def test_parse_by_dialect_uri(self):
+        topic_filter = TopicFilter.parse("jobs", TopicDialect.SIMPLE.uri)
+        assert topic_filter.expression.dialect is TopicDialect.SIMPLE
+
+    def test_unknown_dialect_uri(self):
+        with pytest.raises(FilterError):
+            TopicFilter.parse("jobs", "urn:not-a-dialect")

@@ -1,0 +1,116 @@
+"""A long-running Grid monitoring soak: the paper's motivating workload
+driven through days of virtual time with renewals, expirations, pauses,
+wrapped batches, pull polls and consumer failures — all invariants checked
+continuously."""
+
+import pytest
+
+from repro.messenger import WsMessenger
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.wse import DeliveryMode, EventSink, WseSubscriber
+from repro.wsn import NotificationConsumer, PullPointClient, WsnSubscriber
+from repro.wsa import EndpointReference
+from repro.xmlkit import parse_xml
+from repro.xmlkit.names import Namespaces
+
+EV = "urn:soak"
+
+
+def status(job, progress):
+    return parse_xml(
+        f'<ev:S xmlns:ev="{EV}"><ev:job>{job}</ev:job>'
+        f"<ev:progress>{progress}</ev:progress></ev:S>"
+    )
+
+
+@pytest.fixture
+def world():
+    network = SimulatedNetwork(VirtualClock())
+    network.add_zone("lan", blocks_inbound=True)
+    broker = WsMessenger(network, "http://broker")
+    return network, broker
+
+
+def test_week_of_virtual_monitoring(world):
+    network, broker = world
+    clock = network.clock
+
+    # durable dashboard: renews its lease every virtual hour
+    dashboard = NotificationConsumer(network, "http://dashboard")
+    wsn_subscriber = WsnSubscriber(network)
+    dashboard_handle = wsn_subscriber.subscribe(
+        broker.epr(),
+        dashboard.epr(),
+        topic="jobs//.",
+        topic_dialect=Namespaces.DIALECT_TOPIC_FULL,
+        initial_termination="PT2H",
+    )
+
+    # forgetful consumer: subscribes with a short lease, never renews
+    forgetful = NotificationConsumer(network, "http://forgetful")
+    wsn_subscriber.subscribe(
+        broker.epr(),
+        forgetful.epr(),
+        topic="jobs//.",
+        topic_dialect=Namespaces.DIALECT_TOPIC_FULL,
+        initial_termination="PT30M",
+    )
+
+    # firewalled auditor polls a pull-mode WSE subscription
+    wse_subscriber = WseSubscriber(network, zone="lan")
+    pull_handle = wse_subscriber.subscribe(
+        broker.epr(), mode=DeliveryMode.PULL, expires="PT2H"
+    )
+
+    pulled_total = 0
+    hours = 24
+    for hour in range(hours):
+        for tick in range(4):  # four jobs report every quarter hour
+            broker.publish(
+                status(f"job-{hour % 3}", hour * 4 + tick),
+                topic=f"jobs/job-{hour % 3}/status",
+            )
+            clock.advance(900.0)
+        # hourly maintenance
+        wsn_subscriber.renew(dashboard_handle, "PT2H")
+        pulled_total += len(wse_subscriber.pull(pull_handle))
+        wse_subscriber.renew(pull_handle, "PT2H")
+
+    published = hours * 4
+    # the renewing consumers saw everything
+    assert len(dashboard.received) == published
+    assert pulled_total == published
+    # the forgetful consumer stopped receiving after its 30-minute lease
+    assert len(forgetful.received) == 2  # exactly the ticks inside PT30M
+    # the broker is left with exactly the two live subscriptions
+    assert broker.subscription_count() == 2
+    # virtual time really advanced ~a day
+    assert clock.now() >= hours * 4 * 900.0
+
+
+def test_mixed_population_with_failures(world):
+    network, broker = world
+    clock = network.clock
+    wsn_subscriber = WsnSubscriber(network)
+    wse_subscriber = WseSubscriber(network)
+
+    stable = NotificationConsumer(network, "http://stable")
+    wsn_subscriber.subscribe(broker.epr(), stable.epr(), topic="jobs/a/status")
+    flaky_sink = EventSink(network, "http://flaky")
+    wse_subscriber.subscribe(broker.epr(), notify_to=flaky_sink.epr())
+
+    pull_client = PullPointClient(network, zone="lan")
+    pull_point = pull_client.create(EndpointReference(broker.address + "/pullpoints"))
+    wsn_subscriber.subscribe(broker.epr(), pull_point, topic="jobs/a/status")
+
+    broker.publish(status("a", 10), topic="jobs/a/status")
+    flaky_sink.close()  # mid-run consumer crash
+    broker.publish(status("a", 20), topic="jobs/a/status")
+    broker.publish(status("a", 30), topic="jobs/a/status")
+    clock.advance(60.0)
+
+    assert len(stable.received) == 3                      # unaffected by the crash
+    assert len(flaky_sink.received) == 1                  # got only the first
+    assert len(pull_client.get_messages(pull_point)) == 3  # queued through it all
+    # the dead WSE subscription was reaped on its first failed delivery
+    assert broker.subscription_count() == 2

@@ -1,0 +1,84 @@
+"""Broker crash recovery via the subscription journal."""
+
+import pytest
+
+from repro.messenger import SubscriptionJournal, WsMessenger
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.wse import EventSink, WseSubscriber, WseVersion
+from repro.wsn import NotificationConsumer, WsnSubscriber, WsnVersion
+from repro.xmlkit import parse_xml
+
+
+def event(n=1):
+    return parse_xml(f'<e:V xmlns:e="urn:jr"><e:n>{n}</e:n></e:V>')
+
+
+@pytest.fixture
+def network():
+    return SimulatedNetwork(VirtualClock())
+
+
+def _populate(network, broker):
+    sink = EventSink(network, "http://jr-sink")
+    WseSubscriber(network).subscribe(broker.epr(), notify_to=sink.epr())
+    consumer = NotificationConsumer(network, "http://jr-consumer")
+    WsnSubscriber(network).subscribe(broker.epr(), consumer.epr(), topic="jr")
+    return sink, consumer
+
+
+class TestJournal:
+    def test_journal_records_subscribes_only(self, network):
+        journal = SubscriptionJournal()
+        broker = WsMessenger(network, "http://jr-broker", journal=journal)
+        sink, consumer = _populate(network, broker)
+        broker.publish(event(), topic="jr")  # publications are not journalled
+        assert len(journal) == 2
+
+    def test_failed_subscribe_not_journalled(self, network):
+        journal = SubscriptionJournal()
+        broker = WsMessenger(network, "http://jr-broker", journal=journal)
+        from repro.soap import SoapFault
+
+        subscriber = WseSubscriber(network)
+        with pytest.raises(SoapFault):
+            subscriber.subscribe(broker.epr())  # push without NotifyTo faults
+        assert len(journal) == 0
+
+    def test_crash_and_recover(self, network):
+        journal = SubscriptionJournal()
+        broker = WsMessenger(network, "http://jr-broker", journal=journal)
+        sink, consumer = _populate(network, broker)
+        broker.publish(event(1), topic="jr")
+        # --- crash: the broker and all its internal endpoints vanish ---------
+        broker.close()
+        # --- recover: a fresh broker at the same address, replay the journal -
+        recovered_broker = WsMessenger(network, "http://jr-broker")
+        recovered = journal.replay(network, "http://jr-broker")
+        assert recovered == 2
+        assert recovered_broker.subscription_count() == 2
+        recovered_broker.publish(event(2), topic="jr")
+        # consumers kept receiving across the crash
+        assert len(sink.received) == 2
+        assert len(consumer.received) == 2
+
+    def test_replay_skips_vanished_consumers(self, network):
+        journal = SubscriptionJournal()
+        broker = WsMessenger(network, "http://jr-broker", journal=journal)
+        sink, consumer = _populate(network, broker)
+        broker.close()
+        sink.close()  # one consumer died along with the broker
+        recovered_broker = WsMessenger(network, "http://jr-broker")
+        # subscriptions are re-created regardless (consumer liveness is only
+        # probed at delivery time, as with any live subscription)
+        assert journal.replay(network, "http://jr-broker") == 2
+        recovered_broker.publish(event(), topic="jr")
+        assert len(consumer.received) == 1
+        # the dead sink's subscription was reaped at first delivery failure
+        assert recovered_broker.subscription_count() == 1
+
+    def test_replay_against_unreachable_broker(self, network):
+        journal = SubscriptionJournal()
+        broker = WsMessenger(network, "http://jr-broker", journal=journal)
+        _populate(network, broker)
+        broker.close()
+        assert journal.replay(network, "http://nowhere") == 0

@@ -1,0 +1,65 @@
+"""SOAP 1.2 end-to-end and FaultTo coverage: the stack is version-agnostic
+on receive (endpoints answer whatever envelope version arrives)."""
+
+import pytest
+
+from repro.soap import SoapEnvelope, SoapFault, SoapVersion
+from repro.transport import SimulatedNetwork, SoapClient, SoapEndpoint, VirtualClock
+from repro.wsa import EndpointReference, MessageHeaders
+from repro.wse import EventSink, EventSource, WseSubscriber
+from repro.xmlkit import parse_xml
+from repro.xmlkit.element import text_element
+from repro.xmlkit.names import QName
+
+
+@pytest.fixture
+def network():
+    return SimulatedNetwork(VirtualClock())
+
+
+class TestSoap12Exchange:
+    def test_soap12_client_against_soap11_service(self, network):
+        """Version detection happens per message: a 1.2 request is parsed,
+        dispatched, and answered without configuration."""
+        source = EventSource(network, "http://v12-source")
+        sink = EventSink(network, "http://v12-sink")
+        subscriber = WseSubscriber(network)
+        subscriber._client.soap_version = SoapVersion.V12
+        handle = subscriber.subscribe(source.epr(), notify_to=sink.epr())
+        assert handle.sub_id
+        assert source.publish(parse_xml("<e/>")) == 1
+
+    def test_soap12_fault_round_trip(self, network):
+        endpoint = SoapEndpoint(network, "http://v12-faulty")
+
+        def refuse(envelope, headers):
+            from repro.soap import FaultCode
+
+            # the fault must render in the *request's* SOAP version
+            assert envelope.version is SoapVersion.V12
+            raise SoapFault(FaultCode.SENDER, "no", subcode=QName("urn:t", "Refused"))
+
+        endpoint.on_any(refuse)
+        client = SoapClient(network, soap_version=SoapVersion.V12)
+        with pytest.raises(SoapFault) as excinfo:
+            client.call(
+                EndpointReference("http://v12-faulty"),
+                "urn:t:Op",
+                [text_element(QName("urn:t", "E"), "x")],
+            )
+        assert excinfo.value.reason == "no"
+        assert excinfo.value.subcode == QName("urn:t", "Refused")
+
+
+class TestFaultTo:
+    def test_fault_to_header_round_trip(self, network):
+        from repro.soap import parse_envelope, serialize_envelope
+        from repro.wsa import apply_headers, extract_headers
+        from repro.wsa.versions import WsaVersion
+
+        headers = MessageHeaders(to="http://svc", action="urn:a")
+        headers.fault_to = EndpointReference("http://fault-collector")
+        envelope = SoapEnvelope()
+        apply_headers(envelope, headers, WsaVersion.V2005_08)
+        recovered = extract_headers(parse_envelope(serialize_envelope(envelope)))
+        assert recovered.fault_to.address == "http://fault-collector"

@@ -1,0 +1,215 @@
+"""Tests for the virtual clock, simulated network, HTTP framing and endpoints."""
+
+import pytest
+
+from repro.soap import SoapEnvelope, SoapFault, FaultCode
+from repro.transport import (
+    AddressUnreachable,
+    FirewallBlocked,
+    MessageLost,
+    SimulatedNetwork,
+    SoapClient,
+    SoapEndpoint,
+    VirtualClock,
+)
+from repro.transport.http import (
+    HttpFramingError,
+    build_request,
+    build_response,
+    parse_request,
+    parse_response,
+)
+from repro.wsa import EndpointReference
+from repro.xmlkit.element import text_element
+from repro.xmlkit.names import QName
+
+PING = QName("urn:app", "Ping")
+PONG = QName("urn:app", "Pong")
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now() == 2.5
+
+    def test_advance_to(self):
+        clock = VirtualClock(10.0)
+        clock.advance_to(12.0)
+        assert clock.now() == 12.0
+
+    def test_no_rewind(self):
+        clock = VirtualClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            clock.advance_to(1.0)
+
+
+class TestHttpFraming:
+    def test_request_roundtrip(self):
+        wire = build_request("http://host/svc", b"<x/>", soap_action="urn:a")
+        request = parse_request(wire)
+        assert request.method == "POST"
+        assert request.path == "/svc"
+        assert request.body == b"<x/>"
+        assert request.headers["SOAPAction"] == '"urn:a"'
+
+    def test_response_roundtrip(self):
+        wire = build_response(200, b"<ok/>")
+        response = parse_response(wire)
+        assert response.ok and response.body == b"<ok/>"
+
+    def test_202_accepted(self):
+        response = parse_response(build_response(202))
+        assert response.ok and response.body == b""
+
+    def test_error_status_not_ok(self):
+        assert not parse_response(build_response(500, b"<f/>")).ok
+
+    def test_malformed_request(self):
+        with pytest.raises(HttpFramingError):
+            parse_request(b"garbage")
+
+    def test_malformed_response(self):
+        with pytest.raises(HttpFramingError):
+            parse_response(b"NOPE 200")
+
+
+class TestNetwork:
+    def test_request_response(self):
+        network = SimulatedNetwork()
+        network.register("http://svc", lambda req: b"reply:" + req)
+        assert network.send_request("http://svc", b"hi") == b"reply:hi"
+
+    def test_unknown_address(self):
+        with pytest.raises(AddressUnreachable):
+            SimulatedNetwork().send_request("http://none", b"x")
+
+    def test_unregister(self):
+        network = SimulatedNetwork()
+        network.register("http://svc", lambda req: b"")
+        network.unregister("http://svc")
+        with pytest.raises(AddressUnreachable):
+            network.send_request("http://svc", b"x")
+
+    def test_latency_advances_clock(self):
+        clock = VirtualClock()
+        network = SimulatedNetwork(clock, latency=0.01)
+        network.register("http://svc", lambda req: b"")
+        network.send_request("http://svc", b"x")
+        assert clock.now() == pytest.approx(0.02)  # round trip
+
+    def test_link_latency_override(self):
+        clock = VirtualClock()
+        network = SimulatedNetwork(clock, latency=0.01)
+        network.add_zone("far")
+        network.register("http://svc", lambda req: b"", zone="far")
+        network.set_link_latency("public", "far", 0.1)
+        network.send_request("http://svc", b"x")
+        assert clock.now() == pytest.approx(0.2)
+
+    def test_firewall_blocks_inbound(self):
+        network = SimulatedNetwork()
+        network.add_zone("lan", blocks_inbound=True)
+        network.register("http://inside", lambda req: b"", zone="lan")
+        with pytest.raises(FirewallBlocked):
+            network.send_request("http://inside", b"x")
+
+    def test_firewall_allows_same_zone(self):
+        network = SimulatedNetwork()
+        network.add_zone("lan", blocks_inbound=True)
+        network.register("http://inside", lambda req: b"ok", zone="lan")
+        assert network.send_request("http://inside", b"x", from_zone="lan") == b"ok"
+
+    def test_firewalled_host_can_call_out(self):
+        network = SimulatedNetwork()
+        network.add_zone("lan", blocks_inbound=True)
+        network.register("http://outside", lambda req: b"ok")
+        assert network.send_request("http://outside", b"x", from_zone="lan") == b"ok"
+
+    def test_loss_model_deterministic_with_seed(self):
+        network = SimulatedNetwork(loss_rate=1.0, seed=1)
+        network.register("http://svc", lambda req: b"")
+        with pytest.raises(MessageLost):
+            network.send_request("http://svc", b"x")
+        assert network.stats.lost == 1
+
+    def test_stats_accounting(self):
+        network = SimulatedNetwork()
+        network.register("http://svc", lambda req: b"12345")
+        network.send_request("http://svc", b"123")
+        assert network.stats.requests == 1
+        assert network.stats.bytes_sent == 3
+        assert network.stats.bytes_received == 5
+        network.stats.reset()
+        assert network.stats.requests == 0
+
+    def test_unknown_zone_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedNetwork().register("http://svc", lambda req: b"", zone="nope")
+
+
+class TestSoapEndpoint:
+    def _setup(self):
+        network = SimulatedNetwork()
+        endpoint = SoapEndpoint(network, "http://svc")
+
+        def ping(envelope, headers):
+            reply = SoapEnvelope(envelope.version)
+            reply.add_body(text_element(PONG, envelope.body_element().text()))
+            return reply
+
+        endpoint.on_action("urn:app:Ping", ping)
+        return network, endpoint
+
+    def test_action_dispatch(self):
+        network, _ = self._setup()
+        client = SoapClient(network)
+        reply = client.call(EndpointReference("http://svc"), "urn:app:Ping", [text_element(PING, "yo")])
+        assert reply.body_element().name == PONG
+        assert reply.body_element().text() == "yo"
+
+    def test_one_way_returns_none(self):
+        network = SimulatedNetwork()
+        received = []
+        endpoint = SoapEndpoint(network, "http://sink")
+        endpoint.on_any(lambda envelope, headers: received.append(envelope) or None)
+        client = SoapClient(network)
+        result = client.call(EndpointReference("http://sink"), "urn:app:Notify", [text_element(PING, "n")])
+        assert result is None
+        assert len(received) == 1
+
+    def test_unknown_action_faults(self):
+        network, _ = self._setup()
+        client = SoapClient(network)
+        with pytest.raises(SoapFault):
+            client.call(EndpointReference("http://svc"), "urn:app:Nope", [text_element(PING, "x")])
+
+    def test_handler_fault_propagates(self):
+        network = SimulatedNetwork()
+        endpoint = SoapEndpoint(network, "http://svc")
+
+        def boom(envelope, headers):
+            raise SoapFault(FaultCode.SENDER, "rejected", subcode=QName("urn:app", "No"))
+
+        endpoint.on_action("urn:app:Ping", boom)
+        client = SoapClient(network)
+        with pytest.raises(SoapFault) as excinfo:
+            client.call(EndpointReference("http://svc"), "urn:app:Ping", [text_element(PING, "x")])
+        assert excinfo.value.reason == "rejected"
+        assert excinfo.value.subcode.local == "No"
+
+    def test_close_unregisters(self):
+        network, endpoint = self._setup()
+        endpoint.close()
+        client = SoapClient(network)
+        with pytest.raises(AddressUnreachable):
+            client.call(EndpointReference("http://svc"), "urn:app:Ping", [text_element(PING, "x")])
+
+    def test_epr(self):
+        _, endpoint = self._setup()
+        assert endpoint.epr().address == "http://svc"

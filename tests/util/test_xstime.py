@@ -1,0 +1,98 @@
+"""Tests for the XML Schema duration/dateTime lexical forms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.xstime import (
+    format_datetime,
+    format_duration,
+    parse_datetime,
+    parse_duration,
+    parse_expires,
+)
+
+
+class TestDuration:
+    @pytest.mark.parametrize(
+        "text,seconds",
+        [
+            ("PT0S", 0.0),
+            ("PT1S", 1.0),
+            ("PT5M", 300.0),
+            ("PT2H", 7200.0),
+            ("P1D", 86400.0),
+            ("P1DT2H3M4S", 86400.0 + 7200 + 180 + 4),
+            ("PT1.5S", 1.5),
+            ("P1Y", 365 * 86400.0),
+            ("P2M", 60 * 86400.0),
+            ("-PT30S", -30.0),
+        ],
+    )
+    def test_parse(self, text, seconds):
+        assert parse_duration(text) == seconds
+
+    @pytest.mark.parametrize("bad", ["", "P", "PT", "-P", "1H", "PT1H2", "P1S", "QT1S"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_duration(bad)
+
+    @pytest.mark.parametrize("seconds", [0.0, 1.0, 59.0, 61.0, 3600.0, 90061.0, 0.25])
+    def test_format_parse_roundtrip(self, seconds):
+        assert parse_duration(format_duration(seconds)) == pytest.approx(seconds)
+
+    def test_format_negative(self):
+        assert format_duration(-90).startswith("-P")
+
+    @given(st.integers(0, 10**7))
+    @settings(max_examples=200)
+    def test_roundtrip_property_integers(self, seconds):
+        assert parse_duration(format_duration(float(seconds))) == float(seconds)
+
+
+class TestDateTime:
+    def test_epoch(self):
+        assert parse_datetime("2006-01-01T00:00:00Z") == 0.0
+
+    def test_one_minute_in(self):
+        assert parse_datetime("2006-01-01T00:01:00Z") == 60.0
+
+    def test_timezone_offset(self):
+        assert parse_datetime("2006-01-01T01:00:00+01:00") == 0.0
+
+    def test_naive_assumed_utc(self):
+        assert parse_datetime("2006-01-01T00:00:30") == 30.0
+
+    def test_format(self):
+        assert format_datetime(0.0) == "2006-01-01T00:00:00Z"
+        assert format_datetime(90.0) == "2006-01-01T00:01:30Z"
+
+    def test_format_fractional(self):
+        assert format_datetime(0.5).startswith("2006-01-01T00:00:00.5")
+
+    def test_reject_garbage(self):
+        with pytest.raises(ValueError):
+            parse_datetime("yesterday")
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, seconds):
+        assert parse_datetime(format_datetime(float(seconds))) == float(seconds)
+
+
+class TestParseExpires:
+    def test_duration_is_relative_to_now(self):
+        assert parse_expires("PT60S", now=100.0) == 160.0
+
+    def test_datetime_is_absolute(self):
+        assert parse_expires("2006-01-01T00:02:00Z", now=100.0) == 120.0
+
+    def test_empty_means_no_expiry(self):
+        assert parse_expires("   ", now=0.0) is None
+
+    def test_negative_duration_lands_in_past(self):
+        assert parse_expires("-PT10S", now=100.0) == 90.0
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            parse_expires("P!", now=0.0)

@@ -1,0 +1,151 @@
+"""Tests for WS-Addressing versions, endpoint references and headers."""
+
+import pytest
+
+from repro.soap import SoapEnvelope, SoapVersion, parse_envelope, serialize_envelope
+from repro.wsa import EndpointReference, MessageHeaders, WsaVersion, apply_headers, extract_headers
+from repro.wsa.headers import detect_wsa_version, fresh_message_id
+from repro.xmlkit.element import text_element
+from repro.xmlkit.names import QName
+
+SUB_ID = QName("urn:broker", "SubscriptionId")
+
+
+class TestVersions:
+    def test_three_distinct_namespaces(self):
+        assert len({v.namespace for v in WsaVersion}) == 3
+
+    def test_reference_properties_support(self):
+        assert WsaVersion.V2003_03.supports_reference_properties
+        assert WsaVersion.V2004_08.supports_reference_properties
+        assert not WsaVersion.V2005_08.supports_reference_properties
+
+    def test_reference_parameters_support(self):
+        assert not WsaVersion.V2003_03.supports_reference_parameters
+        assert WsaVersion.V2004_08.supports_reference_parameters
+        assert WsaVersion.V2005_08.supports_reference_parameters
+
+    def test_anonymous_uris_distinct_per_version(self):
+        assert len({v.anonymous_uri for v in WsaVersion}) == 3
+
+    def test_from_namespace(self):
+        assert WsaVersion.from_namespace(WsaVersion.V2005_08.namespace) is WsaVersion.V2005_08
+        with pytest.raises(ValueError):
+            WsaVersion.from_namespace("urn:none")
+
+
+class TestEndpointReference:
+    def _epr(self):
+        epr = EndpointReference("http://broker/subs")
+        epr.with_parameter(text_element(SUB_ID, "sub-7"))
+        return epr
+
+    @pytest.mark.parametrize("version", list(WsaVersion))
+    def test_roundtrip(self, version):
+        epr = self._epr()
+        again = EndpointReference.from_element(epr.to_element(version), version)
+        assert again.address == "http://broker/subs"
+        assert again.parameter_text(SUB_ID) == "sub-7"
+
+    def test_2004_08_uses_reference_parameters_element(self):
+        text_form = str(self._epr().to_element(WsaVersion.V2004_08).find(
+            WsaVersion.V2004_08.qname("ReferenceParameters")
+        ))
+        assert text_form is not None
+
+    def test_2003_03_folds_parameters_into_properties(self):
+        elem = self._epr().to_element(WsaVersion.V2003_03)
+        assert elem.find(WsaVersion.V2003_03.qname("ReferenceProperties")) is not None
+        assert elem.find(WsaVersion.V2003_03.qname("ReferenceParameters")) is None
+
+    def test_2005_08_folds_properties_into_parameters(self):
+        epr = EndpointReference("http://x")
+        epr.with_property(text_element(SUB_ID, "p"))
+        elem = epr.to_element(WsaVersion.V2005_08)
+        assert elem.find(WsaVersion.V2005_08.qname("ReferenceParameters")) is not None
+        assert elem.find(WsaVersion.V2005_08.qname("ReferenceProperties")) is None
+
+    def test_parameter_lookup_covers_properties(self):
+        epr = EndpointReference("http://x")
+        epr.with_property(text_element(SUB_ID, "from-props"))
+        assert epr.parameter_text(SUB_ID) == "from-props"
+
+    def test_missing_address_raises(self):
+        from repro.xmlkit.element import XElem
+
+        version = WsaVersion.V2005_08
+        with pytest.raises(ValueError):
+            EndpointReference.from_element(XElem(version.qname("EndpointReference")), version)
+
+    def test_anonymous(self):
+        epr = EndpointReference.anonymous(WsaVersion.V2005_08)
+        assert epr.address == WsaVersion.V2005_08.anonymous_uri
+
+
+class TestHeaders:
+    def _request_headers(self):
+        target = EndpointReference("http://broker/mgr")
+        target.with_parameter(text_element(SUB_ID, "sub-9"))
+        return MessageHeaders.request(target, "urn:spec:Renew")
+
+    @pytest.mark.parametrize("version", list(WsaVersion))
+    def test_apply_extract_roundtrip(self, version):
+        headers = self._request_headers()
+        envelope = SoapEnvelope(SoapVersion.V11)
+        apply_headers(envelope, headers, version)
+        wire = serialize_envelope(envelope)
+        recovered = extract_headers(parse_envelope(wire))
+        assert recovered.to == "http://broker/mgr"
+        assert recovered.action == "urn:spec:Renew"
+        assert recovered.message_id == headers.message_id
+
+    def test_echoed_reference_parameters_become_headers(self):
+        headers = self._request_headers()
+        envelope = SoapEnvelope()
+        apply_headers(envelope, headers, WsaVersion.V2005_08)
+        recovered = extract_headers(parse_envelope(serialize_envelope(envelope)))
+        echoed = [e for e in recovered.echoed if e.name == SUB_ID]
+        assert echoed and echoed[0].full_text().strip() == "sub-9"
+
+    def test_2005_08_marks_is_reference_parameter(self):
+        headers = self._request_headers()
+        envelope = SoapEnvelope()
+        apply_headers(envelope, headers, WsaVersion.V2005_08)
+        block = envelope.header(SUB_ID)
+        assert block.attrs.get(WsaVersion.V2005_08.is_reference_parameter_attr) == "true"
+
+    def test_detect_version(self):
+        for version in WsaVersion:
+            envelope = SoapEnvelope()
+            apply_headers(envelope, self._request_headers(), version)
+            assert detect_wsa_version(envelope) is version
+
+    def test_detect_version_none(self):
+        assert detect_wsa_version(SoapEnvelope()) is None
+
+    def test_extract_without_wsa_raises(self):
+        with pytest.raises(ValueError):
+            extract_headers(SoapEnvelope())
+
+    def test_reply_relates_to_request(self):
+        request = self._request_headers()
+        reply = MessageHeaders.reply(request, "urn:spec:RenewResponse", WsaVersion.V2005_08)
+        assert reply.relates_to == request.message_id
+        assert reply.to == WsaVersion.V2005_08.anonymous_uri
+
+    def test_reply_honours_reply_to(self):
+        request = self._request_headers()
+        request.reply_to = EndpointReference("http://client/回")
+        reply = MessageHeaders.reply(request, "a", WsaVersion.V2005_08)
+        assert reply.to == "http://client/回"
+
+    def test_message_ids_unique(self):
+        assert fresh_message_id() != fresh_message_id()
+
+    def test_reply_to_roundtrip(self):
+        headers = self._request_headers()
+        headers.reply_to = EndpointReference("http://client/sink")
+        envelope = SoapEnvelope()
+        apply_headers(envelope, headers, WsaVersion.V2005_08)
+        recovered = extract_headers(parse_envelope(serialize_envelope(envelope)))
+        assert recovered.reply_to.address == "http://client/sink"

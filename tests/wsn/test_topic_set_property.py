@@ -1,0 +1,72 @@
+"""The producer's TopicSet resource property (WS-Topics advertisement)."""
+
+import pytest
+
+from repro.soap import SoapFault
+from repro.soap.envelope import SoapVersion
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.transport.endpoint import SoapClient
+from repro.wsn import NotificationProducer, NotificationConsumer, WsnSubscriber, WsnVersion
+from repro.wsn import messages
+from repro.wsn.producer import PROP_TOPIC_SET
+from repro.xmlkit import parse_xml
+from repro.xmlkit.names import Namespaces, QName
+
+
+@pytest.fixture
+def network():
+    return SimulatedNetwork(VirtualClock())
+
+
+def _read_property(network, producer, name):
+    client = SoapClient(
+        network, wsa_version=producer.version.wsa_version, soap_version=SoapVersion.V11
+    )
+    reply = client.call(
+        producer.epr(),
+        messages.wsrf_action("GetResourceProperty"),
+        [messages.build_get_resource_property(name)],
+    )
+    return reply.body_element()
+
+
+class TestTopicSetAdvertisement:
+    def test_topic_set_lists_published_topics(self, network):
+        producer = NotificationProducer(network, "http://producer")
+        consumer = NotificationConsumer(network, "http://consumer")
+        WsnSubscriber(network).subscribe(producer.epr(), consumer.epr(), topic="jobs/status")
+        producer.publish(parse_xml("<e/>"), topic="jobs/status")
+        producer.publish(parse_xml("<e/>"), topic="system/alerts")
+        response = _read_property(network, producer, PROP_TOPIC_SET)
+        topic_set = response.require(PROP_TOPIC_SET)
+        paths = [t.full_text() for t in topic_set.elements()]
+        assert "jobs/status" in paths and "system/alerts" in paths
+        assert "jobs" in paths  # ancestors advertised too
+
+    def test_producer_properties_readable(self, network):
+        producer = NotificationProducer(
+            network, "http://producer", producer_properties={"cluster": "A"}
+        )
+        response = _read_property(
+            network, producer, QName(Namespaces.WSRF_RP, "ProducerProperties")
+        )
+        assert "A" in response.full_text()
+
+    def test_unknown_producer_property_faults(self, network):
+        producer = NotificationProducer(network, "http://producer")
+        with pytest.raises(SoapFault):
+            _read_property(network, producer, QName("urn:x", "Nope"))
+
+    def test_no_wsrf_no_producer_property_port(self, network):
+        producer = NotificationProducer(
+            network, "http://producer", version=WsnVersion.V1_3, enable_wsrf=False
+        )
+        with pytest.raises(SoapFault):
+            _read_property(network, producer, PROP_TOPIC_SET)
+
+    def test_topic_set_document_shape(self, network):
+        producer = NotificationProducer(network, "http://producer")
+        producer.topics.add("a/b/c")
+        document = producer.topic_set_document()
+        assert document.name == PROP_TOPIC_SET
+        assert len(list(document.elements())) == 3  # a, a/b, a/b/c

@@ -1,0 +1,49 @@
+"""Tests for QName and namespace constants."""
+
+import pytest
+
+from repro.xmlkit.names import Namespaces, QName, qn
+
+
+class TestQName:
+    def test_equality_by_value(self):
+        assert QName("urn:a", "x") == QName("urn:a", "x")
+        assert QName("urn:a", "x") != QName("urn:b", "x")
+        assert QName("urn:a", "x") != QName("urn:a", "y")
+
+    def test_hashable(self):
+        table = {QName("urn:a", "x"): 1}
+        assert table[QName("urn:a", "x")] == 1
+
+    def test_str_clark_notation(self):
+        assert str(QName("urn:a", "x")) == "{urn:a}x"
+        assert str(QName("", "x")) == "x"
+
+    def test_from_clark_roundtrip(self):
+        name = QName("urn:a", "x")
+        assert QName.from_clark(str(name)) == name
+
+    def test_from_clark_no_namespace(self):
+        assert QName.from_clark("local") == QName("", "local")
+
+    def test_from_clark_malformed(self):
+        with pytest.raises(ValueError):
+            QName.from_clark("{urn:a")
+
+    def test_qn_shorthand(self):
+        assert qn("urn:a", "x") == QName("urn:a", "x")
+
+
+class TestNamespaces:
+    def test_wse_versions_distinct(self):
+        assert Namespaces.WSE_2004_01 != Namespaces.WSE_2004_08
+
+    def test_wsn_versions_distinct(self):
+        assert len({Namespaces.WSNT_10, Namespaces.WSNT_12, Namespaces.WSNT_13}) == 3
+
+    def test_wsa_versions_distinct(self):
+        assert len({Namespaces.WSA_2003_03, Namespaces.WSA_2004_08, Namespaces.WSA_2005_08}) == 3
+
+    def test_preferred_prefixes_cover_core_namespaces(self):
+        for uri in (Namespaces.WSE_2004_08, Namespaces.WSNT_13, Namespaces.WSA_2005_08):
+            assert uri in Namespaces.PREFERRED_PREFIXES

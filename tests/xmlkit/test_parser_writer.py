@@ -1,0 +1,85 @@
+"""Round-trip tests for the XML parser and serializer."""
+
+import pytest
+
+from repro.xmlkit import XmlParseError, parse_xml, serialize_xml
+from repro.xmlkit.element import XElem, text_element
+from repro.xmlkit.names import Namespaces, QName
+
+
+class TestParser:
+    def test_simple_document(self):
+        root = parse_xml("<a><b>hi</b></a>")
+        assert root.name == QName("", "a")
+        assert root.find(QName("", "b")).text() == "hi"
+
+    def test_namespaces_resolved(self):
+        root = parse_xml('<x:a xmlns:x="urn:one"><x:b/></x:a>')
+        assert root.name == QName("urn:one", "a")
+        assert root.find(QName("urn:one", "b")) is not None
+
+    def test_default_namespace(self):
+        root = parse_xml('<a xmlns="urn:d"><b/></a>')
+        assert root.name.namespace == "urn:d"
+
+    def test_attributes(self):
+        root = parse_xml('<a id="1" x:ref="2" xmlns:x="urn:one"/>')
+        assert root.attrs[QName("", "id")] == "1"
+        assert root.attrs[QName("urn:one", "ref")] == "2"
+
+    def test_mixed_content_preserved(self):
+        root = parse_xml("<a>pre<b/>post</a>")
+        assert root.children[0] == "pre"
+        assert root.children[2] == "post"
+
+    def test_malformed_raises(self):
+        with pytest.raises(XmlParseError):
+            parse_xml("<a><b></a>")
+
+    def test_bytes_accepted(self):
+        assert parse_xml(b"<a/>").name.local == "a"
+
+
+class TestWriter:
+    def test_roundtrip_preserves_structure(self):
+        source = (
+            '<w:root xmlns:w="urn:w" level="3">'
+            "<w:item>alpha</w:item><w:item join='y'>beta</w:item>"
+            "</w:root>"
+        )
+        tree = parse_xml(source)
+        assert parse_xml(serialize_xml(tree)) == tree
+
+    def test_escaping(self):
+        tree = XElem(QName("", "a"), children=['<&>"'])
+        tree.set(QName("", "attr"), 'has "quotes" & <brackets>')
+        again = parse_xml(serialize_xml(tree))
+        assert again.text() == '<&>"'
+        assert again.attrs[QName("", "attr")] == 'has "quotes" & <brackets>'
+
+    def test_preferred_prefix_used(self):
+        tree = text_element(QName(Namespaces.WSE_2004_08, "Subscribe"), "")
+        text = serialize_xml(tree)
+        assert "wse:Subscribe" in text
+
+    def test_unknown_namespace_gets_generated_prefix(self):
+        tree = XElem(QName("urn:mystery", "a"))
+        text = serialize_xml(tree)
+        assert "ns0:a" in text
+
+    def test_deterministic_output(self):
+        tree = parse_xml('<a xmlns="urn:d"><b x="1"/>text</a>')
+        assert serialize_xml(tree) == serialize_xml(tree)
+
+    def test_xml_declaration(self):
+        tree = XElem(QName("", "a"))
+        assert serialize_xml(tree, xml_declaration=True).startswith("<?xml")
+
+    def test_indent_output_reparses_equal(self):
+        source = parse_xml("<a><b>x</b><c><d/></c></a>")
+        pretty = serialize_xml(source, indent=True)
+        assert "\n" in pretty
+        assert parse_xml(pretty) == source
+
+    def test_empty_element_self_closes(self):
+        assert serialize_xml(XElem(QName("", "a"))) == "<a/>"

@@ -1,0 +1,108 @@
+"""Lexer-level tests: XPath 1.0's context-dependent token disambiguation."""
+
+import pytest
+
+from repro.xmlkit.xpath.errors import XPathSyntaxError
+from repro.xmlkit.xpath.lexer import TokenKind, tokenize
+
+
+def kinds(expr):
+    return [token.kind for token in tokenize(expr)][:-1]  # drop EOF
+
+
+def values(expr):
+    return [token.value for token in tokenize(expr)][:-1]
+
+
+class TestStarDisambiguation:
+    def test_star_after_operand_is_multiply(self):
+        assert kinds("2 * 3") == [TokenKind.NUMBER, TokenKind.OPERATOR, TokenKind.NUMBER]
+
+    def test_star_at_start_is_wildcard(self):
+        assert kinds("*")[0] is TokenKind.STAR
+
+    def test_star_after_slash_is_wildcard(self):
+        tokens = kinds("/*")
+        assert tokens == [TokenKind.OPERATOR, TokenKind.STAR]
+
+    def test_star_after_bracket_is_wildcard(self):
+        assert kinds("a[*]")[2] is TokenKind.STAR
+
+    def test_star_after_rparen_is_multiply(self):
+        assert kinds("(1) * 2")[3] is TokenKind.OPERATOR
+
+    def test_prefixed_wildcard(self):
+        assert kinds("ns:*") == [TokenKind.NAME, TokenKind.COLON, TokenKind.STAR]
+
+
+class TestOperatorNameDisambiguation:
+    def test_and_after_operand_is_operator(self):
+        tokens = tokenize("1 and 2")
+        assert tokens[1].kind is TokenKind.OPERATOR and tokens[1].value == "and"
+
+    def test_and_at_start_is_name(self):
+        assert kinds("and")[0] is TokenKind.NAME  # an element named 'and'
+
+    def test_div_as_element_name_in_path(self):
+        tokens = tokenize("/div")
+        assert tokens[1].kind is TokenKind.NAME
+
+    def test_div_after_operand_is_operator(self):
+        tokens = tokenize("4 div 2")
+        assert tokens[1].kind is TokenKind.OPERATOR
+
+
+class TestFunctionAndAxisTokens:
+    def test_function_call(self):
+        tokens = tokenize("count(x)")
+        assert tokens[0].kind is TokenKind.FUNC
+        assert tokens[1].kind is TokenKind.LPAREN
+
+    def test_node_type_not_function(self):
+        assert kinds("text()")[0] is TokenKind.NODETYPE
+        assert kinds("node()")[0] is TokenKind.NODETYPE
+
+    def test_axis_specifier(self):
+        tokens = tokenize("child::a")
+        assert tokens[0].kind is TokenKind.AXIS and tokens[0].value == "child"
+
+    def test_whitespace_before_paren_still_function(self):
+        assert kinds("count (x)")[0] is TokenKind.FUNC
+
+    def test_hyphenated_function_name(self):
+        tokens = tokenize("starts-with('a','b')")
+        assert tokens[0].value == "starts-with"
+
+
+class TestLiteralsAndNumbers:
+    def test_double_quoted_literal(self):
+        assert values('"hi"') == ["hi"]
+
+    def test_decimal_number(self):
+        assert values("3.14") == ["3.14"]
+
+    def test_leading_dot_number(self):
+        assert values(".5") == [".5"]
+
+    def test_dotdot_token(self):
+        assert kinds("..")[0] is TokenKind.DOTDOT
+
+    def test_unicode_digit_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("²")
+
+    def test_unterminated_literal(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("'oops")
+
+    def test_bang_without_equals(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("a ! b")
+
+    def test_comparison_operators(self):
+        assert values("a <= b >= c != d") == ["a", "<=", "b", ">=", "c", "!=", "d"]
+
+    def test_position_reported_on_error(self):
+        with pytest.raises(XPathSyntaxError) as excinfo:
+            tokenize("abc $")
+        assert "offset 4" in str(excinfo.value)
