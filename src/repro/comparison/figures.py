@@ -76,26 +76,28 @@ class ArchitectureTrace:
 
 
 class _Recorder:
-    """Network observer: maps wire requests to labelled edges."""
+    """Wire observer: maps completed exchanges to labelled edges."""
 
     def __init__(self, network: SimulatedNetwork, labels: dict[str, str]) -> None:
         self.labels = labels
         self.interactions: list[Interaction] = []
         self.actor = "?"
-        network.observers.append(self._observe)
+        network.wire_observers.append(self._observe)
 
     def set_actor(self, actor: str) -> None:
         self.actor = actor
 
-    def _observe(self, target_address: str, wire: bytes) -> None:
+    def _observe(self, observation) -> None:
+        if not observation.ok:
+            return  # only exchanges that actually reached the target
         try:
-            request = parse_request(wire)
+            request = parse_request(observation.request)
             envelope = parse_envelope(request.body)
             action = extract_headers(envelope).action
         except Exception:
             return
         operation = action.rsplit("/", 1)[-1]
-        target = self.labels.get(target_address)
+        target = self.labels.get(observation.address)
         if target is None:
             return
         self.interactions.append(Interaction(self.actor, target, operation))

@@ -64,6 +64,11 @@ class BrokerStats:
         self.detected[key] = self.detected.get(key, 0) + 1
 
 
+def _family_tag(spec: DetectedSpec) -> str:
+    """Short metric-label form of the spec family ("wse"/"wsn")."""
+    return "wse" if spec.family is SpecFamily.WS_EVENTING else "wsn"
+
+
 class WsMessenger:
     """The mediation broker."""
 
@@ -138,11 +143,33 @@ class WsMessenger:
     def _front_door(
         self, envelope: SoapEnvelope, headers: MessageHeaders
     ) -> Optional[SoapEnvelope]:
-        try:
-            spec = detect_spec(envelope)
-        except SpecDetectionError as exc:
-            self.stats.detection_failures += 1
-            raise SoapFault(FaultCode.SENDER, f"specification detection failed: {exc}")
+        instr = self.network.instrumentation
+        if not instr.enabled:
+            try:
+                spec = detect_spec(envelope)
+            except SpecDetectionError as exc:
+                self.stats.detection_failures += 1
+                raise SoapFault(
+                    FaultCode.SENDER, f"specification detection failed: {exc}"
+                )
+        else:
+            with instr.span("detect_spec") as span:
+                try:
+                    spec = detect_spec(envelope)
+                except SpecDetectionError as exc:
+                    self.stats.detection_failures += 1
+                    instr.count("broker.detection_failures")
+                    raise SoapFault(
+                        FaultCode.SENDER, f"specification detection failed: {exc}"
+                    )
+                span.set("family", _family_tag(spec))
+                span.set("version", spec.version.name.lower())
+                span.set("operation", spec.operation)
+            instr.count(
+                "broker.requests",
+                family=_family_tag(spec),
+                version=spec.version.name.lower(),
+            )
         self.stats.record(spec)
         if spec.operation == "Notify" and spec.family is SpecFamily.WS_NOTIFICATION:
             return self._accept_wsn_publication(envelope, spec)
@@ -184,7 +211,10 @@ class WsMessenger:
         self, envelope: SoapEnvelope, spec: DetectedSpec
     ) -> None:
         body = envelope.body_element()
-        for item in mediation.neutral_from_wsn_notify(body, spec.version):
+        items = mediation.neutral_from_wsn_notify(
+            body, spec.version, instrumentation=self.network.instrumentation
+        )
+        for item in items:
             self.publish(item.payload, topic=item.topic)
         return None
 
@@ -193,10 +223,24 @@ class WsMessenger:
     def publish(self, payload: XElem, *, topic: Optional[str] = None) -> None:
         """Publish a notification through the backbone to every consumer
         whose subscription matches — regardless of which spec they used."""
+        instr = self.network.instrumentation
         self.stats.publications += 1
-        self.backbone.publish(payload, topic)
+        if not instr.enabled:
+            self.backbone.publish(payload, topic)
+            return
+        instr.count("broker.publications")
+        with instr.span("broker.publish", topic=topic or ""):
+            self.backbone.publish(payload, topic)
 
     def _fan_out(self, payload: XElem, topic: Optional[str]) -> None:
+        instr = self.network.instrumentation
+        if not instr.enabled:
+            self._fan_out_all(payload, topic)
+            return
+        with instr.span("broker.fan_out"):
+            self._fan_out_all(payload, topic)
+
+    def _fan_out_all(self, payload: XElem, topic: Optional[str]) -> None:
         for source in self.wse_sources.values():
             source.publish(payload, topic=topic)
         for producer in self.wsn_producers.values():
@@ -234,7 +278,9 @@ class WsMessenger:
         ingest = SoapEndpoint(self.network, ingest_address)
 
         def on_notification(envelope: SoapEnvelope, headers: MessageHeaders):
-            item = mediation.neutral_from_wse_envelope(envelope)
+            item = mediation.neutral_from_wse_envelope(
+                envelope, instrumentation=self.network.instrumentation
+            )
             self.publish(item.payload, topic=item.topic)
             return None
 
@@ -265,7 +311,10 @@ class WsMessenger:
         def on_notify(envelope: SoapEnvelope, headers: MessageHeaders):
             body = envelope.body_element()
             if body.name == version.qname("Notify"):
-                for item in mediation.neutral_from_wsn_notify(body, version):
+                items = mediation.neutral_from_wsn_notify(
+                    body, version, instrumentation=self.network.instrumentation
+                )
+                for item in items:
                     self.publish(item.payload, topic=item.topic)
             else:
                 self.publish(body.copy())

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs.instrument import NULL_INSTRUMENTATION
 from repro.soap.envelope import SoapEnvelope
 from repro.wsa.headers import extract_headers
 from repro.wse.versions import WseVersion
@@ -47,12 +48,26 @@ class MediatedNotification:
 # --- WSN -> neutral -> WSE -------------------------------------------------------
 
 
-def neutral_from_wsn_notify(body: XElem, version: WsnVersion) -> list[MediatedNotification]:
+def neutral_from_wsn_notify(
+    body: XElem, version: WsnVersion, *, instrumentation=NULL_INSTRUMENTATION
+) -> list[MediatedNotification]:
     """Unwrap a wsnt:Notify into neutral notifications (category 5)."""
-    return [
-        MediatedNotification(item.payload, item.topic)
-        for item in wsn_messages.parse_notify(body, version)
-    ]
+    if not instrumentation.enabled:
+        return [
+            MediatedNotification(item.payload, item.topic)
+            for item in wsn_messages.parse_notify(body, version)
+        ]
+    with instrumentation.span(
+        "mediate", direction="wsn-to-neutral", version=version.name.lower()
+    ):
+        items = [
+            MediatedNotification(item.payload, item.topic)
+            for item in wsn_messages.parse_notify(body, version)
+        ]
+    instrumentation.count(
+        "mediation.messages", len(items), direction="wsn-to-neutral"
+    )
+    return items
 
 
 def wse_notification_parts(
@@ -69,10 +84,18 @@ def wse_notification_parts(
 # --- WSE -> neutral -> WSN --------------------------------------------------------------
 
 
-def neutral_from_wse_envelope(envelope: SoapEnvelope) -> MediatedNotification:
+def neutral_from_wse_envelope(
+    envelope: SoapEnvelope, *, instrumentation=NULL_INSTRUMENTATION
+) -> MediatedNotification:
     """Lift a raw WSE notification (topic in header, if any) to neutral form."""
-    topic = envelope.header_text(WSE_TOPIC_HEADER)
-    return MediatedNotification(envelope.body_element().copy(), topic)
+    if not instrumentation.enabled:
+        topic = envelope.header_text(WSE_TOPIC_HEADER)
+        return MediatedNotification(envelope.body_element().copy(), topic)
+    with instrumentation.span("mediate", direction="wse-to-neutral"):
+        topic = envelope.header_text(WSE_TOPIC_HEADER)
+        item = MediatedNotification(envelope.body_element().copy(), topic)
+    instrumentation.count("mediation.messages", direction="wse-to-neutral")
+    return item
 
 
 def wsn_notify_from_neutral(

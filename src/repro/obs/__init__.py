@@ -1,0 +1,48 @@
+"""repro.obs — virtual-clock-aware observability for the simulation.
+
+The paper's contribution is *comparative measurement*; this package is the
+measurement substrate the reproduction itself runs on.  Four layers:
+
+- :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket histograms
+  in a snapshot/reset-able registry (per-spec-family request counters,
+  latency distributions between benchmark phases);
+- :mod:`repro.obs.tracing` — spans timed on the :class:`VirtualClock`
+  with parent/child propagation through nested synchronous calls, so a
+  mediated publish renders as ``deliver → dispatch → mediate → notify``;
+- :mod:`repro.obs.capture` — per-exchange wire frames (zones, sizes,
+  round-trip latency, outcome including lost/blocked/unreachable);
+- :mod:`repro.obs.exporters` — a text report and a deterministic JSON
+  document, exposed via ``python -m repro obs-report``.
+
+Everything hangs off one :class:`~repro.obs.instrument.Instrumentation`
+handle installed on a :class:`~repro.transport.network.SimulatedNetwork`;
+the default is a null object (:data:`NULL_INSTRUMENTATION`) so
+uninstrumented runs pay near-zero cost.
+"""
+
+from repro.obs.capture import CapturedFrame, WireCapture
+from repro.obs.exporters import build_report, render_json_report, render_text_report
+from repro.obs.instrument import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    NullInstrumentation,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "CapturedFrame",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "NULL_INSTRUMENTATION",
+    "NullInstrumentation",
+    "Span",
+    "Tracer",
+    "WireCapture",
+    "build_report",
+    "render_json_report",
+    "render_text_report",
+]

@@ -1,0 +1,117 @@
+"""Wire capture: a frame per request/response exchange, outcome included.
+
+Subscribes to :attr:`SimulatedNetwork.wire_observers` (the response/outcome
+hook), so nothing here monkey-patches ``send_request``.  Unlike the byte
+totals in ``NetworkStats``, frames keep the per-exchange shape — who talked
+to whom across which zones, how big each direction was, how long the
+round trip took on the virtual clock, and whether the exchange succeeded
+or died as ``lost`` / ``firewall_blocked`` / ``unreachable``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CapturedFrame:
+    """One recorded exchange (sizes only; payload bytes are not retained)."""
+
+    index: int
+    address: str
+    from_zone: str
+    to_zone: Optional[str]
+    request_size: int
+    response_size: Optional[int]
+    outcome: str
+    started: float
+    finished: float
+
+    @property
+    def latency(self) -> float:
+        return self.finished - self.started
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "address": self.address,
+            "from_zone": self.from_zone,
+            "to_zone": self.to_zone,
+            "request_size": self.request_size,
+            "response_size": self.response_size,
+            "outcome": self.outcome,
+            "started": round(self.started, 9),
+            "latency": round(self.latency, 9),
+        }
+
+
+class WireCapture:
+    """In-memory store of every frame seen since the last reset."""
+
+    def __init__(self, max_frames: Optional[int] = None) -> None:
+        #: oldest frames are dropped past this bound (None = unbounded)
+        self.max_frames = max_frames
+        self.frames: list[CapturedFrame] = []
+        self._dropped = 0
+        self._next_index = 0
+
+    def record(self, observation) -> None:
+        """Wire-observer callback (receives a network ``WireObservation``)."""
+        frame = CapturedFrame(
+            index=self._next_index,
+            address=observation.address,
+            from_zone=observation.from_zone,
+            to_zone=observation.to_zone,
+            request_size=len(observation.request),
+            response_size=(
+                len(observation.response) if observation.response is not None else None
+            ),
+            outcome=observation.outcome,
+            started=observation.started,
+            finished=observation.finished,
+        )
+        self._next_index += 1
+        self.frames.append(frame)
+        if self.max_frames is not None and len(self.frames) > self.max_frames:
+            overflow = len(self.frames) - self.max_frames
+            del self.frames[:overflow]
+            self._dropped += overflow
+
+    # --- aggregation -------------------------------------------------------
+
+    def by_outcome(self) -> dict[str, int]:
+        tally: dict[str, int] = {}
+        for frame in self.frames:
+            tally[frame.outcome] = tally.get(frame.outcome, 0) + 1
+        return {k: tally[k] for k in sorted(tally)}
+
+    def total_request_bytes(self) -> int:
+        return sum(frame.request_size for frame in self.frames)
+
+    def total_response_bytes(self) -> int:
+        return sum(frame.response_size or 0 for frame in self.frames)
+
+    def reset(self) -> None:
+        self.frames.clear()
+        self._dropped = 0
+        self._next_index = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "frames": [frame.to_dict() for frame in self.frames],
+            "dropped": self._dropped,
+            "totals": {
+                "count": len(self.frames),
+                "by_outcome": self.by_outcome(),
+                "request_bytes": self.total_request_bytes(),
+                "response_bytes": self.total_response_bytes(),
+            },
+        }
+
+    def __len__(self) -> int:
+        return len(self.frames)

@@ -1,0 +1,108 @@
+"""Exporters: render one instrumented run as text or deterministic JSON.
+
+Both renderings are pure functions of the :class:`Instrumentation` state,
+which itself is a pure function of the scenario under the virtual clock —
+so running the same scenario twice yields byte-identical reports, which is
+what lets ``python -m repro obs-report`` be diffed across commits.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.instrument import Instrumentation
+
+
+def build_report(instrumentation: Instrumentation, *, title: str = "obs report") -> dict:
+    """The canonical report document (deterministically ordered)."""
+    snapshot = instrumentation.snapshot()
+    spans = snapshot["spans"]
+    wire_totals = snapshot["wire"]["totals"]
+    return {
+        "title": title,
+        "clock": snapshot["clock"],
+        "summary": {
+            "spans": len(spans),
+            "span_errors": sum(1 for s in spans if s["status"] != "ok"),
+            "metrics": len(instrumentation.metrics),
+            "wire_frames": wire_totals["count"],
+            "wire_request_bytes": wire_totals["request_bytes"],
+            "wire_response_bytes": wire_totals["response_bytes"],
+        },
+        "metrics": snapshot["metrics"],
+        "spans": spans,
+        "wire": snapshot["wire"],
+    }
+
+
+def render_json_report(
+    instrumentation: Instrumentation, *, title: str = "obs report"
+) -> str:
+    return json.dumps(
+        build_report(instrumentation, title=title), indent=2, sort_keys=True
+    )
+
+
+def render_text_report(
+    instrumentation: Instrumentation, *, title: str = "obs report"
+) -> str:
+    report = build_report(instrumentation, title=title)
+    lines = [report["title"], "=" * len(report["title"]), ""]
+
+    summary = report["summary"]
+    lines.append(
+        f"virtual clock {report['clock']:.4f}s | {summary['spans']} spans"
+        f" ({summary['span_errors']} errored) | {summary['metrics']} metric series"
+        f" | {summary['wire_frames']} wire frames"
+    )
+    lines.append("")
+
+    lines.append("Metrics")
+    lines.append("-------")
+    counters = report["metrics"]["counters"]
+    for key in counters:
+        lines.append(f"  {key:<60s} {counters[key]}")
+    gauges = report["metrics"]["gauges"]
+    for key in gauges:
+        lines.append(f"  {key:<60s} {gauges[key]:g}")
+    for key, hist in report["metrics"]["histograms"].items():
+        lines.append(
+            f"  {key:<60s} count={hist['count']} sum={hist['sum']:g}"
+            f" min={hist['min']:g} max={hist['max']:g}"
+            if hist["count"]
+            else f"  {key:<60s} count=0"
+        )
+    if not (counters or gauges or report["metrics"]["histograms"]):
+        lines.append("  (none)")
+    lines.append("")
+
+    lines.append("Spans")
+    lines.append("-----")
+    tree = instrumentation.tracer.render_tree()
+    lines.extend(
+        f"  {line}" for line in (tree.splitlines() if tree else ["(none)"])
+    )
+    lines.append("")
+
+    lines.append("Wire")
+    lines.append("----")
+    totals = report["wire"]["totals"]
+    outcome = ", ".join(f"{k}={v}" for k, v in totals["by_outcome"].items()) or "none"
+    lines.append(
+        f"  {totals['count']} exchanges ({outcome});"
+        f" {totals['request_bytes']} request bytes,"
+        f" {totals['response_bytes']} response bytes"
+    )
+    for frame in report["wire"]["frames"]:
+        response = (
+            f"{frame['response_size']}B"
+            if frame["response_size"] is not None
+            else "-"
+        )
+        lines.append(
+            f"  #{frame['index']:<3d} {frame['from_zone']}->"
+            f"{frame['to_zone'] or '?'} {frame['address']:<44s}"
+            f" {frame['request_size']}B/{response}"
+            f" {frame['latency'] * 1000:.3f}ms {frame['outcome']}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""The single handle instrumented code talks to.
+
+Hot paths hold a :class:`SimulatedNetwork` and read its ``instrumentation``
+attribute, which is either a live :class:`Instrumentation` (metrics +
+tracer + wire capture on the network's virtual clock) or the module-level
+:data:`NULL_INSTRUMENTATION` — a null object whose every operation is a
+no-op, so uninstrumented runs pay only an attribute read and an empty
+context-manager enter/exit on the hottest paths.
+
+Usage::
+
+    network = SimulatedNetwork(VirtualClock())
+    instr = Instrumentation.attach(network)     # flips the network live
+    ... run a scenario ...
+    print(render_text_report(instr))            # repro.obs.exporters
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.capture import WireCapture
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.transport.network
+    from repro.transport.network import SimulatedNetwork
+
+
+class _NullSpan:
+    """Context manager + span stand-in; every operation is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, key: str, value: str) -> None:
+        pass
+
+    def fail(self, reason: str) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullInstrumentation:
+    """The default: the same surface as :class:`Instrumentation`, inert."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def count(self, name: str, value: int = 1, **labels: str) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, **labels: str) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        pass
+
+    def record_wire(self, observation) -> None:
+        pass
+
+
+#: shared inert instance; ``SimulatedNetwork`` starts out pointing at it
+NULL_INSTRUMENTATION = NullInstrumentation()
+
+
+class Instrumentation:
+    """Live metrics registry + tracer + wire capture on one virtual clock."""
+
+    enabled = True
+
+    def __init__(self, clock, *, max_frames: Optional[int] = None) -> None:
+        self.clock = clock
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(clock)
+        self.capture = WireCapture(max_frames=max_frames)
+
+    @classmethod
+    def attach(
+        cls, network: "SimulatedNetwork", *, max_frames: Optional[int] = None
+    ) -> "Instrumentation":
+        """Create on the network's clock and install in one step."""
+        return cls(network.clock, max_frames=max_frames).install(network)
+
+    def install(self, network: "SimulatedNetwork") -> "Instrumentation":
+        """Point the network (and everything holding it) at this handle."""
+        network.instrumentation = self
+        network.wire_observers.append(self.capture.record)
+        return self
+
+    def uninstall(self, network: "SimulatedNetwork") -> None:
+        network.instrumentation = NULL_INSTRUMENTATION
+        if self.capture.record in network.wire_observers:
+            network.wire_observers.remove(self.capture.record)
+
+    # --- the hot-path surface ---------------------------------------------
+
+    def span(self, name: str, **attrs: str):
+        return self.tracer.span(name, **attrs)
+
+    def count(self, name: str, value: int = 1, **labels: str) -> None:
+        self.metrics.counter(name, **labels).inc(value)
+
+    def gauge(self, name: str, value: float, **labels: str) -> None:
+        self.metrics.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        self.metrics.histogram(name, **labels).observe(value)
+
+    def record_wire(self, observation) -> None:
+        self.capture.record(observation)
+
+    # --- lifecycle ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Deterministic state of all three layers (see also exporters)."""
+        return {
+            "clock": round(self.clock.now(), 9),
+            "metrics": self.metrics.snapshot(),
+            "spans": [span.to_dict() for span in self.tracer.spans],
+            "wire": self.capture.snapshot(),
+        }
+
+    def reset(self) -> None:
+        """Zero everything between benchmark phases."""
+        self.metrics.reset()
+        self.tracer.reset()
+        self.capture.reset()

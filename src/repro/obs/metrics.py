@@ -1,0 +1,184 @@
+"""Metrics: labelled counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` hands out instruments keyed by ``(name, labels)``;
+asking twice for the same key returns the same instrument, so hot paths can
+simply call ``registry.counter("broker.requests", family="wse").inc()``.
+Snapshots are plain dicts with deterministically ordered keys, and
+:meth:`MetricsRegistry.reset` zeroes every instrument between benchmark
+phases without invalidating references already handed out.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Optional
+
+#: default histogram buckets, in virtual seconds (upper bounds; +Inf implied)
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+
+def metric_key(name: str, labels: dict[str, str]) -> str:
+    """Render ``name{k=v,...}`` with labels sorted — the canonical key."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A point-in-time value (e.g. live subscriptions)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """A fixed-bucket histogram (cumulative counts plus sum/count/min/max)."""
+
+    __slots__ = ("buckets", "counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self.reset()
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)  # last slot is +Inf
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        buckets = {f"le={bound:g}": n for bound, n in zip(self.buckets, self.counts)}
+        buckets["le=+Inf"] = self.counts[-1]
+        return {
+            "count": self.count,
+            "sum": round(self.total, 9),
+            "min": self.minimum,
+            "max": self.maximum,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """All instruments of one instrumented run, keyed deterministically."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # --- instrument access -------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = metric_key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = metric_key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        key = metric_key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(buckets)
+        return instrument
+
+    # --- aggregation -------------------------------------------------------
+
+    def counter_values(self, name: str) -> dict[str, int]:
+        """All counter series of one metric name, keyed by full key."""
+        prefix = name + "{"
+        return {
+            key: c.value
+            for key, c in sorted(self._counters.items())
+            if key == name or key.startswith(prefix)
+        }
+
+    def snapshot(self) -> dict:
+        """A plain, deterministic dict of every instrument's state."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.snapshot() for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero everything; handed-out instrument references stay valid."""
+        for counter in self._counters.values():
+            counter.reset()
+        for gauge in self._gauges.values():
+            gauge.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)

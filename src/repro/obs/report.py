@@ -1,0 +1,78 @@
+"""``python -m repro obs-report`` — the observability subsystem, demonstrated.
+
+Runs a small canonical mediation scenario with full instrumentation — an
+external WS-Eventing source bridged into the WS-Messenger broker, fanned
+out to a WSE sink and a WSN consumer, plus one doomed delivery into a
+firewalled zone — and renders the text and JSON reports.  Everything runs
+on the virtual clock, so the output is byte-identical across invocations.
+"""
+
+from __future__ import annotations
+
+from repro.obs.exporters import render_json_report, render_text_report
+from repro.obs.instrument import Instrumentation
+
+DEMO_TOPIC = "obs/demo"
+
+
+def run_demo_scenario() -> Instrumentation:
+    """The instrumented mediated-publish lifecycle; returns the handle."""
+    from repro.messenger import WsMessenger, mediation
+    from repro.transport import SimulatedNetwork, VirtualClock
+    from repro.wse import EventSink, EventSource, WseSubscriber
+    from repro.wsn import NotificationConsumer, WsnSubscriber
+    from repro.xmlkit import parse_xml
+
+    network = SimulatedNetwork(VirtualClock())
+    instrumentation = Instrumentation.attach(network)
+
+    # an external WSE source bridged into the broker (publisher side)
+    source = EventSource(
+        network, "http://obs-wse-source", topic_header=mediation.WSE_TOPIC_HEADER
+    )
+    broker = WsMessenger(network, "http://obs-broker")
+    broker.bridge_from_wse_source(source.epr())
+
+    # consumers of both families behind the broker front door
+    sink = EventSink(network, "http://obs-wse-sink")
+    WseSubscriber(network).subscribe(broker.epr(), notify_to=sink.epr())
+    consumer = NotificationConsumer(network, "http://obs-wsn-consumer")
+    WsnSubscriber(network).subscribe(broker.epr(), consumer.epr(), topic=DEMO_TOPIC)
+
+    # one consumer behind a stateful firewall: its push delivery must fail,
+    # giving the wire capture a firewall_blocked frame to show
+    network.add_zone("intranet", blocks_inbound=True)
+    doomed = NotificationConsumer(network, "http://obs-doomed", zone="intranet")
+    WsnSubscriber(network).subscribe(broker.epr(), doomed.epr(), topic=DEMO_TOPIC)
+
+    event = parse_xml(
+        '<obs:Reading xmlns:obs="urn:obs-demo"><obs:value>42</obs:value></obs:Reading>'
+    )
+    source.publish(event, topic=DEMO_TOPIC)
+
+    # one unreachable push for the third failure outcome
+    try:
+        network.send_request("http://obs-nowhere", b"probe")
+    except Exception:
+        pass
+    return instrumentation
+
+
+def obs_report_main(argv: list[str] | None = None) -> int:
+    """CLI: print the text report, then the JSON document (``--json`` for
+    JSON only, ``--text`` for text only)."""
+    argv = list(argv or [])
+    want_json = "--text" not in argv or "--json" in argv
+    want_text = "--json" not in argv or "--text" in argv
+    instrumentation = run_demo_scenario()
+    title = "repro.obs report — mediated publish (WSE source -> broker -> WSE/WSN consumers)"
+    try:
+        if want_text:
+            print(render_text_report(instrumentation, title=title))
+        if want_text and want_json:
+            print()
+        if want_json:
+            print(render_json_report(instrumentation, title=title))
+    except BrokenPipeError:  # e.g. piped into `head`
+        pass
+    return 0

@@ -1,0 +1,138 @@
+"""Tracing: spans on the virtual clock with automatic parentage.
+
+The whole simulation is synchronous, so span context is a plain stack: a
+span opened while another is active becomes its child, which makes a
+mediated publish come out as one connected tree
+
+    deliver → dispatch → detect_spec / mediate → notify → deliver → ...
+
+with no explicit context passing anywhere in the instrumented code.
+Timestamps come from the :class:`VirtualClock`, so traces are bit-for-bit
+deterministic across runs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+
+class Span:
+    """One timed operation: name, attributes, start/end, parent linkage."""
+
+    __slots__ = ("span_id", "parent_id", "name", "attrs", "start", "end", "status", "error")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        attrs: dict[str, str],
+        start: float,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.start = start
+        self.end: Optional[float] = None
+        self.status = "ok"
+        self.error: Optional[str] = None
+
+    def set(self, key: str, value: str) -> None:
+        """Attach an attribute discovered mid-span (e.g. the detected spec)."""
+        self.attrs[key] = value
+
+    def fail(self, reason: str) -> None:
+        self.status = "error"
+        self.error = reason
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def to_dict(self) -> dict:
+        record = {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "attrs": {k: self.attrs[k] for k in sorted(self.attrs)},
+            "start": round(self.start, 9),
+            "end": round(self.end, 9) if self.end is not None else None,
+            "status": self.status,
+        }
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+    def __repr__(self) -> str:
+        return f"Span(#{self.span_id} {self.name!r} parent={self.parent_id})"
+
+
+class Tracer:
+    """Produces spans and stores every finished one in memory."""
+
+    def __init__(self, clock) -> None:
+        self._clock = clock
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    @contextmanager
+    def span(self, name: str, **attrs: str) -> Iterator[Span]:
+        parent = self._stack[-1].span_id if self._stack else None
+        record = Span(self._next_id, parent, name, dict(attrs), self._clock.now())
+        self._next_id += 1
+        self.spans.append(record)
+        self._stack.append(record)
+        try:
+            yield record
+        except BaseException as exc:
+            record.fail(f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            record.end = self._clock.now()
+            self._stack.pop()
+
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def roots(self) -> list[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def depth_of(self, span: Span) -> int:
+        """Nesting depth (roots are 0) — connectivity check for tests."""
+        by_id = {s.span_id: s for s in self.spans}
+        depth = 0
+        while span.parent_id is not None:
+            span = by_id[span.parent_id]
+            depth += 1
+        return depth
+
+    def reset(self) -> None:
+        """Drop finished spans (open spans keep their stack for nesting)."""
+        self.spans = list(self._stack)
+
+    def render_tree(self) -> str:
+        """Indented text rendering of every span tree, in id order."""
+        lines: list[str] = []
+
+        def walk(span: Span, indent: int) -> None:
+            attrs = " ".join(
+                f"{k}={span.attrs[k]}" for k in sorted(span.attrs)
+            )
+            flag = "" if span.status == "ok" else f" !{span.status}"
+            lines.append(
+                f"{'  ' * indent}{span.name}"
+                f" [{span.start:.4f}s +{span.duration * 1000:.3f}ms]"
+                f"{(' ' + attrs) if attrs else ''}{flag}"
+            )
+            for child in self.children_of(span):
+                walk(child, indent + 1)
+
+        for root in self.roots():
+            walk(root, 0)
+        return "\n".join(lines)

@@ -24,6 +24,7 @@ from repro.transport.network import (
     NetworkError,
     NetworkStats,
     SimulatedNetwork,
+    WireObservation,
     Zone,
 )
 from repro.transport.endpoint import SoapClient, SoapEndpoint
@@ -39,4 +40,5 @@ __all__ = [
     "NetworkStats",
     "SoapEndpoint",
     "SoapClient",
+    "WireObservation",
 ]

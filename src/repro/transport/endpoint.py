@@ -63,16 +63,42 @@ class SoapEndpoint:
     # --- wire handling ----------------------------------------------------
 
     def _handle_wire(self, wire: bytes) -> bytes:
+        instr = self.network.instrumentation
         request = parse_request(wire)
         try:
             envelope = parse_envelope(request.body)
         except ValueError as exc:
             fault = SoapFault(FaultCode.SENDER, f"unparseable envelope: {exc}")
+            instr.count("endpoint.requests", address=self.address, status="parse_error")
             return build_response(400, self._fault_bytes(fault, SoapVersion.V11))
         try:
             headers = extract_headers(envelope)
         except ValueError:
             headers = MessageHeaders(to=self.address, action="")
+        if not instr.enabled:
+            return self._dispatch(envelope, headers)
+        with instr.span("dispatch", address=self.address, action=headers.action) as span:
+            handler = self._handlers.get(headers.action, self._fallback)
+            if handler is None:
+                span.fail(f"no handler for {headers.action!r}")
+                instr.count("endpoint.requests", address=self.address, status="no_handler")
+                fault = SoapFault(
+                    FaultCode.SENDER, f"no handler for action {headers.action!r}"
+                )
+                return build_response(500, self._fault_bytes(fault, envelope.version))
+            try:
+                reply = handler(envelope, headers)
+            except SoapFault as fault:
+                span.fail(f"fault: {fault.reason}")
+                instr.count("endpoint.requests", address=self.address, status="fault")
+                return build_response(500, self._fault_bytes(fault, envelope.version))
+            instr.count("endpoint.requests", address=self.address, status="ok")
+            if reply is None:
+                return build_response(202)
+            return build_response(200, serialize_envelope(reply).encode("utf-8"))
+
+    def _dispatch(self, envelope: SoapEnvelope, headers: MessageHeaders) -> bytes:
+        """Uninstrumented action dispatch (the seed hot path, unchanged)."""
         handler = self._handlers.get(headers.action, self._fallback)
         if handler is None:
             fault = SoapFault(

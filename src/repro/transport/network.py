@@ -14,6 +14,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.obs.instrument import NULL_INSTRUMENTATION
 from repro.transport.clock import VirtualClock
 
 Handler = Callable[[bytes], bytes]
@@ -48,19 +49,61 @@ class Zone:
 
 @dataclass
 class NetworkStats:
-    """Aggregate wire accounting, reset-able between benchmark phases."""
+    """Aggregate wire accounting, reset-able between benchmark phases.
+
+    ``bytes_sent`` counts every request that left a sender, including ones
+    the loss model dropped in flight (the sender still paid for them);
+    refusals never leave the sender, so their bytes are not counted.
+    """
 
     requests: int = 0
     responses: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
-    refused: int = 0
+    unreachable: int = 0
+    firewall_blocked: int = 0
     lost: int = 0
+
+    @property
+    def refused(self) -> int:
+        """Connection refusals of either kind (backward-compatible sum)."""
+        return self.unreachable + self.firewall_blocked
 
     def reset(self) -> None:
         self.requests = self.responses = 0
         self.bytes_sent = self.bytes_received = 0
-        self.refused = self.lost = 0
+        self.unreachable = self.firewall_blocked = self.lost = 0
+
+
+@dataclass(frozen=True)
+class WireObservation:
+    """One completed ``send_request`` attempt, outcome included.
+
+    Handed to every callback in :attr:`SimulatedNetwork.wire_observers`
+    after the exchange resolves — successfully or not — so observability
+    layers (``repro.obs.capture``) see responses and failures without
+    monkey-patching the transport.
+    """
+
+    address: str
+    from_zone: str
+    #: the target's zone, or None when the address was unreachable
+    to_zone: Optional[str]
+    request: bytes
+    #: response bytes on success, None on any failure outcome
+    response: Optional[bytes]
+    #: "ok", "unreachable", "firewall_blocked", "lost" or "error"
+    outcome: str
+    started: float
+    finished: float
+
+    @property
+    def latency(self) -> float:
+        return self.finished - self.started
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
 
 
 @dataclass
@@ -93,9 +136,15 @@ class SimulatedNetwork:
         self._zones: dict[str, Zone] = {PUBLIC_ZONE: Zone(PUBLIC_ZONE)}
         self._registrations: dict[str, _Registration] = {}
         self._link_latency: dict[tuple[str, str], float] = {}
-        #: wire observers: called with (target_address, request_bytes) for
-        #: every delivered request (interaction tracing for the figures)
+        #: request observers: called with (target_address, request_bytes)
+        #: just before a request is handed to its handler; may raise a
+        #: NetworkError to inject failures (see tests' loss schedules)
         self.observers: list[Callable[[str, bytes], None]] = []
+        #: outcome observers: called with a WireObservation after every
+        #: send_request attempt resolves, success or failure
+        self.wire_observers: list[Callable[[WireObservation], None]] = []
+        #: observability handle (see repro.obs); the null object by default
+        self.instrumentation = NULL_INSTRUMENTATION
 
     # --- topology ----------------------------------------------------------
 
@@ -131,24 +180,73 @@ class SimulatedNetwork:
 
         Raises :class:`AddressUnreachable`, :class:`FirewallBlocked` or
         :class:`MessageLost`; otherwise advances the clock by the round-trip
-        latency and returns the response bytes.
+        latency and returns the response bytes.  When instrumented, every
+        attempt — failed or not — is reported to :attr:`wire_observers` as a
+        :class:`WireObservation` and spanned as ``deliver``.
         """
+        instr = self.instrumentation
+        if not (instr.enabled or self.wire_observers):
+            # the uninstrumented fast path: identical to the seed hot path
+            return self._transfer(target_address, payload, from_zone)
+        started = self.clock.now()
+        response: Optional[bytes] = None
+        outcome = "error"
+        with instr.span("deliver", address=target_address, from_zone=from_zone):
+            try:
+                response = self._transfer(target_address, payload, from_zone)
+                outcome = "ok"
+                return response
+            except AddressUnreachable:
+                outcome = "unreachable"
+                raise
+            except FirewallBlocked:
+                outcome = "firewall_blocked"
+                raise
+            except MessageLost:
+                outcome = "lost"
+                raise
+            finally:
+                finished = self.clock.now()
+                instr.count("net.requests", outcome=outcome)
+                instr.observe("net.rtt_seconds", finished - started)
+                if self.wire_observers:
+                    registration = self._registrations.get(target_address)
+                    observation = WireObservation(
+                        address=target_address,
+                        from_zone=from_zone,
+                        to_zone=registration.zone if registration else None,
+                        request=payload,
+                        response=response,
+                        outcome=outcome,
+                        started=started,
+                        finished=finished,
+                    )
+                    for hook in self.wire_observers:
+                        hook(observation)
+
+    def _transfer(self, target_address: str, payload: bytes, from_zone: str) -> bytes:
+        """The wire itself: zone checks, loss model, latency, handler call."""
         registration = self._registrations.get(target_address)
         if registration is None:
-            self.stats.refused += 1
+            self.stats.unreachable += 1
             raise AddressUnreachable(target_address)
         target_zone = self._zones[registration.zone]
         if target_zone.blocks_inbound and from_zone != registration.zone:
-            self.stats.refused += 1
+            self.stats.firewall_blocked += 1
             raise FirewallBlocked(
                 f"zone {target_zone.name!r} refuses inbound connections from {from_zone!r}"
             )
         if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
             self.stats.lost += 1
+            self.stats.bytes_sent += len(payload)
             raise MessageLost(target_address)
         one_way = self._link_latency.get((from_zone, registration.zone), self.latency)
-        for observer in self.observers:
-            observer(target_address, payload)
+        try:
+            for observer in self.observers:
+                observer(target_address, payload)
+        except MessageLost:
+            self.stats.bytes_sent += len(payload)
+            raise
         self.stats.requests += 1
         self.stats.bytes_sent += len(payload)
         self.clock.advance(one_way)

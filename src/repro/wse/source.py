@@ -55,6 +55,7 @@ class EventSource:
     ) -> None:
         self.network = network
         self.version = version
+        self._version_tag = version.name.lower()  # metric/span label form
         self.clock = network.clock
         self.default_lifetime = default_lifetime
         self.max_lifetime = max_lifetime
@@ -267,6 +268,19 @@ class EventSource:
         WS-Eventing has no topic model — ``topic`` only feeds filters that
         look at it (the mediation layer maps WSN topics through here).
         """
+        instr = self.network.instrumentation
+        if not instr.enabled:
+            return self._fan_out_event(payload, action, topic)
+        with instr.span("wse.publish", source=self.address, version=self._version_tag):
+            delivered = self._fan_out_event(payload, action, topic)
+        instr.count(
+            "notifications.matched", delivered, family="wse", version=self._version_tag
+        )
+        return delivered
+
+    def _fan_out_event(
+        self, payload: XElem, action: str, topic: Optional[str]
+    ) -> int:
         self.store.sweep_expired()
         context = FilterContext(
             payload, topic=topic, producer_properties=self.producer_properties
@@ -306,30 +320,57 @@ class EventSource:
             extra.append(text_element(self.topic_header, topic))
 
         def attempt() -> None:
-            self._client.call(
-                subscription.notify_to,
-                action,
-                [payload.copy()],
-                expect_reply=False,
-                extra_headers=extra,
-            )
+            instr = self.network.instrumentation
+            if not instr.enabled:
+                self._client.call(
+                    subscription.notify_to,
+                    action,
+                    [payload.copy()],
+                    expect_reply=False,
+                    extra_headers=extra,
+                )
+                return
+            with instr.span("notify", family="wse", to=subscription.notify_to.address):
+                self._client.call(
+                    subscription.notify_to,
+                    action,
+                    [payload.copy()],
+                    expect_reply=False,
+                    extra_headers=extra,
+                )
 
         self._deliver_with_retries(subscription, attempt)
 
     def _deliver_with_retries(self, subscription: WseSubscription, attempt) -> None:
         from repro.transport.network import MessageLost
 
+        instr = self.network.instrumentation
         for remaining in range(self.delivery_retries, -1, -1):
             try:
                 attempt()
+                if instr.enabled:
+                    instr.count(
+                        "notifications.delivered", family="wse",
+                        version=self._version_tag,
+                    )
                 return
             except MessageLost as exc:
                 if remaining == 0:  # transient, but retries exhausted
+                    if instr.enabled:
+                        instr.count(
+                            "notifications.failed", family="wse",
+                            version=self._version_tag,
+                        )
                     self._end_subscription(
                         subscription, SubscriptionEndCode.DELIVERY_FAILURE, str(exc)
                     )
             except (NetworkError, SoapFault) as exc:
                 # hard failure (unreachable/refused/fault): no point retrying
+                if instr.enabled:
+                    instr.count(
+                        "notifications.failed", family="wse",
+                        version=self._version_tag,
+                    )
                 self._end_subscription(
                     subscription, SubscriptionEndCode.DELIVERY_FAILURE, str(exc)
                 )
@@ -340,12 +381,25 @@ class EventSource:
         wrapper = messages.build_wrapped_notification(self.version, batch)
 
         def attempt() -> None:
-            self._client.call(
-                subscription.notify_to,
-                self.version.action("Notifications"),
-                [wrapper],
-                expect_reply=False,
-            )
+            instr = self.network.instrumentation
+            if not instr.enabled:
+                self._client.call(
+                    subscription.notify_to,
+                    self.version.action("Notifications"),
+                    [wrapper],
+                    expect_reply=False,
+                )
+                return
+            with instr.span(
+                "notify", family="wse", mode="wrapped",
+                to=subscription.notify_to.address,
+            ):
+                self._client.call(
+                    subscription.notify_to,
+                    self.version.action("Notifications"),
+                    [wrapper],
+                    expect_reply=False,
+                )
 
         self._deliver_with_retries(subscription, attempt)
 

@@ -79,6 +79,7 @@ class NotificationProducer:
     ) -> None:
         self.network = network
         self.version = version
+        self._version_tag = version.name.lower()  # metric/span label form
         self.clock = network.clock
         self.default_lifetime = default_lifetime
         self.topics = topic_namespace or TopicNamespace()
@@ -431,6 +432,22 @@ class NotificationProducer:
                 FaultCode.SENDER,
                 f"WS-BaseNotification {self.version.name} publications require a topic",
             )
+        instr = self.network.instrumentation
+        if not instr.enabled:
+            return self._match_and_deliver(payload, topic)
+        with instr.span(
+            "wsn.publish",
+            producer=self.address,
+            version=self._version_tag,
+            topic=topic or "",
+        ):
+            matched = self._match_and_deliver(payload, topic)
+        instr.count(
+            "notifications.matched", matched, family="wsn", version=self._version_tag
+        )
+        return matched
+
+    def _match_and_deliver(self, payload: XElem, topic: Optional[str]) -> int:
         if topic is not None:
             try:
                 self.topics.validate_publication(topic)
@@ -465,30 +482,50 @@ class NotificationProducer:
     def _deliver(
         self, subscription: WsnSubscription, notifications: list[NotificationMessage]
     ) -> None:
+        instr = self.network.instrumentation
         try:
-            if subscription.use_raw:
-                for item in notifications:
-                    self._client.call(
-                        subscription.consumer,
-                        self.version.action("Notify"),
-                        [item.payload.copy()],
-                        expect_reply=False,
-                    )
+            if not instr.enabled:
+                self._send_notifications(subscription, notifications)
             else:
-                body = messages.build_notify(self.version, notifications)
-                self._client.call(
-                    subscription.consumer,
-                    self.version.action("Notify"),
-                    [body],
-                    expect_reply=False,
+                with instr.span(
+                    "notify", family="wsn", to=subscription.consumer.address,
+                    raw=str(subscription.use_raw).lower(),
+                ):
+                    self._send_notifications(subscription, notifications)
+                instr.count(
+                    "notifications.delivered", family="wsn", version=self._version_tag
                 )
         except (NetworkError, SoapFault):
             # failed consumer: destroy the subscription (soft state would
             # collect it anyway; this mirrors WSE's DeliveryFailure ending)
+            if instr.enabled:
+                instr.count(
+                    "notifications.failed", family="wsn", version=self._version_tag
+                )
             try:
                 self.registry.destroy(subscription.key, reason="delivery failure")
             except ResourceUnknownFault:
                 pass
+
+    def _send_notifications(
+        self, subscription: WsnSubscription, notifications: list[NotificationMessage]
+    ) -> None:
+        if subscription.use_raw:
+            for item in notifications:
+                self._client.call(
+                    subscription.consumer,
+                    self.version.action("Notify"),
+                    [item.payload.copy()],
+                    expect_reply=False,
+                )
+        else:
+            body = messages.build_notify(self.version, notifications)
+            self._client.call(
+                subscription.consumer,
+                self.version.action("Notify"),
+                [body],
+                expect_reply=False,
+            )
 
     # --- termination -----------------------------------------------------------------------
 

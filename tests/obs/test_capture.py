@@ -1,0 +1,86 @@
+"""Wire capture: every outcome recorded via the network's outcome hook."""
+
+import pytest
+
+from repro.obs.capture import WireCapture
+from repro.transport import (
+    AddressUnreachable,
+    FirewallBlocked,
+    MessageLost,
+    SimulatedNetwork,
+    VirtualClock,
+)
+
+
+def wired_network(**kwargs):
+    network = SimulatedNetwork(VirtualClock(), **kwargs)
+    capture = WireCapture()
+    network.wire_observers.append(capture.record)
+    return network, capture
+
+
+class TestOutcomes:
+    def test_ok_frame_records_sizes_zones_latency(self):
+        network, capture = wired_network(latency=0.002)
+        network.register("http://svc", lambda wire: b"PONG!")
+        network.send_request("http://svc", b"PING")
+        (frame,) = capture.frames
+        assert frame.ok
+        assert frame.address == "http://svc"
+        assert frame.from_zone == "public"
+        assert frame.to_zone == "public"
+        assert frame.request_size == 4
+        assert frame.response_size == 5
+        assert frame.latency == pytest.approx(0.004)  # round trip
+
+    def test_unreachable_frame_has_no_target_zone(self):
+        network, capture = wired_network()
+        with pytest.raises(AddressUnreachable):
+            network.send_request("http://nowhere", b"x")
+        (frame,) = capture.frames
+        assert frame.outcome == "unreachable"
+        assert frame.to_zone is None
+        assert frame.response_size is None
+        assert not frame.ok
+
+    def test_firewall_and_loss_outcomes(self):
+        network, capture = wired_network(loss_rate=1.0)
+        network.add_zone("intranet", blocks_inbound=True)
+        network.register("http://inside", lambda wire: b"", zone="intranet")
+        network.register("http://open", lambda wire: b"")
+        with pytest.raises(FirewallBlocked):
+            network.send_request("http://inside", b"x")
+        with pytest.raises(MessageLost):
+            network.send_request("http://open", b"x")
+        assert capture.by_outcome() == {"firewall_blocked": 1, "lost": 1}
+
+    def test_frames_do_not_retain_payload_bytes(self):
+        network, capture = wired_network()
+        network.register("http://svc", lambda wire: b"ok")
+        network.send_request("http://svc", b"secret")
+        frame = capture.frames[0]
+        assert not hasattr(frame, "request")
+        assert frame.request_size == 6
+
+
+class TestStoreLifecycle:
+    def test_max_frames_drops_oldest_but_keeps_indices(self):
+        network, capture = wired_network()
+        capture.max_frames = 2
+        network.register("http://svc", lambda wire: b"")
+        for _ in range(5):
+            network.send_request("http://svc", b"x")
+        assert [f.index for f in capture.frames] == [3, 4]
+        assert capture.snapshot()["dropped"] == 3
+
+    def test_totals_and_reset(self):
+        network, capture = wired_network()
+        network.register("http://svc", lambda wire: b"abc")
+        network.send_request("http://svc", b"12345")
+        network.send_request("http://svc", b"12")
+        assert capture.total_request_bytes() == 7
+        assert capture.total_response_bytes() == 6
+        assert len(capture) == 2
+        capture.reset()
+        assert len(capture) == 0
+        assert capture.snapshot()["totals"]["count"] == 0

@@ -1,0 +1,77 @@
+"""Exporters and the obs-report CLI: deterministic text and JSON output."""
+
+import json
+
+from repro.__main__ import main
+from repro.obs import Instrumentation, build_report, render_json_report, render_text_report
+from repro.obs.report import run_demo_scenario
+from repro.transport import SimulatedNetwork, VirtualClock
+
+
+def tiny_instrumented_run():
+    network = SimulatedNetwork(VirtualClock())
+    instrumentation = Instrumentation.attach(network)
+    network.register("http://svc", lambda wire: b"ok")
+    network.send_request("http://svc", b"ping")
+    return instrumentation
+
+
+class TestReportDocument:
+    def test_summary_matches_layers(self):
+        instrumentation = tiny_instrumented_run()
+        report = build_report(instrumentation, title="t")
+        assert report["title"] == "t"
+        assert report["summary"]["spans"] == len(instrumentation.tracer.spans)
+        assert report["summary"]["wire_frames"] == 1
+        assert report["summary"]["span_errors"] == 0
+        assert report["wire"]["totals"]["by_outcome"] == {"ok": 1}
+
+    def test_json_report_is_valid_and_sorted(self):
+        text = render_json_report(tiny_instrumented_run())
+        document = json.loads(text)
+        assert list(document) == sorted(document)
+        # deterministic rendering: same document round-trips byte-identically
+        assert json.dumps(document, indent=2, sort_keys=True) == text
+
+    def test_text_report_has_all_sections(self):
+        rendered = render_text_report(tiny_instrumented_run(), title="tiny run")
+        assert rendered.splitlines()[0] == "tiny run"
+        for section in ("Metrics", "Spans", "Wire"):
+            assert section in rendered
+        assert "net.requests{outcome=ok}" in rendered
+        assert "deliver" in rendered
+
+
+class TestDeterminism:
+    def test_demo_scenario_renders_identically_across_runs(self):
+        first = render_json_report(run_demo_scenario())
+        second = render_json_report(run_demo_scenario())
+        assert first == second
+        first_text = render_text_report(run_demo_scenario())
+        second_text = render_text_report(run_demo_scenario())
+        assert first_text == second_text
+
+    def test_demo_scenario_shows_all_failure_outcomes(self):
+        report = build_report(run_demo_scenario())
+        outcomes = report["wire"]["totals"]["by_outcome"]
+        assert outcomes["ok"] > 0
+        assert outcomes["firewall_blocked"] > 0
+        assert outcomes["unreachable"] == 1
+
+
+class TestCli:
+    def test_obs_report_subcommand_runs(self, capsys):
+        assert main(["obs-report"]) == 0
+        out = capsys.readouterr().out
+        assert "repro.obs report" in out
+        assert "Metrics" in out
+        assert '"summary"' in out  # the JSON document follows the text
+
+    def test_obs_report_json_only(self, capsys):
+        assert main(["obs-report", "--json"]) == 0
+        out = capsys.readouterr().out
+        document = json.loads(out)
+        assert document["summary"]["spans"] > 0
+
+    def test_unknown_subcommand_fails(self, capsys):
+        assert main(["no-such-subcommand"]) == 2

@@ -1,0 +1,102 @@
+"""Unit tests for the metrics layer: keys, instruments, registry lifecycle."""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+)
+
+
+class TestMetricKey:
+    def test_bare_name_without_labels(self):
+        assert metric_key("broker.requests", {}) == "broker.requests"
+
+    def test_labels_render_sorted(self):
+        key = metric_key("broker.requests", {"version": "v1_3", "family": "wsn"})
+        assert key == "broker.requests{family=wsn,version=v1_3}"
+
+
+class TestInstruments:
+    def test_counter_inc_and_reset(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        counter.reset()
+        assert counter.value == 0
+
+    def test_gauge_set_add_reset(self):
+        gauge = Gauge()
+        gauge.set(3.0)
+        gauge.add(-1.0)
+        assert gauge.value == 2.0
+        gauge.reset()
+        assert gauge.value == 0.0
+
+    def test_histogram_buckets_and_stats(self):
+        hist = Histogram(buckets=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.05, 5.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.minimum == 0.0005
+        assert hist.maximum == 5.0
+        assert hist.mean == sum((0.0005, 0.005, 0.05, 5.0)) / 4
+        snap = hist.snapshot()
+        assert snap["buckets"] == {
+            "le=0.001": 1,
+            "le=0.01": 1,
+            "le=0.1": 1,
+            "le=+Inf": 1,
+        }
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram().mean == 0.0
+
+
+class TestRegistry:
+    def test_same_key_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", family="wse")
+        b = registry.counter("hits", family="wse")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_different_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", family="wse").inc()
+        registry.counter("hits", family="wsn").inc(2)
+        assert registry.counter_values("hits") == {
+            "hits{family=wse}": 1,
+            "hits{family=wsn}": 2,
+        }
+
+    def test_counter_values_does_not_match_prefix_names(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits.sub").inc()
+        assert registry.counter_values("hits") == {"hits": 1}
+
+    def test_snapshot_is_sorted_and_plain(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        registry.gauge("depth").set(7)
+        registry.histogram("latency", buckets=DEFAULT_BUCKETS).observe(0.002)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["gauges"] == {"depth": 7.0}
+        assert snap["histograms"]["latency"]["count"] == 1
+        assert len(registry) == 4
+
+    def test_reset_keeps_handed_out_references_valid(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        counter.inc(9)
+        registry.reset()
+        assert counter.value == 0
+        counter.inc()
+        assert registry.counter("hits").value == 1

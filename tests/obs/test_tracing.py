@@ -1,0 +1,89 @@
+"""Unit tests for the tracer: nesting, parentage, error capture, reset."""
+
+import pytest
+
+from repro.obs.tracing import Tracer
+from repro.transport import VirtualClock
+
+
+def make_tracer():
+    return Tracer(VirtualClock())
+
+
+class TestNesting:
+    def test_sibling_spans_share_no_parent(self):
+        tracer = make_tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [s.parent_id for s in tracer.spans] == [None, None]
+        assert len(tracer.roots()) == 2
+
+    def test_nested_spans_link_to_enclosing_span(self):
+        tracer = make_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("middle"):
+                with tracer.span("inner") as inner:
+                    assert tracer.current() is inner
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["middle"].parent_id == by_name["outer"].span_id
+        assert by_name["inner"].parent_id == by_name["middle"].span_id
+        assert tracer.depth_of(by_name["inner"]) == 2
+        assert tracer.children_of(outer) == [by_name["middle"]]
+        assert tracer.current() is None
+
+    def test_timestamps_come_from_the_virtual_clock(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        with tracer.span("op") as span:
+            clock.advance(0.25)
+        assert span.start == 0.0
+        assert span.end == 0.25
+        assert span.duration == 0.25
+
+
+class TestErrorsAndAttrs:
+    def test_exception_marks_span_errored_and_propagates(self):
+        tracer = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans
+        assert span.status == "error"
+        assert span.error == "RuntimeError: boom"
+        assert span.end is not None  # closed despite the exception
+        assert tracer.current() is None  # stack unwound
+
+    def test_attrs_at_open_and_mid_span(self):
+        tracer = make_tracer()
+        with tracer.span("detect", family="wse") as span:
+            span.set("version", "v2004_08")
+        record = tracer.spans[0].to_dict()
+        assert record["attrs"] == {"family": "wse", "version": "v2004_08"}
+        assert record["status"] == "ok"
+        assert "error" not in record
+
+
+class TestLifecycle:
+    def test_reset_drops_finished_but_keeps_open_spans(self):
+        tracer = make_tracer()
+        with tracer.span("done"):
+            pass
+        with tracer.span("open") as still_open:
+            tracer.reset()
+            assert tracer.spans == [still_open]
+            with tracer.span("child") as child:
+                assert child.parent_id == still_open.span_id
+
+    def test_render_tree_indents_children_and_flags_errors(self):
+        tracer = make_tracer()
+        with tracer.span("root"):
+            with pytest.raises(ValueError):
+                with tracer.span("leaf"):
+                    raise ValueError("nope")
+        tree = tracer.render_tree()
+        lines = tree.splitlines()
+        assert lines[0].startswith("root ")
+        assert lines[1].startswith("  leaf ")
+        assert lines[1].endswith("!error")

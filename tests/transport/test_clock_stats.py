@@ -1,0 +1,84 @@
+"""Edge cases for the virtual clock and the split network counters."""
+
+import pytest
+
+from repro.transport import (
+    AddressUnreachable,
+    FirewallBlocked,
+    SimulatedNetwork,
+    VirtualClock,
+)
+from repro.transport.http import build_request
+from repro.transport.network import NetworkStats
+
+
+class TestVirtualClockEdges:
+    def test_advance_rejects_rewind(self):
+        clock = VirtualClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance(-0.001)
+        assert clock.now() == 5.0
+
+    def test_advance_to_rejects_rewind(self):
+        clock = VirtualClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.999)
+        assert clock.now() == 5.0
+
+    def test_zero_advance_is_allowed(self):
+        clock = VirtualClock(2.5)
+        assert clock.advance(0.0) == 2.5
+        assert clock.advance_to(2.5) == 2.5
+        assert clock.now() == 2.5
+
+    def test_advance_returns_new_time(self):
+        clock = VirtualClock()
+        assert clock.advance(1.25) == 1.25
+        assert clock.advance_to(10.0) == 10.0
+
+    def test_repr_shows_time(self):
+        assert repr(VirtualClock(1.5)) == "VirtualClock(t=1.500)"
+
+
+class TestNetworkStatsSplit:
+    def test_unreachable_and_firewall_counted_separately(self):
+        network = SimulatedNetwork(VirtualClock())
+        network.add_zone("dmz", blocks_inbound=True)
+        network.register("http://inside", lambda wire: b"", zone="dmz")
+        with pytest.raises(AddressUnreachable):
+            network.send_request("http://nowhere", b"x")
+        with pytest.raises(FirewallBlocked):
+            network.send_request("http://inside", b"x")
+        with pytest.raises(FirewallBlocked):
+            network.send_request("http://inside", b"x")
+        assert network.stats.unreachable == 1
+        assert network.stats.firewall_blocked == 2
+        # backward-compatible derived sum
+        assert network.stats.refused == 3
+
+    def test_lost_messages_count_sent_bytes(self):
+        network = SimulatedNetwork(VirtualClock(), loss_rate=1.0)
+        network.register("http://sink", lambda wire: b"")
+        payload = build_request("http://sink", b"<x/>")
+        from repro.transport import MessageLost
+
+        with pytest.raises(MessageLost):
+            network.send_request("http://sink", payload)
+        assert network.stats.lost == 1
+        assert network.stats.bytes_sent == len(payload)
+
+    def test_reset_zeroes_every_field(self):
+        stats = NetworkStats(
+            requests=3,
+            responses=2,
+            bytes_sent=100,
+            bytes_received=50,
+            unreachable=1,
+            firewall_blocked=2,
+            lost=4,
+        )
+        stats.reset()
+        assert stats.requests == stats.responses == 0
+        assert stats.bytes_sent == stats.bytes_received == 0
+        assert stats.unreachable == stats.firewall_blocked == stats.lost == 0
+        assert stats.refused == 0
