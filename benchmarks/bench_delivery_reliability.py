@@ -1,0 +1,198 @@
+"""Reliable delivery under loss — the repro.delivery pipeline, quantified.
+
+Three questions:
+
+1. **Eventual delivery**: under 10% seeded message loss, what fraction of
+   published notifications eventually reach their consumers with a retry
+   :class:`DeliveryPolicy`, versus the historical best-effort push (where
+   the first lost notification kills the subscription)?  Acceptance: the
+   reliable run delivers >= 99%.
+2. **Cost**: how many wire attempts does that reliability buy, and how much
+   virtual time does the retry schedule span?
+3. **Store-and-forward**: how many messages park for a firewalled consumer
+   and how many come back out through the WSN ``GetMessages`` drain?
+
+Every number in ``BENCH_delivery_reliability.json`` derives from the virtual
+clock and seeded RNGs, so two runs at the same seed must produce a
+byte-identical artifact — asserted below.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.delivery import DeliveryPolicy
+from repro.messenger import WsMessenger
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.wse import EventSink, WseSubscriber
+from repro.wsn import NotificationConsumer, PullPointClient, WsnSubscriber
+from repro.xmlkit import parse_xml
+
+RESULT_FILE = Path(__file__).resolve().parents[1] / "BENCH_delivery_reliability.json"
+
+SEED = 20060813  # ICPP 2006 opened August 13
+LOSS_RATE = 0.10
+EVENTS = 40
+WSN_CONSUMERS = 3
+WSE_SINKS = 2
+
+RELIABLE = DeliveryPolicy(
+    max_attempts=8, base_backoff=0.25, backoff_multiplier=2.0, jitter=0.2
+)
+
+_results: dict[str, dict] = {}
+
+
+def _event(n: int):
+    return parse_xml(f'<ev:E xmlns:ev="urn:rel-bench"><ev:n>{n}</ev:n></ev:E>')
+
+
+def run_lossy_scenario(*, reliable: bool, seed: int = SEED) -> dict:
+    """Publish EVENTS notifications to a mixed-spec population over a lossy
+    wire; return deterministic (virtual-clock-only) outcome numbers."""
+    network = SimulatedNetwork(VirtualClock(), seed=seed)
+    broker = WsMessenger(
+        network,
+        "http://bench-broker",
+        delivery=RELIABLE if reliable else None,
+        delivery_seed=seed,
+    )
+    consumers = []
+    for n in range(WSN_CONSUMERS):
+        consumer = NotificationConsumer(network, f"http://bench-consumer-{n}")
+        WsnSubscriber(network).subscribe(broker.epr(), consumer.epr(), topic="bench")
+        consumers.append(consumer)
+    sinks = []
+    for n in range(WSE_SINKS):
+        sink = EventSink(network, f"http://bench-sink-{n}")
+        WseSubscriber(network).subscribe(broker.epr(), notify_to=sink.epr())
+        sinks.append(sink)
+    # loss starts after setup: subscriptions are established reliably
+    network.loss_rate = LOSS_RATE
+    for n in range(EVENTS):
+        broker.publish(_event(n), topic="bench")
+    if reliable:
+        broker.run_deliveries_until_idle()
+    network.loss_rate = 0.0
+    expected = EVENTS * (WSN_CONSUMERS + WSE_SINKS)
+    delivered = sum(len(c.received) for c in consumers) + sum(
+        len(s.received) for s in sinks
+    )
+    outcome = {
+        "expected": expected,
+        "delivered": delivered,
+        "delivered_fraction": round(delivered / expected, 6),
+        "wire_lost": network.stats.lost,
+        "virtual_seconds": round(network.clock.now(), 9),
+        "surviving_subscriptions": broker.subscription_count(),
+    }
+    if reliable:
+        outcome["pipeline"] = broker.delivery_manager.stats.snapshot()
+        outcome["dlq_depth"] = len(broker.delivery_manager.dlq)
+    return outcome
+
+
+def run_firewall_scenario(*, seed: int = SEED) -> dict:
+    """A firewalled consumer misses every push; content parks broker-side
+    and drains through the stock WSN pull client."""
+    network = SimulatedNetwork(VirtualClock(), seed=seed)
+    network.add_zone("corp-lan", blocks_inbound=True)
+    broker = WsMessenger(
+        network, "http://bench-broker", delivery=RELIABLE, delivery_seed=seed
+    )
+    consumer = NotificationConsumer(network, "http://fw-consumer", zone="corp-lan")
+    WsnSubscriber(network, zone="corp-lan").subscribe(
+        broker.epr(), consumer.epr(), topic="bench"
+    )
+    for n in range(EVENTS):
+        broker.publish(_event(n), topic="bench")
+    broker.run_deliveries_until_idle()
+    box = broker.message_boxes.get("http://fw-consumer")
+    parked = len(box) if box else 0
+    drained = (
+        len(PullPointClient(network, zone="corp-lan").get_messages(box.epr()))
+        if box
+        else 0
+    )
+    return {
+        "published": EVENTS,
+        "pushed_through_firewall": len(consumer.received),
+        "parked": parked,
+        "drained_by_pull": drained,
+        "wire_refusals": network.stats.firewall_blocked,
+        "breaker_state": broker.delivery_manager.breaker_state("http://fw-consumer"),
+        "virtual_seconds": round(network.clock.now(), 9),
+    }
+
+
+def test_lossy_baseline(benchmark):
+    """Best-effort push under 10% loss: most traffic never arrives."""
+    benchmark(lambda: run_lossy_scenario(reliable=False))
+    outcome = run_lossy_scenario(reliable=False)
+    _results["baseline"] = outcome
+    # the first lost notification kills its subscription, so the broker
+    # bleeds consumers and the delivered fraction collapses
+    assert outcome["delivered_fraction"] < 0.9
+    assert outcome["surviving_subscriptions"] < WSN_CONSUMERS + WSE_SINKS
+
+
+def test_lossy_reliable(benchmark):
+    """The same wire with a retry policy: >= 99% eventual delivery."""
+    benchmark(lambda: run_lossy_scenario(reliable=True))
+    outcome = run_lossy_scenario(reliable=True)
+    _results["reliable"] = outcome
+    assert outcome["delivered_fraction"] >= 0.99
+    assert outcome["surviving_subscriptions"] == WSN_CONSUMERS + WSE_SINKS
+    assert outcome["pipeline"]["retries"] > 0
+
+
+def test_firewall_store_and_forward(benchmark):
+    benchmark(lambda: run_firewall_scenario())
+    outcome = run_firewall_scenario()
+    _results["firewall"] = outcome
+    assert outcome["pushed_through_firewall"] == 0
+    assert outcome["parked"] == EVENTS
+    assert outcome["drained_by_pull"] == EVENTS
+
+
+def test_write_reliability_report(benchmark):
+    """Determinism gate + artifact: byte-identical at the same seed."""
+    benchmark(lambda: None)  # the artifact below is the payload
+    assert set(_results) == {"baseline", "reliable", "firewall"}
+
+    def document() -> str:
+        payload = {
+            "benchmark": "delivery_reliability",
+            "seed": SEED,
+            "loss_rate": LOSS_RATE,
+            "events": EVENTS,
+            "consumers": {"wsn": WSN_CONSUMERS, "wse": WSE_SINKS},
+            "policy": {
+                "max_attempts": RELIABLE.max_attempts,
+                "base_backoff": RELIABLE.base_backoff,
+                "backoff_multiplier": RELIABLE.backoff_multiplier,
+                "jitter": RELIABLE.jitter,
+            },
+            "baseline": run_lossy_scenario(reliable=False),
+            "reliable": run_lossy_scenario(reliable=True),
+            "firewall": run_firewall_scenario(),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    first, second = document(), document()
+    assert first == second, "artifact must be byte-identical at the same seed"
+    RESULT_FILE.write_text(first)
+    reliable = _results["reliable"]
+    baseline = _results["baseline"]
+    print()
+    print(
+        f"baseline delivered {baseline['delivered']}/{baseline['expected']}"
+        f" ({baseline['delivered_fraction']:.1%})"
+    )
+    print(
+        f"reliable delivered {reliable['delivered']}/{reliable['expected']}"
+        f" ({reliable['delivered_fraction']:.1%},"
+        f" {reliable['pipeline']['retries']} retries,"
+        f" dlq={reliable['dlq_depth']})"
+    )

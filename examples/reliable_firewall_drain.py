@@ -1,0 +1,74 @@
+"""Reliable delivery meets the firewall: store-and-forward plus pull drain.
+
+A consumer inside a blocks-inbound zone subscribes (client-initiated calls
+pass the firewall), but every push the broker attempts is refused.  With a
+:class:`~repro.delivery.DeliveryPolicy` attached the broker does not retry a
+hopeless route or kill the subscription — after the per-sink circuit breaker
+trips, messages park in a broker-side message box, and the consumer drains
+them from inside the zone with the stock WSN 1.3 pull client
+(``GetMessages``, the same exchange a PullPoint serves).
+
+Run:  python examples/reliable_firewall_drain.py
+"""
+
+from repro.delivery import DeliveryPolicy
+from repro.messenger import WsMessenger
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.wsn import NotificationConsumer, PullPointClient, WsnSubscriber
+from repro.xmlkit import parse_xml
+
+
+def event(n):
+    return parse_xml(f'<ev:E xmlns:ev="urn:rfd"><ev:n>{n}</ev:n></ev:E>')
+
+
+def main() -> None:
+    network = SimulatedNetwork(VirtualClock())
+    network.add_zone("corp-lan", blocks_inbound=True)
+    broker = WsMessenger(
+        network,
+        "http://broker.public",
+        delivery=DeliveryPolicy(breaker_failure_threshold=2),
+    )
+
+    # subscribing from inside the firewall works: it is client-initiated
+    consumer = NotificationConsumer(network, "http://inside-consumer", zone="corp-lan")
+    WsnSubscriber(network, zone="corp-lan").subscribe(
+        broker.epr(), consumer.epr(), topic="alerts"
+    )
+
+    # pushes are refused at the firewall; the breaker trips, then messages
+    # park without further wire attempts
+    for n in range(1, 6):
+        broker.publish(event(n), topic="alerts")
+    box = broker.message_boxes.get("http://inside-consumer")
+    print("pushed through the firewall:", len(consumer.received))
+    print("refused at the firewall:", network.stats.firewall_blocked)
+    print(
+        "breaker:",
+        broker.delivery_manager.breaker_state("http://inside-consumer"),
+        "| parked broker-side:",
+        len(box),
+    )
+    # the subscription is alive and well — the DLQ/boxes own the backlog
+    print("surviving subscriptions:", broker.subscription_count())
+
+    # the consumer drains its message box from inside the zone
+    client = PullPointClient(network, zone="corp-lan")
+    messages = client.get_messages(box.epr())
+    print(
+        "drained by pull:",
+        len(messages),
+        "messages, topics:",
+        sorted({m.topic for m in messages}),
+    )
+
+    assert len(consumer.received) == 0
+    assert network.stats.firewall_blocked == 2  # breaker capped wire attempts
+    assert len(messages) == 5 and len(box) == 0
+    assert broker.subscription_count() == 1
+    print("\nok: blocked pushes parked broker-side and drained by pull")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,342 @@
+"""The delivery manager: policy-driven reliable store-and-forward.
+
+This is the pipeline the broker's fan-out routes through when reliability
+is enabled.  Instead of a synchronous best-effort push that swallows
+failures, every outbound notification becomes a :class:`DeliveryTask` on a
+per-sink FIFO queue:
+
+* the **first attempt is synchronous** — on a healthy network the hot path
+  is byte-for-byte the old direct push;
+* a failed attempt schedules a retry on the virtual clock with exponential
+  backoff and deterministic seeded jitter (:class:`DeliveryPolicy`);
+* a **circuit breaker** per sink fast-fails attempts to consumers that keep
+  refusing, and half-opens on a clock timer;
+* :class:`~repro.transport.network.FirewallBlocked` triggers the
+  store-and-forward fallback: the message parks in the sink's broker-side
+  :class:`~repro.delivery.messagebox.MessageBox`, drained by pull from
+  inside the firewall;
+* exhausted attempt budgets and TTLs land in the :class:`DeadLetterQueue`,
+  introspectable and replayable — never silently dropped.
+
+Per-sink queues are strictly ordered: a retrying head blocks the messages
+behind it (head-of-line), which is what keeps redelivery in publish order.
+Because nothing here reads a wall clock or global RNG, a (scenario, seed)
+pair fully determines every retry timestamp — the reliability benchmark
+asserts its artifact is byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.delivery.breaker import BreakerState, CircuitBreaker
+from repro.delivery.dlq import DeadLetterQueue
+from repro.delivery.policy import DeliveryPolicy
+from repro.delivery.task import DeliveryItem, DeliveryTask, TaskStatus
+from repro.transport.clock import ClockScheduler
+from repro.transport.network import FirewallBlocked, NetworkError, SimulatedNetwork
+from repro.util.rng import SeededRng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.delivery.messagebox import MessageBoxRegistry
+
+from repro.soap.fault import SoapFault
+
+
+@dataclass
+class DeliveryStats:
+    """Aggregate pipeline accounting (virtual-clock deterministic)."""
+
+    submitted: int = 0
+    delivered: int = 0
+    attempts: int = 0
+    retries: int = 0
+    failed_attempts: int = 0
+    parked: int = 0
+    dead_lettered: int = 0
+    replayed: int = 0
+    expired: int = 0
+    breaker_fast_fails: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "delivered": self.delivered,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "failed_attempts": self.failed_attempts,
+            "parked": self.parked,
+            "dead_lettered": self.dead_lettered,
+            "replayed": self.replayed,
+            "expired": self.expired,
+            "breaker_fast_fails": self.breaker_fast_fails,
+        }
+
+
+class DeliveryManager:
+    """Reliable delivery pipeline over one simulated network."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        *,
+        policy: Optional[DeliveryPolicy] = None,
+        seed: int = 0,
+        message_boxes: Optional["MessageBoxRegistry"] = None,
+    ) -> None:
+        self.network = network
+        self.clock = network.clock
+        self.policy = policy or DeliveryPolicy()
+        self.scheduler = ClockScheduler(self.clock)
+        #: jitter stream — forked per use-site label so unrelated draws
+        #: cannot perturb each other's sequences
+        self.rng = SeededRng(seed).fork("delivery.backoff")
+        self.dlq = DeadLetterQueue()
+        self.message_boxes = message_boxes
+        self.stats = DeliveryStats()
+        self._queues: dict[str, deque[DeliveryTask]] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._wakeups: dict[str, float] = {}
+
+    # --- intake ------------------------------------------------------------
+
+    def submit(
+        self,
+        sink: str,
+        send: Callable[[], None],
+        *,
+        items: Optional[list[DeliveryItem]] = None,
+        family: str = "",
+        describe: str = "",
+        on_delivered: Optional[Callable[[DeliveryTask], None]] = None,
+        on_dead: Optional[Callable[[DeliveryTask, str], None]] = None,
+    ) -> DeliveryTask:
+        """Queue one message for ``sink``; attempts immediately when the
+        sink's queue is empty (the healthy-network fast path)."""
+        task = DeliveryTask(
+            sink=sink,
+            send=send,
+            items=list(items or []),
+            family=family,
+            describe=describe,
+            enqueued_at=self.clock.now(),
+            on_delivered=on_delivered,
+            on_dead=on_dead,
+        )
+        self.stats.submitted += 1
+        self.network.instrumentation.count("delivery.submitted", family=family)
+        self._enqueue(task)
+        return task
+
+    def resubmit(self, task: DeliveryTask) -> DeliveryTask:
+        """Re-queue a (dead-lettered) task with a fresh budget and TTL."""
+        task.attempts = 0
+        task.status = TaskStatus.QUEUED
+        task.last_error = None
+        task.delivered_at = None
+        task.enqueued_at = self.clock.now()
+        self.stats.replayed += 1
+        self.network.instrumentation.count("delivery.replayed", family=task.family)
+        self._enqueue(task)
+        return task
+
+    def _enqueue(self, task: DeliveryTask) -> None:
+        queue = self._queues.setdefault(task.sink, deque())
+        queue.append(task)
+        # drain now unless the head is already waiting on a scheduled retry
+        # (len > 1 with no wakeup means we are inside this sink's drain loop)
+        if task.sink not in self._wakeups and len(queue) == 1:
+            self._drain_sink(task.sink)
+
+    # --- the pump ----------------------------------------------------------
+
+    def pending(self) -> int:
+        """Messages still queued (excludes delivered/parked/dead)."""
+        return sum(len(queue) for queue in self._queues.values())
+
+    def next_due(self) -> Optional[float]:
+        return self.scheduler.next_due()
+
+    def run_due(self) -> int:
+        """Run retries whose deadline has passed (clock advanced elsewhere)."""
+        ran = self.scheduler.run_due()
+        self.publish_gauges()
+        return ran
+
+    def run_until_idle(self, *, deadline: Optional[float] = None) -> int:
+        """Fast-forward the clock through every scheduled retry."""
+        ran = self.scheduler.run_until_idle(deadline=deadline)
+        self.publish_gauges()
+        return ran
+
+    # --- internals ---------------------------------------------------------
+
+    def _breaker_for(self, sink: str) -> CircuitBreaker:
+        breaker = self._breakers.get(sink)
+        if breaker is None:
+            breaker = self._breakers[sink] = CircuitBreaker(
+                self.clock,
+                failure_threshold=self.policy.breaker_failure_threshold,
+                reset_after=self.policy.breaker_reset_after,
+            )
+        return breaker
+
+    def _wake_at(self, sink: str, when: float) -> None:
+        existing = self._wakeups.get(sink)
+        if existing is not None and existing <= when:
+            return
+        self._wakeups[sink] = when
+        self.scheduler.call_at(when, lambda: self._on_wake(sink, when))
+
+    def _on_wake(self, sink: str, when: float) -> None:
+        if self._wakeups.get(sink) != when:
+            return  # superseded by an earlier wake-up
+        del self._wakeups[sink]
+        self._drain_sink(sink)
+
+    def _parkable(self, task: DeliveryTask) -> bool:
+        return self.message_boxes is not None and bool(task.items)
+
+    def _park(self, task: DeliveryTask) -> None:
+        assert self.message_boxes is not None
+        box = self.message_boxes.box_for(task.sink)
+        for item in task.items:
+            box.park(item)
+        task.status = TaskStatus.PARKED
+        self.stats.parked += len(task.items)
+        self.network.instrumentation.count(
+            "delivery.parked", len(task.items), family=task.family
+        )
+
+    def _dead_letter(self, task: DeliveryTask, reason: str) -> None:
+        task.status = TaskStatus.DEAD
+        self.dlq.add(task, reason, self.clock.now())
+        self.stats.dead_lettered += 1
+        self.network.instrumentation.count(
+            "delivery.dead_lettered", family=task.family, reason=reason
+        )
+        if task.on_dead is not None:
+            task.on_dead(task, reason)
+
+    def _drain_sink(self, sink: str) -> None:
+        """Work the sink's queue head until empty or forced to wait."""
+        instr = self.network.instrumentation
+        while True:
+            queue = self._queues.get(sink)
+            if not queue:
+                self._queues.pop(sink, None)
+                return
+            task = queue[0]
+            now = self.clock.now()
+            ttl = self.policy.message_ttl
+            if ttl is not None and now - task.enqueued_at >= ttl:
+                queue.popleft()
+                self.stats.expired += 1
+                self._dead_letter(task, "ttl_expired")
+                continue
+            breaker = self._breaker_for(sink)
+            if not breaker.allows():
+                # known-firewalled sinks store-and-forward straight away
+                if self.message_boxes is not None and self.message_boxes.get(
+                    sink
+                ) is not None and task.items:
+                    queue.popleft()
+                    self._park(task)
+                    continue
+                self.stats.breaker_fast_fails += 1
+                instr.count("delivery.breaker_fast_fails", family=task.family)
+                self._wake_at(sink, breaker.retry_at())
+                return
+            task.attempts += 1
+            self.stats.attempts += 1
+            instr.count("delivery.attempts", family=task.family)
+            if task.attempts > 1:
+                self.stats.retries += 1
+                instr.count("delivery.retries", family=task.family)
+            try:
+                task.send()
+            except (NetworkError, SoapFault) as exc:
+                task.last_error = f"{type(exc).__name__}: {exc}"
+                breaker.record_failure()
+                self.stats.failed_attempts += 1
+                instr.count(
+                    "delivery.failed_total",
+                    family=task.family,
+                    stage="attempt",
+                    kind=type(exc).__name__,
+                )
+                if isinstance(exc, FirewallBlocked) and self._parkable(task):
+                    queue.popleft()
+                    self._park(task)
+                    continue
+                if task.attempts >= self.policy.max_attempts:
+                    queue.popleft()
+                    self._dead_letter(task, "max_attempts")
+                    continue
+                delay = self.policy.backoff(task.attempts, self.rng)
+                self._wake_at(
+                    sink, max(self.clock.now() + delay, breaker.retry_at())
+                )
+                return
+            # success (the send itself advanced the clock by the RTT)
+            breaker.record_success()
+            delivered_at = self.clock.now()
+            task.status = TaskStatus.DELIVERED
+            task.delivered_at = delivered_at
+            queue.popleft()
+            self.stats.delivered += 1
+            instr.count("delivery.delivered", family=task.family)
+            instr.observe(
+                "delivery.queue_lag_seconds",
+                delivered_at - task.enqueued_at,
+                family=task.family,
+            )
+            if task.on_delivered is not None:
+                task.on_delivered(task)
+
+    # --- introspection -----------------------------------------------------
+
+    def open_breakers(self) -> list[str]:
+        return sorted(
+            sink
+            for sink, breaker in self._breakers.items()
+            if breaker.state is not BreakerState.CLOSED
+        )
+
+    def breaker_state(self, sink: str) -> str:
+        breaker = self._breakers.get(sink)
+        return breaker.state.value if breaker else BreakerState.CLOSED.value
+
+    def publish_gauges(self) -> None:
+        """Point-in-time pipeline depth gauges for the obs layer."""
+        instr = self.network.instrumentation
+        if not instr.enabled:
+            return
+        instr.gauge("delivery.pending", self.pending())
+        instr.gauge("delivery.dlq_depth", len(self.dlq))
+        instr.gauge(
+            "delivery.parked_pending",
+            self.message_boxes.total_parked() if self.message_boxes else 0,
+        )
+        instr.gauge("delivery.breakers_open", len(self.open_breakers()))
+
+    def snapshot(self) -> dict:
+        """Deterministic pipeline state for reports and tests."""
+        return {
+            "stats": self.stats.snapshot(),
+            "pending_by_sink": {
+                sink: len(queue)
+                for sink, queue in sorted(self._queues.items())
+                if queue
+            },
+            "breakers": {
+                sink: breaker.snapshot()
+                for sink, breaker in sorted(self._breakers.items())
+            },
+            "dlq": self.dlq.snapshot(),
+            "message_boxes": (
+                self.message_boxes.snapshot() if self.message_boxes else []
+            ),
+        }

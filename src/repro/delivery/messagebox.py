@@ -1,0 +1,231 @@
+"""Broker-side message boxes: store-and-forward for firewalled consumers.
+
+The paper names pull delivery's raison d'être: "delivering messages to
+consumers behind firewalls".  When a push attempt raises
+:class:`~repro.transport.network.FirewallBlocked`, the delivery manager
+parks the message *content* here instead of retrying a hopeless route.  A
+message box is mounted at a public broker address and serves its backlog
+through **client-initiated** exchanges only, so the firewalled consumer can
+drain on its own schedule from inside its zone:
+
+* WSN 1.3 ``GetMessages`` — the box answers exactly like a
+  :class:`~repro.wsn.pullpoint.PullPoint`, so the stock
+  :class:`~repro.wsn.pullpoint.PullPointClient` drains it unchanged;
+* WSE ``Pull`` — the minimal WS-Eventing-side equivalent (same body shape
+  the 08/2004 pull delivery mode uses at a subscription manager).
+
+Messages are stored spec-neutrally (payload + topic) and re-rendered in the
+dialect of whichever drain arrives — one more instance of the broker's
+"notifications follow the consumer's spec" rule.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.delivery.task import DeliveryItem
+from repro.soap.envelope import SoapEnvelope, SoapVersion
+from repro.soap.fault import FaultCode, SoapFault
+from repro.transport.endpoint import SoapClient, SoapEndpoint
+from repro.transport.network import PUBLIC_ZONE, SimulatedNetwork
+from repro.wsa.epr import EndpointReference
+from repro.wsa.headers import MessageHeaders, apply_headers
+from repro.wse import messages as wse_messages
+from repro.wse.versions import WseVersion
+from repro.wsn.versions import WsnVersion
+from repro.xmlkit.element import XElem
+
+
+class MessageBox:
+    """Parked messages for one firewalled sink, drained by pull."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        address: str,
+        sink: str,
+        *,
+        wsn_version: WsnVersion = WsnVersion.V1_3,
+        wse_version: WseVersion = WseVersion.V2004_08,
+        capacity: int = 10_000,
+    ) -> None:
+        self.network = network
+        self.sink = sink
+        self.wsn_version = wsn_version
+        self.wse_version = wse_version
+        self.capacity = capacity
+        self.queue: list[DeliveryItem] = []
+        #: total parked here over the box's lifetime (draining keeps this)
+        self.total_parked = 0
+        #: messages dropped because the box was full
+        self.overflowed = 0
+        self.endpoint = SoapEndpoint(network, address)
+        self.endpoint.on_action(
+            wsn_version.action("GetMessages"), self._handle_get_messages
+        )
+        self.endpoint.on_action(wse_version.action("Pull"), self._handle_pull)
+
+    @property
+    def address(self) -> str:
+        return self.endpoint.address
+
+    def epr(self) -> EndpointReference:
+        return EndpointReference(self.address)
+
+    def park(self, item: DeliveryItem) -> bool:
+        """Store one message; returns False (and counts) on overflow."""
+        if len(self.queue) >= self.capacity:
+            self.overflowed += 1
+            return False
+        self.queue.append(item)
+        self.total_parked += 1
+        return True
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    # --- drain handlers (both are client-initiated: firewall-safe) ---------
+
+    def _take(self, body: XElem, limit_name) -> list[DeliveryItem]:
+        limit_elem = body.find(limit_name)
+        limit = (
+            int(limit_elem.full_text().strip())
+            if limit_elem is not None
+            else len(self.queue)
+        )
+        batch = self.queue[: limit or len(self.queue)]
+        del self.queue[: len(batch)]
+        return batch
+
+    def _handle_get_messages(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        # imported here, not at module top: mediation lives in the messenger
+        # package, whose __init__ pulls in the broker — which imports us
+        from repro.messenger.mediation import (
+            MediatedNotification,
+            wsn_message_elements,
+        )
+
+        batch = self._take(
+            envelope.body_element(), self.wsn_version.qname("MaximumNumber")
+        )
+        response = XElem(self.wsn_version.qname("GetMessagesResponse"))
+        for element in wsn_message_elements(
+            [MediatedNotification(item.payload, item.topic) for item in batch],
+            self.wsn_version,
+        ):
+            response.append(element)
+        return self._reply(
+            headers,
+            self.wsn_version.action("GetMessagesResponse"),
+            response,
+            self.wsn_version.wsa_version,
+        )
+
+    def _handle_pull(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        batch = self._take(
+            envelope.body_element(), self.wse_version.qname("MaxMessages")
+        )
+        response = wse_messages.build_pull_response(
+            self.wse_version, [item.payload for item in batch]
+        )
+        return self._reply(
+            headers,
+            self.wse_version.action("PullResponse"),
+            response,
+            self.wse_version.wsa_version,
+        )
+
+    def _reply(
+        self, request_headers: MessageHeaders, action: str, body: XElem, wsa_version
+    ) -> SoapEnvelope:
+        reply = SoapEnvelope(SoapVersion.V11)
+        headers = MessageHeaders.reply(request_headers, action, wsa_version)
+        apply_headers(reply, headers, wsa_version)
+        reply.add_body(body)
+        return reply
+
+    def close(self) -> None:
+        self.endpoint.close()
+
+
+class MessageBoxRegistry:
+    """Mints and tracks message boxes, one per firewalled sink."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        base_address: str,
+        *,
+        wsn_version: WsnVersion = WsnVersion.V1_3,
+        wse_version: WseVersion = WseVersion.V2004_08,
+        capacity: int = 10_000,
+    ) -> None:
+        self.network = network
+        self.base_address = base_address
+        self.wsn_version = wsn_version
+        self.wse_version = wse_version
+        self.capacity = capacity
+        self._boxes: dict[str, MessageBox] = {}
+        self._counter = 0
+
+    def box_for(self, sink: str) -> MessageBox:
+        """The sink's box, created (and publicly mounted) on first use."""
+        box = self._boxes.get(sink)
+        if box is None:
+            self._counter += 1
+            box = MessageBox(
+                self.network,
+                f"{self.base_address}/box-{self._counter}",
+                sink,
+                wsn_version=self.wsn_version,
+                wse_version=self.wse_version,
+                capacity=self.capacity,
+            )
+            self._boxes[sink] = box
+        return box
+
+    def get(self, sink: str) -> Optional[MessageBox]:
+        return self._boxes.get(sink)
+
+    def boxes(self) -> list[MessageBox]:
+        return list(self._boxes.values())
+
+    def total_parked(self) -> int:
+        return sum(len(box) for box in self._boxes.values())
+
+    def snapshot(self) -> list[dict]:
+        return [
+            {
+                "sink": box.sink,
+                "address": box.address,
+                "pending": len(box),
+                "total_parked": box.total_parked,
+                "overflowed": box.overflowed,
+            }
+            for box in self._boxes.values()
+        ]
+
+    def close(self) -> None:
+        for box in self._boxes.values():
+            box.close()
+
+
+def drain_message_box_wse(
+    network: SimulatedNetwork,
+    box: EndpointReference,
+    *,
+    zone: str = PUBLIC_ZONE,
+    version: WseVersion = WseVersion.V2004_08,
+    max_messages: int = 0,
+) -> list[XElem]:
+    """The minimal WSE-side drain: a client-initiated ``Pull`` against a
+    message box, usable from inside a firewalled zone."""
+    client = SoapClient(
+        network, zone=zone, wsa_version=version.wsa_version, soap_version=SoapVersion.V11
+    )
+    reply = client.call(
+        box, version.action("Pull"), [wse_messages.build_pull(version, max_messages)]
+    )
+    if reply is None:
+        raise SoapFault(FaultCode.RECEIVER, "no response to Pull")
+    return wse_messages.parse_pull_response(reply.body_element(), version)

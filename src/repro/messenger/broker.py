@@ -29,6 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.delivery.manager import DeliveryManager
+from repro.delivery.messagebox import MessageBoxRegistry
+from repro.delivery.policy import DeliveryPolicy
 from repro.filters.topics import TopicNamespace
 from repro.messenger.adapters import InMemoryBackbone, MessagingBackbone
 from repro.messenger.detection import DetectedSpec, SpecDetectionError, SpecFamily, detect_spec
@@ -82,6 +85,8 @@ class WsMessenger:
         wse_versions: Optional[list[WseVersion]] = None,
         wsn_versions: Optional[list[WsnVersion]] = None,
         journal: Optional["SubscriptionJournal"] = None,
+        delivery: Optional[DeliveryPolicy] = None,
+        delivery_seed: int = 0,
     ) -> None:
         self.network = network
         self.address = address
@@ -89,6 +94,21 @@ class WsMessenger:
         self.backbone = backbone or InMemoryBackbone()
         #: optional crash-recovery journal (see repro.messenger.journal)
         self.journal = journal
+        # reliable delivery: a DeliveryPolicy turns the best-effort push into
+        # the store-and-forward pipeline shared by every internal source
+        if delivery is not None:
+            self.message_boxes: Optional[MessageBoxRegistry] = MessageBoxRegistry(
+                network, f"{address}/msgbox"
+            )
+            self.delivery_manager: Optional[DeliveryManager] = DeliveryManager(
+                network,
+                policy=delivery,
+                seed=delivery_seed,
+                message_boxes=self.message_boxes,
+            )
+        else:
+            self.message_boxes = None
+            self.delivery_manager = None
         topics = topic_namespace or TopicNamespace()
         # internal per-version implementations on hidden sub-addresses; the
         # manager EPRs they mint are handed to clients verbatim, so Renew /
@@ -103,6 +123,7 @@ class WsMessenger:
                 version=version,
                 manager_address=f"{address}/{tag}/subscriptions",
                 topic_header=mediation.WSE_TOPIC_HEADER,
+                delivery_manager=self.delivery_manager,
             )
         self.wsn_producers: dict[WsnVersion, NotificationProducer] = {}
         for version in wsn_versions if wsn_versions is not None else list(WsnVersion):
@@ -113,6 +134,7 @@ class WsMessenger:
                 version=version,
                 manager_address=f"{address}/{tag}/subscriptions",
                 topic_namespace=topics,
+                delivery_manager=self.delivery_manager,
             )
         # pull points for firewalled WSN 1.3 consumers
         self.pullpoint_factory = (
@@ -137,6 +159,22 @@ class WsMessenger:
             source.close()
         for producer in self.wsn_producers.values():
             producer.close()
+        if self.message_boxes is not None:
+            self.message_boxes.close()
+
+    # --- reliable-delivery pump -------------------------------------------------------
+
+    def pump_deliveries(self) -> int:
+        """Run delivery retries already due on the virtual clock."""
+        if self.delivery_manager is None:
+            return 0
+        return self.delivery_manager.run_due()
+
+    def run_deliveries_until_idle(self, *, deadline: Optional[float] = None) -> int:
+        """Fast-forward the clock until the delivery pipeline drains."""
+        if self.delivery_manager is None:
+            return 0
+        return self.delivery_manager.run_until_idle(deadline=deadline)
 
     # --- the front door -----------------------------------------------------------
 

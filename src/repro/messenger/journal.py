@@ -57,7 +57,9 @@ class SubscriptionJournal:
         first delivery later, exactly as a live subscription would.
         """
         recovered = 0
-        for entry in self.entries:
+        # snapshot: the target broker may be journalling into this very list,
+        # and replayed Subscribes must not be replayed again
+        for entry in list(self.entries):
             wire = build_request(broker_address, entry.wire, soap_action=entry.action)
             try:
                 response = parse_response(network.send_request(broker_address, wire))

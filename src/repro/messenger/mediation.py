@@ -108,6 +108,18 @@ def wsn_notify_from_neutral(
     )
 
 
+def wsn_message_elements(
+    items: list[MediatedNotification], version: WsnVersion
+) -> list[XElem]:
+    """Render neutral items as bare ``NotificationMessage`` elements.
+
+    Used by the delivery subsystem's message boxes: a ``GetMessagesResponse``
+    carries NotificationMessage children directly (no ``Notify`` wrapper), so
+    parked spec-neutral messages are re-rendered in the drain dialect here."""
+    notify = wsn_notify_from_neutral(items, version)
+    return [child.copy() for child in notify.elements()]
+
+
 # --- difference analysis (experiment E6) ---------------------------------------------------
 
 

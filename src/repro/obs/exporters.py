@@ -13,22 +13,43 @@ import json
 from repro.obs.instrument import Instrumentation
 
 
+def _base_name(key: str) -> str:
+    """Metric name without the ``{label=value,...}`` suffix."""
+    brace = key.find("{")
+    return key if brace < 0 else key[:brace]
+
+
+def _delivery_summary(counters: dict[str, int]) -> dict[str, int]:
+    """Aggregate ``delivery.*`` counter series across their labels."""
+    totals: dict[str, int] = {}
+    for key, value in counters.items():
+        name = _base_name(key)
+        if name.startswith("delivery."):
+            short = name[len("delivery."):]
+            totals[short] = totals.get(short, 0) + value
+    return dict(sorted(totals.items()))
+
+
 def build_report(instrumentation: Instrumentation, *, title: str = "obs report") -> dict:
     """The canonical report document (deterministically ordered)."""
     snapshot = instrumentation.snapshot()
     spans = snapshot["spans"]
     wire_totals = snapshot["wire"]["totals"]
+    summary = {
+        "spans": len(spans),
+        "span_errors": sum(1 for s in spans if s["status"] != "ok"),
+        "metrics": len(instrumentation.metrics),
+        "wire_frames": wire_totals["count"],
+        "wire_request_bytes": wire_totals["request_bytes"],
+        "wire_response_bytes": wire_totals["response_bytes"],
+    }
+    delivery = _delivery_summary(snapshot["metrics"]["counters"])
+    if delivery:
+        summary["delivery"] = delivery
     return {
         "title": title,
         "clock": snapshot["clock"],
-        "summary": {
-            "spans": len(spans),
-            "span_errors": sum(1 for s in spans if s["status"] != "ok"),
-            "metrics": len(instrumentation.metrics),
-            "wire_frames": wire_totals["count"],
-            "wire_request_bytes": wire_totals["request_bytes"],
-            "wire_response_bytes": wire_totals["response_bytes"],
-        },
+        "summary": summary,
         "metrics": snapshot["metrics"],
         "spans": spans,
         "wire": snapshot["wire"],

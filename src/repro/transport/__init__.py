@@ -16,7 +16,7 @@ XML, framed as an HTTP/1.1 request, routed through the simulated network
   and a SOAP client helper.
 """
 
-from repro.transport.clock import VirtualClock
+from repro.transport.clock import ClockScheduler, VirtualClock
 from repro.transport.network import (
     AddressUnreachable,
     FirewallBlocked,
@@ -31,6 +31,7 @@ from repro.transport.endpoint import SoapClient, SoapEndpoint
 
 __all__ = [
     "VirtualClock",
+    "ClockScheduler",
     "SimulatedNetwork",
     "Zone",
     "NetworkError",

@@ -1,5 +1,7 @@
-"""Shared utilities (XML Schema time lexical forms over the virtual clock)."""
+"""Shared utilities (XML Schema time lexical forms over the virtual clock,
+seeded deterministic RNG streams)."""
 
+from repro.util.rng import SeededRng
 from repro.util.xstime import (
     EPOCH_ISO,
     format_datetime,
@@ -11,6 +13,7 @@ from repro.util.xstime import (
 
 __all__ = [
     "EPOCH_ISO",
+    "SeededRng",
     "parse_duration",
     "format_duration",
     "parse_datetime",

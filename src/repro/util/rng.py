@@ -1,0 +1,68 @@
+"""A seeded, self-contained deterministic RNG (splitmix64).
+
+The delivery layer needs jitter on retry backoff, but everything in this
+repository must be a pure function of (scenario, seed): benchmarks assert
+byte-identical artifacts across runs.  The stdlib's module-level ``random``
+functions are global state any import can perturb, and wall-clock seeding is
+banned outright.  :class:`SeededRng` is neither: each instance owns one
+64-bit splitmix64 state, derives child streams by name (so two subsystems
+sharing a seed cannot entangle their draw sequences), and never touches the
+clock — virtual or otherwise.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def _fnv1a64(data: bytes) -> int:
+    """FNV-1a over ``data`` — a stable label hash (``hash()`` is salted)."""
+    acc = _FNV_OFFSET
+    for byte in data:
+        acc = ((acc ^ byte) * _FNV_PRIME) & _MASK64
+    return acc
+
+
+class SeededRng:
+    """A splitmix64 pseudo-random stream with named sub-streams."""
+
+    __slots__ = ("_seed", "_state")
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed & _MASK64
+        self._state = seed & _MASK64
+
+    def next_u64(self) -> int:
+        """The raw 64-bit splitmix64 output step."""
+        self._state = (self._state + _GOLDEN) & _MASK64
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return z ^ (z >> 31)
+
+    def random(self) -> float:
+        """A float in ``[0, 1)`` with 53 bits of precision."""
+        return (self.next_u64() >> 11) * 2.0**-53
+
+    def uniform(self, low: float, high: float) -> float:
+        """A float in ``[low, high)``."""
+        return low + (high - low) * self.random()
+
+    def randrange(self, bound: int) -> int:
+        """An int in ``[0, bound)``; rejection-free (modulo bias is fine for
+        jitter-class uses, and determinism matters more than uniformity tails)."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self.next_u64() % bound
+
+    def fork(self, label: str) -> "SeededRng":
+        """An independent child stream derived from this stream's *seed
+        lineage* and ``label`` — not from the current position, so forking is
+        insensitive to how many draws the parent has made."""
+        return SeededRng(self._seed ^ _fnv1a64(label.encode("utf-8")))
+
+    def __repr__(self) -> str:
+        return f"SeededRng(seed=0x{self._seed:016x}, state=0x{self._state:016x})"

@@ -10,8 +10,10 @@ here, switched by the version profile.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
+from repro.delivery.outcome import DeliveryFailure, record_failure
+from repro.delivery.task import DeliveryItem
 from repro.filters.base import AcceptAllFilter, Filter, FilterContext, FilterError
 from repro.filters.content import MessageContentFilter
 from repro.soap.envelope import SoapEnvelope, SoapVersion
@@ -31,6 +33,9 @@ from repro.wse.versions import WseVersion
 from repro.xmlkit.element import XElem
 from repro.xmlkit.names import Namespaces, QName
 from repro.util.xstime import format_datetime, parse_expires
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.delivery.manager import DeliveryManager
 
 #: default action URI stamped on raw (unwrapped) notification messages
 DEFAULT_NOTIFY_ACTION = "http://repro.invalid/wse/Notify"
@@ -52,6 +57,7 @@ class EventSource:
         producer_properties: Optional[dict[str, str]] = None,
         topic_header: Optional["QName"] = None,
         delivery_retries: int = 0,
+        delivery_manager: Optional["DeliveryManager"] = None,
     ) -> None:
         self.network = network
         self.version = version
@@ -67,6 +73,11 @@ class EventSource:
         #: transient failures (lost messages) are retried this many times
         #: before the subscription is ended with DeliveryFailure
         self.delivery_retries = delivery_retries
+        #: when set, push delivery routes through the reliable store-and-
+        #: forward pipeline instead of the immediate best-effort attempt
+        self.delivery_manager = delivery_manager
+        #: every failed outbound send, recorded (see repro.delivery.outcome)
+        self.delivery_failures: list[DeliveryFailure] = []
         self.store = SubscriptionStore(self.clock)
         self._client = SoapClient(
             network, wsa_version=version.wsa_version, soap_version=SoapVersion.V11
@@ -339,9 +350,20 @@ class EventSource:
                     extra_headers=extra,
                 )
 
-        self._deliver_with_retries(subscription, attempt)
+        if self.delivery_manager is not None:
+            self.delivery_manager.submit(
+                subscription.notify_to.address,
+                attempt,
+                items=[DeliveryItem(payload.copy(), topic)],
+                family="wse",
+                describe=f"notify {subscription.id}",
+            )
+            return
+        self._deliver_with_retries(subscription, "notify", attempt)
 
-    def _deliver_with_retries(self, subscription: WseSubscription, attempt) -> None:
+    def _deliver_with_retries(
+        self, subscription: WseSubscription, stage: str, attempt
+    ) -> None:
         from repro.transport.network import MessageLost
 
         instr = self.network.instrumentation
@@ -356,29 +378,41 @@ class EventSource:
                 return
             except MessageLost as exc:
                 if remaining == 0:  # transient, but retries exhausted
-                    if instr.enabled:
-                        instr.count(
-                            "notifications.failed", family="wse",
-                            version=self._version_tag,
-                        )
+                    self._record_push_failure(subscription, stage, exc)
                     self._end_subscription(
                         subscription, SubscriptionEndCode.DELIVERY_FAILURE, str(exc)
                     )
             except (NetworkError, SoapFault) as exc:
                 # hard failure (unreachable/refused/fault): no point retrying
-                if instr.enabled:
-                    instr.count(
-                        "notifications.failed", family="wse",
-                        version=self._version_tag,
-                    )
+                self._record_push_failure(subscription, stage, exc)
                 self._end_subscription(
                     subscription, SubscriptionEndCode.DELIVERY_FAILURE, str(exc)
                 )
                 return
 
+    def _record_push_failure(
+        self, subscription: WseSubscription, stage: str, error: Exception
+    ) -> None:
+        instr = self.network.instrumentation
+        if instr.enabled:
+            instr.count(
+                "notifications.failed", family="wse", version=self._version_tag
+            )
+        sink = subscription.notify_to.address if subscription.notify_to else ""
+        record_failure(
+            self.delivery_failures,
+            instr,
+            at=self.clock.now(),
+            family="wse",
+            stage=stage,
+            sink=sink,
+            error=error,
+        )
+
     def _flush_wrapped(self, subscription: WseSubscription) -> None:
         batch, subscription.queue = subscription.queue, []
         wrapper = messages.build_wrapped_notification(self.version, batch)
+        items = [DeliveryItem(message.copy()) for message in batch]
 
         def attempt() -> None:
             instr = self.network.instrumentation
@@ -401,7 +435,16 @@ class EventSource:
                     expect_reply=False,
                 )
 
-        self._deliver_with_retries(subscription, attempt)
+        if self.delivery_manager is not None:
+            self.delivery_manager.submit(
+                subscription.notify_to.address,
+                attempt,
+                items=items,
+                family="wse",
+                describe=f"wrapped notify {subscription.id}",
+            )
+            return
+        self._deliver_with_retries(subscription, "wrapped_notify", attempt)
 
     # --- termination -----------------------------------------------------------------
 
@@ -429,12 +472,36 @@ class EventSource:
             code=code,
             reason=reason,
         )
-        try:
+
+        def send_end() -> None:
             self._client.call(
                 subscription.end_to,
                 self.version.action("SubscriptionEnd"),
                 [body],
                 expect_reply=False,
             )
-        except (NetworkError, SoapFault):
-            pass  # best-effort: the sink may be the thing that died
+
+        if self.delivery_manager is not None:
+            # control messages ride the reliable pipeline too (no parkable
+            # payload: an end notice is meaningless once the sink is gone)
+            self.delivery_manager.submit(
+                subscription.end_to.address,
+                send_end,
+                family="wse",
+                describe=f"subscription_end {subscription.id}",
+            )
+            return
+        try:
+            send_end()
+        except (NetworkError, SoapFault) as exc:
+            # the sink may be the thing that died — but the failure is
+            # recorded, never swallowed (delivery.failed_total)
+            record_failure(
+                self.delivery_failures,
+                self.network.instrumentation,
+                at=self.clock.now(),
+                family="wse",
+                stage="subscription_end",
+                sink=subscription.end_to.address,
+                error=exc,
+            )

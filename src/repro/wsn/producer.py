@@ -11,8 +11,10 @@ WS-Eventing's SubscriptionEnd (Table 2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.delivery.outcome import DeliveryFailure, record_failure
+from repro.delivery.task import DeliveryItem
 from repro.filters.base import AcceptAllFilter, AndFilter, Filter, FilterContext, FilterError
 from repro.filters.content import MessageContentFilter
 from repro.filters.producer import ProducerPropertiesFilter
@@ -32,6 +34,9 @@ from repro.wsrf.resource import ResourceRegistry, ResourceUnknownFault, WsResour
 from repro.xmlkit.element import XElem, text_element
 from repro.xmlkit.names import Namespaces, QName
 from repro.util.xstime import format_datetime, parse_datetime, parse_expires
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.delivery.manager import DeliveryManager
 
 # resource property names of a subscription resource
 PROP_STATUS = QName(Namespaces.WSNT_13, "SubscriptionStatus")
@@ -76,6 +81,7 @@ class NotificationProducer:
         default_lifetime: Optional[float] = 3600.0,
         producer_properties: Optional[dict[str, str]] = None,
         enable_wsrf: Optional[bool] = None,
+        delivery_manager: Optional["DeliveryManager"] = None,
     ) -> None:
         self.network = network
         self.version = version
@@ -89,6 +95,11 @@ class NotificationProducer:
             self.wsrf_enabled = True
         else:
             self.wsrf_enabled = enable_wsrf or version.requires_wsrf
+        #: when set, push delivery routes through the reliable store-and-
+        #: forward pipeline instead of the immediate best-effort attempt
+        self.delivery_manager = delivery_manager
+        #: every failed outbound send, recorded (see repro.delivery.outcome)
+        self.delivery_failures: list[DeliveryFailure] = []
         self.registry = ResourceRegistry(self.clock, key_prefix="wsn-sub")
         self._subscriptions: dict[str, WsnSubscription] = {}
         self._current_message: dict[str, XElem] = {}  # last message per topic
@@ -483,7 +494,8 @@ class NotificationProducer:
         self, subscription: WsnSubscription, notifications: list[NotificationMessage]
     ) -> None:
         instr = self.network.instrumentation
-        try:
+
+        def attempt() -> None:
             if not instr.enabled:
                 self._send_notifications(subscription, notifications)
             else:
@@ -495,13 +507,39 @@ class NotificationProducer:
                 instr.count(
                     "notifications.delivered", family="wsn", version=self._version_tag
                 )
-        except (NetworkError, SoapFault):
+
+        if self.delivery_manager is not None:
+            # reliable path: the pipeline owns retries, dead-lettering and the
+            # firewall fallback, so a failed attempt never ends the subscription
+            self.delivery_manager.submit(
+                subscription.consumer.address,
+                attempt,
+                items=[
+                    DeliveryItem(item.payload.copy(), item.topic)
+                    for item in notifications
+                ],
+                family="wsn",
+                describe=f"notify {subscription.key}",
+            )
+            return
+        try:
+            attempt()
+        except (NetworkError, SoapFault) as exc:
             # failed consumer: destroy the subscription (soft state would
             # collect it anyway; this mirrors WSE's DeliveryFailure ending)
             if instr.enabled:
                 instr.count(
                     "notifications.failed", family="wsn", version=self._version_tag
                 )
+            record_failure(
+                self.delivery_failures,
+                instr,
+                at=self.clock.now(),
+                family="wsn",
+                stage="notify",
+                sink=subscription.consumer.address,
+                error=exc,
+            )
             try:
                 self.registry.destroy(subscription.key, reason="delivery failure")
             except ResourceUnknownFault:
@@ -541,15 +579,37 @@ class NotificationProducer:
             # mandatory <= 1.2, available in 1.3 exactly when WSRF is mounted
             return
         body = messages.build_termination_notification(reason)
-        try:
+
+        def send_termination() -> None:
             self._client.call(
                 subscription.consumer,
                 messages.wsrf_lifetime_action("TerminationNotification"),
                 [body],
                 expect_reply=False,
             )
-        except (NetworkError, SoapFault):
-            pass
+
+        if self.delivery_manager is not None:
+            # control message: retried like any delivery, but content-free so
+            # it is never parked in a message box
+            self.delivery_manager.submit(
+                subscription.consumer.address,
+                send_termination,
+                family="wsn",
+                describe=f"termination_notification {subscription.key}",
+            )
+            return
+        try:
+            send_termination()
+        except (NetworkError, SoapFault) as exc:
+            record_failure(
+                self.delivery_failures,
+                self.network.instrumentation,
+                at=self.clock.now(),
+                family="wsn",
+                stage="termination_notification",
+                sink=subscription.consumer.address,
+                error=exc,
+            )
 
     def sweep(self) -> None:
         """Expire overdue subscriptions (fires termination notifications)."""

@@ -82,3 +82,41 @@ class TestJournal:
         _populate(network, broker)
         broker.close()
         assert journal.replay(network, "http://nowhere") == 0
+
+
+class TestJournalWithReliableDelivery:
+    def test_restart_replays_journal_and_dlq_exactly_once(self, network):
+        from repro.delivery import DeliveryPolicy
+
+        journal = SubscriptionJournal()
+        policy = DeliveryPolicy(max_attempts=2, base_backoff=1.0, jitter=0.0)
+        broker = WsMessenger(
+            network, "http://jr-broker", journal=journal, delivery=policy
+        )
+        sink, consumer = _populate(network, broker)
+        # the WSN consumer goes dark: its copy exhausts the retry budget and
+        # dead-letters (the subscription itself survives — the DLQ owns it)
+        consumer.close()
+        broker.publish(event(1), topic="jr")
+        broker.run_deliveries_until_idle()
+        assert len(sink.received) == 1
+        assert len(broker.delivery_manager.dlq) == 1
+        pending_dlq = broker.delivery_manager.dlq
+        # --- crash ----------------------------------------------------------
+        broker.close()
+        # --- recover: fresh broker, re-created subscriptions, consumer back -
+        recovered = WsMessenger(network, "http://jr-broker", delivery=policy)
+        assert journal.replay(network, "http://jr-broker") == 2
+        assert recovered.subscription_count() == 2
+        revived = NotificationConsumer(network, "http://jr-consumer")
+        # replay the carried-over dead letters through the new pipeline
+        assert pending_dlq.replay(recovered.delivery_manager) == 1
+        recovered.run_deliveries_until_idle()
+        assert len(pending_dlq) == 0
+        # the replayed message arrived exactly once
+        assert len(revived.received) == 1
+        # and live traffic flows exactly once to every consumer
+        recovered.publish(event(2), topic="jr")
+        recovered.run_deliveries_until_idle()
+        assert len(revived.received) == 2
+        assert len(sink.received) == 2
