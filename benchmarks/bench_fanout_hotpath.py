@@ -1,0 +1,237 @@
+"""Benchmark — the notification fan-out hot path.
+
+Sweeps {10, 100, 1000} subscribers x {100%, 10%, 1%} topic selectivity over a
+WSN producer and measures BOTH fan-out paths in the same run: the pre-index
+linear matcher (``debug_linear_match=True``) and the topic-indexed /
+frozen-payload / spliced-serialization fast path.  Per cell it records filter
+evaluations, payload copies, index hits/skips, envelope serializations
+(frozen splice hits vs refills), wire requests, and virtual/wall time per
+publish — all sourced from ``repro.obs`` counters and the writer's stats.
+
+Writes ``BENCH_fanout_hotpath.json``; the CI smoke step replays the smallest
+sweep point and fails on artifact-schema drift.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.obs import Instrumentation
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.transport.endpoint import SoapEndpoint
+from repro.wsa.epr import EndpointReference
+from repro.wsa.headers import reset_message_counter
+from repro.wsn.messages import WsnFilterSpec, WsnSubscribeRequest
+from repro.wsn.producer import NotificationProducer
+from repro.xmlkit import parse_xml
+from repro.xmlkit.writer import WRITER_STATS
+
+RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_fanout_hotpath.json"
+
+SEED = 20060813
+SUBSCRIBER_GRID = [10, 100, 1000]
+SELECTIVITY_GRID = [1.0, 0.1, 0.01]
+PUBLISHES = 3
+HOT_TOPIC = "bench/hot"
+SMOKE_POINT = (10, 1.0)
+ACCEPTANCE_POINT = (1000, 0.01)
+
+#: every per-mode measurement carries exactly these keys (schema contract)
+MODE_KEYS = frozenset(
+    {
+        "filter_evals",
+        "payload_copies",
+        "index_hits",
+        "index_skips",
+        "matched_total",
+        "wire_requests",
+        "frozen_serializations",
+        "frozen_splices",
+        "virtual_seconds",
+        "wall_seconds",
+    }
+)
+CELL_KEYS = frozenset(
+    {"subscribers", "selectivity", "matching", "publishes", "linear", "indexed"}
+)
+TOP_KEYS = frozenset(
+    {"benchmark", "seed", "publishes", "hot_topic", "grid", "acceptance"}
+)
+
+
+def _event(i: int):
+    return parse_xml(
+        f'<ev:Load xmlns:ev="urn:bench"><ev:host>node-{i}</ev:host>'
+        f"<ev:cpu>0.{i % 10}</ev:cpu></ev:Load>"
+    )
+
+
+def _build_stack(subscribers: int, selectivity: float, *, linear: bool):
+    reset_message_counter()
+    network = SimulatedNetwork(VirtualClock())
+    Instrumentation.attach(network)
+    sink = SoapEndpoint(network, "http://bench-sink")
+    sink.on_any(lambda envelope, headers: None)
+    producer = NotificationProducer(
+        network, "http://bench-producer", debug_linear_match=linear
+    )
+    matching = max(1, int(subscribers * selectivity))
+    consumer = EndpointReference("http://bench-sink")
+    for i in range(subscribers):
+        topic = HOT_TOPIC if i < matching else f"bench/cold-{i}"
+        producer.create_subscription(
+            WsnSubscribeRequest(
+                consumer=consumer,
+                filter=WsnFilterSpec(topic_expression=topic),
+                initial_termination_text=None,
+                use_raw=False,
+            )
+        )
+    return network, producer, matching
+
+
+def _counter_total(counters: dict, name: str) -> int:
+    prefix_a, prefix_b = f"{name}{{", name
+    return sum(
+        value
+        for key, value in counters.items()
+        if key == prefix_b or key.startswith(prefix_a)
+    )
+
+
+def measure(subscribers: int, selectivity: float, *, linear: bool) -> dict:
+    """One (subscribers, selectivity, mode) cell: PUBLISHES hot publishes."""
+    network, producer, matching = _build_stack(
+        subscribers, selectivity, linear=linear
+    )
+    instr = network.instrumentation
+    instr.reset()
+    network.stats.reset()
+    WRITER_STATS.reset()
+    virtual_start = network.clock.now()
+    matched_total = 0
+    wall_start = time.perf_counter()
+    for i in range(PUBLISHES):
+        matched_total += producer.publish(_event(i), topic=HOT_TOPIC)
+    wall_seconds = time.perf_counter() - wall_start
+    counters = instr.snapshot()["metrics"]["counters"]
+    assert matched_total == matching * PUBLISHES
+    return {
+        "filter_evals": _counter_total(counters, "fanout.filter_evals"),
+        "payload_copies": _counter_total(counters, "fanout.payload_copies"),
+        "index_hits": _counter_total(counters, "fanout.index_hits"),
+        "index_skips": _counter_total(counters, "fanout.index_skips"),
+        "matched_total": matched_total,
+        "wire_requests": network.stats.requests,
+        "frozen_serializations": WRITER_STATS.frozen_serializations,
+        "frozen_splices": WRITER_STATS.frozen_splices,
+        "virtual_seconds": round(network.clock.now() - virtual_start, 6),
+        "wall_seconds": round(wall_seconds, 6),
+    }
+
+
+def measure_cell(subscribers: int, selectivity: float) -> dict:
+    """Both fan-out paths at one sweep point, same run."""
+    return {
+        "subscribers": subscribers,
+        "selectivity": selectivity,
+        "matching": max(1, int(subscribers * selectivity)),
+        "publishes": PUBLISHES,
+        "linear": measure(subscribers, selectivity, linear=True),
+        "indexed": measure(subscribers, selectivity, linear=False),
+    }
+
+
+def build_report() -> dict:
+    grid = [
+        measure_cell(subscribers, selectivity)
+        for subscribers in SUBSCRIBER_GRID
+        for selectivity in SELECTIVITY_GRID
+    ]
+    target = next(
+        cell
+        for cell in grid
+        if (cell["subscribers"], cell["selectivity"]) == ACCEPTANCE_POINT
+    )
+    linear, indexed = target["linear"], target["indexed"]
+    acceptance = {
+        "point": {"subscribers": target["subscribers"], "selectivity": target["selectivity"]},
+        "filter_evals_linear": linear["filter_evals"],
+        "filter_evals_indexed": indexed["filter_evals"],
+        "filter_evals_ratio": round(
+            linear["filter_evals"] / max(1, indexed["filter_evals"]), 2
+        ),
+        "payload_copies_linear": linear["payload_copies"],
+        "payload_copies_indexed": indexed["payload_copies"],
+        "payload_copies_reduction": round(
+            1.0 - indexed["payload_copies"] / max(1, linear["payload_copies"]), 4
+        ),
+    }
+    return {
+        "benchmark": "fanout_hotpath",
+        "seed": SEED,
+        "publishes": PUBLISHES,
+        "hot_topic": HOT_TOPIC,
+        "grid": grid,
+        "acceptance": acceptance,
+    }
+
+
+# --- pytest entry points -------------------------------------------------------------
+
+
+def test_smoke_smallest_point():
+    """CI smoke: the smallest sweep point runs and both paths agree."""
+    cell = measure_cell(*SMOKE_POINT)
+    linear, indexed = cell["linear"], cell["indexed"]
+    assert set(linear) == MODE_KEYS
+    assert set(indexed) == MODE_KEYS
+    # both paths deliver the same notifications over the wire
+    assert indexed["matched_total"] == linear["matched_total"]
+    assert indexed["wire_requests"] == linear["wire_requests"]
+    # at 100% selectivity the index can't skip anyone...
+    assert indexed["index_skips"] == 0
+    # ...but serialization is still once-per-publish: every wire push after
+    # the first splices the cached body
+    assert indexed["frozen_serializations"] == PUBLISHES
+    assert indexed["frozen_splices"] == (linear["wire_requests"] - PUBLISHES)
+
+
+def test_fast_path_reduces_work_at_scale():
+    """Acceptance: >=5x fewer filter evals, >=50% fewer copies at 1000/1%."""
+    cell = measure_cell(*ACCEPTANCE_POINT)
+    linear, indexed = cell["linear"], cell["indexed"]
+    assert indexed["matched_total"] == linear["matched_total"]
+    assert indexed["wire_requests"] == linear["wire_requests"]
+    assert linear["filter_evals"] >= 5 * max(1, indexed["filter_evals"])
+    assert indexed["payload_copies"] <= linear["payload_copies"] / 2
+
+
+def test_schema_matches_committed_artifact():
+    """CI smoke: fail on schema drift between the code and the artifact."""
+    committed = json.loads(RESULT_FILE.read_text())
+    assert set(committed) == TOP_KEYS
+    assert len(committed["grid"]) == len(SUBSCRIBER_GRID) * len(SELECTIVITY_GRID)
+    for cell in committed["grid"]:
+        assert set(cell) == CELL_KEYS
+        assert set(cell["linear"]) == MODE_KEYS
+        assert set(cell["indexed"]) == MODE_KEYS
+    acceptance = committed["acceptance"]
+    assert acceptance["filter_evals_ratio"] >= 5.0
+    assert acceptance["payload_copies_reduction"] >= 0.5
+
+
+def test_write_fanout_report():
+    report = build_report()
+    assert report["acceptance"]["filter_evals_ratio"] >= 5.0
+    assert report["acceptance"]["payload_copies_reduction"] >= 0.5
+    RESULT_FILE.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {RESULT_FILE}")
+    point = report["acceptance"]
+    print(
+        f"  1000 subs / 1% selectivity: filter evals {point['filter_evals_linear']}"
+        f" -> {point['filter_evals_indexed']} ({point['filter_evals_ratio']}x),"
+        f" payload copies {point['payload_copies_linear']}"
+        f" -> {point['payload_copies_indexed']}"
+        f" (-{point['payload_copies_reduction'] * 100:.1f}%)"
+    )

@@ -14,10 +14,6 @@ from repro.wse import EventSink, WseSubscriber
 from repro.wsn import NotificationConsumer, WsnSubscriber
 from repro.xmlkit import parse_xml
 
-_costs: dict[int, int] = {}
-_printed = False
-
-
 def _event():
     return parse_xml('<ev:E xmlns:ev="urn:sc"><ev:n>1</ev:n></ev:E>')
 
@@ -35,6 +31,22 @@ def _stack(consumers: int):
     return network, broker
 
 
+@pytest.fixture(scope="module")
+def fanout_costs():
+    """Per-publication wire cost, measured lazily and cached per module run."""
+    costs: dict[int, int] = {}
+
+    def cost_of(consumers: int) -> int:
+        if consumers not in costs:
+            network, broker = _stack(consumers)
+            network.stats.reset()
+            broker.publish(_event(), topic="sc")
+            costs[consumers] = network.stats.requests
+        return costs[consumers]
+
+    return cost_of
+
+
 @pytest.mark.parametrize("consumers", [1, 10, 50])
 def test_fanout_scaling(benchmark, consumers):
     network, broker = _stack(consumers)
@@ -43,29 +55,20 @@ def test_fanout_scaling(benchmark, consumers):
         broker.publish(_event(), topic="sc")
 
     benchmark(publish)
-    network.stats.reset()
-    publish()
-    _costs[consumers] = network.stats.requests
 
 
-def test_fanout_requests_linear(benchmark):
+def test_fanout_requests_linear(benchmark, fanout_costs):
     benchmark(lambda: None)
-    for consumers in (1, 10, 50):
-        if consumers not in _costs:
-            network, broker = _stack(consumers)
-            network.stats.reset()
-            broker.publish(_event(), topic="sc")
-            _costs[consumers] = network.stats.requests
     # wire requests == matching consumers, exactly
-    assert _costs[1] == 1
-    assert _costs[10] == 10
-    assert _costs[50] == 50
-    global _printed
-    if not _printed:
-        _printed = True
-        print()
-        for consumers, requests in sorted(_costs.items()):
-            print(f"  {consumers:3d} consumers -> {requests:3d} wire requests/publication")
+    assert fanout_costs(1) == 1
+    assert fanout_costs(10) == 10
+    assert fanout_costs(50) == 50
+    print()
+    for consumers in (1, 10, 50):
+        print(
+            f"  {consumers:3d} consumers -> {fanout_costs(consumers):3d}"
+            " wire requests/publication"
+        )
 
 
 def test_non_matching_subscribers_cost_no_wire_traffic(benchmark):

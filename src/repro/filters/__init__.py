@@ -29,6 +29,8 @@ from repro.filters.topics import (
     TopicFilter,
     TopicNamespace,
     TopicPath,
+    TopicSubscriptionIndex,
+    topic_expression_of,
 )
 
 __all__ = [
@@ -41,6 +43,8 @@ __all__ = [
     "ProducerPropertiesFilter",
     "TopicNamespace",
     "TopicPath",
+    "TopicSubscriptionIndex",
+    "topic_expression_of",
     "TopicExpression",
     "TopicDialect",
     "TopicFilter",

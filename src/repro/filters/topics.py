@@ -19,11 +19,12 @@ WSN carries it in the ``Notify`` body (message-format difference category 6).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterator, Optional
 
-from repro.filters.base import Filter, FilterContext, FilterError
+from repro.filters.base import AcceptAllFilter, AndFilter, Filter, FilterContext, FilterError
 from repro.xmlkit.names import Namespaces
 
 
@@ -138,6 +139,15 @@ class TopicNamespace:
             paths.extend("/".join(p) for p in root.walk(()))
         return sorted(paths)
 
+    def new_index(self) -> "TopicSubscriptionIndex":
+        """A fresh subscription index over this topic space.
+
+        Each producer/source keeps its own (subscription keys are only
+        unique per endpoint), but the expressions it holds are interpreted
+        against this namespace's topic forest.
+        """
+        return TopicSubscriptionIndex()
+
 
 @dataclass(frozen=True)
 class _Alternative:
@@ -208,6 +218,12 @@ class TopicExpression:
     def _match_alt(alt: _Alternative, parts: tuple[str, ...]) -> bool:
         return _match_segments(alt.segments, parts, alt.descendants_of_last)
 
+    @property
+    def alternatives(self) -> list[_Alternative]:
+        """The compiled ``|``-branches (read-only; the subscription index
+        inserts each branch into its trie)."""
+        return list(self._alternatives)
+
     def __str__(self) -> str:
         return self.text
 
@@ -231,6 +247,121 @@ def _match_segments(
     if not rest:
         return len(parts) == 1 or descendants
     return _match_segments(rest, parts[1:], descendants)
+
+
+class _IndexNode:
+    """One trie level of a :class:`TopicSubscriptionIndex`.
+
+    Children are keyed by expression segment: a literal topic name, ``'*'``
+    (any one name) or ``''`` (a ``//`` gap matching any number of levels) —
+    the same alphabet :func:`_match_segments` walks.  ``entries`` marks the
+    subscriptions whose expression *ends* here, with their trailing
+    ``//.``-descendants flag.
+    """
+
+    __slots__ = ("children", "entries")
+
+    def __init__(self) -> None:
+        self.children: dict[str, _IndexNode] = {}
+        self.entries: dict[str, bool] = {}
+
+
+class TopicSubscriptionIndex:
+    """Topic-expression trie mapping a published path to candidate keys.
+
+    The fan-out fast path registers every subscription here: topic-filtered
+    ones under their compiled expression branches, everything else (no topic
+    constraint, or a filter the index cannot see through) in an always-
+    candidate bucket.  :meth:`candidates` then returns exactly the
+    subscriptions whose topic constraint admits the published path — in
+    subscription insertion order, so delivery order (and therefore wire
+    bytes) is identical to a linear scan over the subscription table.
+    """
+
+    def __init__(self) -> None:
+        self._root = _IndexNode()
+        self._seq: dict[str, int] = {}  # key -> insertion rank
+        self._always: set[str] = set()
+        self._terminals: dict[str, list[_IndexNode]] = {}
+        self._counter = itertools.count()
+        self._trie_entries = 0
+
+    def add(self, key: str, expression: Optional[TopicExpression]) -> None:
+        """Register ``key``; ``expression=None`` means always-candidate."""
+        if key in self._seq:
+            self.discard(key)
+        self._seq[key] = next(self._counter)
+        if expression is None:
+            self._always.add(key)
+            return
+        terminals: list[_IndexNode] = []
+        for alt in expression.alternatives:
+            node = self._root
+            for segment in alt.segments:
+                node = node.children.setdefault(segment, _IndexNode())
+            # two branches ending on one node: descendants is the superset
+            node.entries[key] = alt.descendants_of_last or node.entries.get(key, False)
+            terminals.append(node)
+            self._trie_entries += 1
+        self._terminals[key] = terminals
+
+    def discard(self, key: str) -> None:
+        if self._seq.pop(key, None) is None:
+            return
+        self._always.discard(key)
+        for node in self._terminals.pop(key, ()):
+            node.entries.pop(key, None)
+            self._trie_entries -= 1
+
+    def candidates(self, topic: Optional[str | TopicPath]) -> list[str]:
+        """Keys whose topic constraint admits ``topic`` (insertion order)."""
+        found: set[str] = set(self._always)
+        if topic is not None and self._trie_entries:
+            path = TopicPath.parse(topic) if isinstance(topic, str) else topic
+            self._collect(self._root, path.parts, found)
+        return sorted(found, key=self._seq.__getitem__)
+
+    def _collect(
+        self, node: _IndexNode, parts: tuple[str, ...], found: set[str]
+    ) -> None:
+        # terminal test mirrors _match_segments: consumed path, or descendants
+        for key, descendants in node.entries.items():
+            if descendants or not parts:
+                found.add(key)
+        gap = node.children.get("")
+        if gap is not None:  # '//': skip zero or more levels
+            for skip in range(len(parts) + 1):
+                self._collect(gap, parts[skip:], found)
+        if parts:
+            literal = node.children.get(parts[0])
+            if literal is not None:
+                self._collect(literal, parts[1:], found)
+            star = node.children.get("*")
+            if star is not None:
+                self._collect(star, parts[1:], found)
+
+    def __len__(self) -> int:
+        return len(self._seq)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._seq
+
+
+def topic_expression_of(filter: Filter) -> Optional[TopicExpression]:
+    """The topic constraint the index can extract from a subscription filter.
+
+    ``None`` means the filter has no (visible) topic constraint, so the
+    subscription must be a candidate for every publication.  An ``AndFilter``
+    is constrained by its first topic part (the remaining parts still run as
+    the residual filter on the candidate set).
+    """
+    if isinstance(filter, TopicFilter):
+        return filter.expression
+    if isinstance(filter, AndFilter):
+        for part in filter.parts:
+            if isinstance(part, TopicFilter):
+                return part.expression
+    return None
 
 
 class TopicFilter(Filter):

@@ -87,9 +87,13 @@ class WsMessenger:
         journal: Optional["SubscriptionJournal"] = None,
         delivery: Optional[DeliveryPolicy] = None,
         delivery_seed: int = 0,
+        debug_linear_match: bool = False,
     ) -> None:
         self.network = network
         self.address = address
+        #: escape hatch: run every internal source/producer on the pre-index
+        #: linear matcher (differential tests diff the two fan-out paths)
+        self.debug_linear_match = debug_linear_match
         self.stats = BrokerStats()
         self.backbone = backbone or InMemoryBackbone()
         #: optional crash-recovery journal (see repro.messenger.journal)
@@ -124,6 +128,7 @@ class WsMessenger:
                 manager_address=f"{address}/{tag}/subscriptions",
                 topic_header=mediation.WSE_TOPIC_HEADER,
                 delivery_manager=self.delivery_manager,
+                debug_linear_match=debug_linear_match,
             )
         self.wsn_producers: dict[WsnVersion, NotificationProducer] = {}
         for version in wsn_versions if wsn_versions is not None else list(WsnVersion):
@@ -135,6 +140,7 @@ class WsMessenger:
                 manager_address=f"{address}/{tag}/subscriptions",
                 topic_namespace=topics,
                 delivery_manager=self.delivery_manager,
+                debug_linear_match=debug_linear_match,
             )
         # pull points for firewalled WSN 1.3 consumers
         self.pullpoint_factory = (
@@ -279,6 +285,34 @@ class WsMessenger:
             self._fan_out_all(payload, topic)
 
     def _fan_out_all(self, payload: XElem, topic: Optional[str]) -> None:
+        if self.debug_linear_match:
+            self._fan_out_all_linear(payload, topic)
+            return
+        instr = self.network.instrumentation
+        # freeze once at the broker: every internal source/producer (and the
+        # whole delivery machinery below them) shares this one instance
+        if not payload.frozen:
+            payload = payload.copy().freeze()
+            if instr.enabled:
+                instr.count("fanout.payload_copies", family="broker")
+        for source in self.wse_sources.values():
+            if not source.store.has_subscriptions():
+                if instr.enabled:
+                    instr.count("fanout.index_skips", family="broker")
+                continue
+            source.publish(payload, topic=topic)
+        for producer in self.wsn_producers.values():
+            if topic is None and producer.version.requires_topic:
+                continue  # <=1.2 subscriptions are all topic-filtered anyway
+            if not producer.has_subscriptions():
+                # still validate the topic and refresh GetCurrentMessage
+                producer.note_publication(payload, topic)
+                if instr.enabled:
+                    instr.count("fanout.index_skips", family="broker")
+                continue
+            producer.publish(payload, topic=topic)
+
+    def _fan_out_all_linear(self, payload: XElem, topic: Optional[str]) -> None:
         for source in self.wse_sources.values():
             source.publish(payload, topic=topic)
         for producer in self.wsn_producers.values():

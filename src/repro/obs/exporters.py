@@ -19,15 +19,25 @@ def _base_name(key: str) -> str:
     return key if brace < 0 else key[:brace]
 
 
-def _delivery_summary(counters: dict[str, int]) -> dict[str, int]:
-    """Aggregate ``delivery.*`` counter series across their labels."""
+def _counter_family_summary(counters: dict[str, int], prefix: str) -> dict[str, int]:
+    """Aggregate ``<prefix>*`` counter series across their labels."""
     totals: dict[str, int] = {}
     for key, value in counters.items():
         name = _base_name(key)
-        if name.startswith("delivery."):
-            short = name[len("delivery."):]
+        if name.startswith(prefix):
+            short = name[len(prefix):]
             totals[short] = totals.get(short, 0) + value
     return dict(sorted(totals.items()))
+
+
+def _delivery_summary(counters: dict[str, int]) -> dict[str, int]:
+    """Aggregate ``delivery.*`` counter series across their labels."""
+    return _counter_family_summary(counters, "delivery.")
+
+
+def _fanout_summary(counters: dict[str, int]) -> dict[str, int]:
+    """Aggregate the fan-out fast-path counters (``fanout.*``)."""
+    return _counter_family_summary(counters, "fanout.")
 
 
 def build_report(instrumentation: Instrumentation, *, title: str = "obs report") -> dict:
@@ -46,6 +56,9 @@ def build_report(instrumentation: Instrumentation, *, title: str = "obs report")
     delivery = _delivery_summary(snapshot["metrics"]["counters"])
     if delivery:
         summary["delivery"] = delivery
+    fanout = _fanout_summary(snapshot["metrics"]["counters"])
+    if fanout:
+        summary["fanout"] = fanout
     return {
         "title": title,
         "clock": snapshot["clock"],
@@ -76,6 +89,11 @@ def render_text_report(
         f" ({summary['span_errors']} errored) | {summary['metrics']} metric series"
         f" | {summary['wire_frames']} wire frames"
     )
+    if "fanout" in summary:
+        lines.append(
+            "fan-out: "
+            + ", ".join(f"{k}={v}" for k, v in summary["fanout"].items())
+        )
     lines.append("")
 
     lines.append("Metrics")

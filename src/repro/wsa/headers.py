@@ -27,6 +27,17 @@ def fresh_message_id() -> str:
     return f"urn:uuid:msg-{next(_message_counter):08d}"
 
 
+def reset_message_counter() -> None:
+    """Restart MessageID allocation from 1 (test/bench hook).
+
+    The differential fan-out tests run the same seeded scenario twice and
+    diff the raw wire bytes; the process-global counter has to restart
+    between runs or every MessageID differs trivially.
+    """
+    global _message_counter
+    _message_counter = itertools.count(1)
+
+
 @dataclass
 class MessageHeaders:
     """The addressing properties of one message."""

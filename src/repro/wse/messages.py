@@ -314,7 +314,8 @@ def build_pull(version: WseVersion, max_messages: int = 0) -> XElem:
 def build_pull_response(version: WseVersion, messages: list[XElem]) -> XElem:
     response = XElem(version.qname("PullResponse"))
     for message in messages:
-        response.append(message.copy())
+        # frozen messages are fan-out-shared and safe to alias
+        response.append(message if message.frozen else message.copy())
     return response
 
 
@@ -333,7 +334,7 @@ def build_wrapped_notification(version: WseVersion, messages: list[XElem]) -> XE
     wrapper element is our documented concretization."""
     wrapper = XElem(version.qname("Notifications"))
     for message in messages:
-        wrapper.append(message.copy())
+        wrapper.append(message if message.frozen else message.copy())
     return wrapper
 
 

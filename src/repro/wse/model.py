@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
@@ -77,12 +78,31 @@ class SubscriptionStore:
         self._prefix = prefix
         self._counter = itertools.count(1)
         self._subscriptions: dict[str, WseSubscription] = {}
+        # earliest-expiry heap of (expires, id); entries go stale when a
+        # subscription is removed or renewed, and sweep_due skips them
+        self._expiry_heap: list[tuple[float, str]] = []
+        #: index-maintenance hooks fired on every create / removal (sweeps
+        #: included), so the event source's topic index never goes stale
+        self.on_created: list[Callable[[WseSubscription], None]] = []
+        self.on_removed: list[Callable[[WseSubscription], None]] = []
 
     def create(self, **kwargs) -> WseSubscription:
         sub_id = f"{self._prefix}-{next(self._counter)}"
         subscription = WseSubscription(id=sub_id, **kwargs)
         self._subscriptions[sub_id] = subscription
+        self._note_expiry(subscription)
+        for hook in self.on_created:
+            hook(subscription)
         return subscription
+
+    def _note_expiry(self, subscription: WseSubscription) -> None:
+        if subscription.expires is not None:
+            heapq.heappush(self._expiry_heap, (subscription.expires, subscription.id))
+
+    def update_expiry(self, subscription: WseSubscription, expires: Optional[float]) -> None:
+        """Renew: change ``expires`` and keep the expiry heap aware of it."""
+        subscription.expires = expires
+        self._note_expiry(subscription)
 
     def get(self, sub_id: str) -> Optional[WseSubscription]:
         subscription = self._subscriptions.get(sub_id)
@@ -91,18 +111,46 @@ class SubscriptionStore:
         return subscription
 
     def remove(self, sub_id: str) -> Optional[WseSubscription]:
-        return self._subscriptions.pop(sub_id, None)
+        subscription = self._subscriptions.pop(sub_id, None)
+        if subscription is not None:
+            for hook in self.on_removed:
+                hook(subscription)
+        return subscription
 
     def live(self) -> list[WseSubscription]:
         now = self.clock.now()
         return [s for s in self._subscriptions.values() if not s.is_expired(now)]
 
+    def has_subscriptions(self) -> bool:
+        """Whether any subscription (live or not-yet-swept) is present —
+        the broker's zero-subscription fast-path check, O(1)."""
+        return bool(self._subscriptions)
+
     def sweep_expired(self) -> list[WseSubscription]:
-        """Drop (and return) expired subscriptions."""
+        """Drop (and return) expired subscriptions (full scan)."""
         now = self.clock.now()
         expired = [s for s in self._subscriptions.values() if s.is_expired(now)]
         for subscription in expired:
             del self._subscriptions[subscription.id]
+            for hook in self.on_removed:
+                hook(subscription)
+        return expired
+
+    def sweep_due(self) -> list[WseSubscription]:
+        """Drop expired subscriptions by popping the expiry heap — amortized
+        O(expired log n) per call; the publication hot path uses this."""
+        now = self.clock.now()
+        heap = self._expiry_heap
+        expired: list[WseSubscription] = []
+        while heap and heap[0][0] <= now:
+            when, sub_id = heapq.heappop(heap)
+            subscription = self._subscriptions.get(sub_id)
+            if subscription is None or subscription.expires != when:
+                continue  # stale entry (removed / renewed)
+            del self._subscriptions[sub_id]
+            for hook in self.on_removed:
+                hook(subscription)
+            expired.append(subscription)
         return expired
 
     def __len__(self) -> int:

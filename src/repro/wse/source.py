@@ -16,6 +16,7 @@ from repro.delivery.outcome import DeliveryFailure, record_failure
 from repro.delivery.task import DeliveryItem
 from repro.filters.base import AcceptAllFilter, Filter, FilterContext, FilterError
 from repro.filters.content import MessageContentFilter
+from repro.filters.topics import TopicSubscriptionIndex, topic_expression_of
 from repro.soap.envelope import SoapEnvelope, SoapVersion
 from repro.soap.fault import FaultCode, SoapFault
 from repro.transport.endpoint import SoapClient, SoapEndpoint
@@ -58,6 +59,7 @@ class EventSource:
         topic_header: Optional["QName"] = None,
         delivery_retries: int = 0,
         delivery_manager: Optional["DeliveryManager"] = None,
+        debug_linear_match: bool = False,
     ) -> None:
         self.network = network
         self.version = version
@@ -78,7 +80,17 @@ class EventSource:
         self.delivery_manager = delivery_manager
         #: every failed outbound send, recorded (see repro.delivery.outcome)
         self.delivery_failures: list[DeliveryFailure] = []
+        #: escape hatch: bypass the topic index / frozen-payload fast path and
+        #: match with the original linear scan (differential tests diff the two)
+        self.debug_linear_match = debug_linear_match
         self.store = SubscriptionStore(self.clock)
+        # topic index over the store, kept fresh via the store's own hooks so
+        # direct store manipulation (tests, sweeps) can never leave it stale
+        self._topic_index = TopicSubscriptionIndex()
+        self.store.on_created.append(
+            lambda s: self._topic_index.add(s.id, topic_expression_of(s.filter))
+        )
+        self.store.on_removed.append(lambda s: self._topic_index.discard(s.id))
         self._client = SoapClient(
             network, wsa_version=version.wsa_version, soap_version=SoapVersion.V11
         )
@@ -227,7 +239,7 @@ class EventSource:
     def _handle_renew(self, envelope: SoapEnvelope, headers: MessageHeaders):
         subscription = self._subscription_for(envelope, headers)
         expires_text = messages.expires_from_body(envelope.body_element(), self.version)
-        subscription.expires = self._grant_expiry(expires_text)
+        self.store.update_expiry(subscription, self._grant_expiry(expires_text))
         body = messages.build_renew_response(
             self.version, self._expires_text(subscription.expires)
         )
@@ -292,19 +304,72 @@ class EventSource:
     def _fan_out_event(
         self, payload: XElem, action: str, topic: Optional[str]
     ) -> int:
+        if self.debug_linear_match:
+            return self._fan_out_linear(payload, action, topic)
+        instr = self.network.instrumentation
+        self.store.sweep_due()
+        # one frozen payload instance is shared by every match this publish
+        if payload.frozen:
+            frozen = payload
+        else:
+            frozen = payload.copy().freeze()
+            if instr.enabled:
+                instr.count("fanout.payload_copies", family="wse")
+        context = FilterContext(
+            frozen, topic=topic, producer_properties=self.producer_properties
+        )
+        candidates = self._topic_index.candidates(topic)
+        if instr.enabled:
+            instr.count("fanout.index_hits", len(candidates), family="wse")
+            skipped = len(self.store._subscriptions) - len(candidates)
+            if skipped > 0:
+                instr.count("fanout.index_skips", skipped, family="wse")
+        delivered = 0
+        for key in candidates:
+            subscription = self.store.get(key)
+            if subscription is None:
+                continue
+            if instr.enabled:
+                instr.count("fanout.filter_evals", family="wse")
+            if not subscription.accepts(context):
+                continue
+            delivered += 1
+            if subscription.mode is DeliveryMode.PULL:
+                subscription.queue.append(frozen)
+            elif subscription.mode is DeliveryMode.WRAPPED:
+                subscription.queue.append(frozen)
+                if len(subscription.queue) >= self.wrapped_batch_size:
+                    self._flush_wrapped(subscription)
+            else:
+                self._push(subscription, frozen, action, topic)
+        return delivered
+
+    def _fan_out_linear(
+        self, payload: XElem, action: str, topic: Optional[str]
+    ) -> int:
+        """The pre-index matcher, kept verbatim as the differential baseline
+        (``debug_linear_match=True``): full sweep, linear scan, one filter
+        evaluation per subscriber and per-subscriber payload copies."""
+        instr = self.network.instrumentation
         self.store.sweep_expired()
         context = FilterContext(
             payload, topic=topic, producer_properties=self.producer_properties
         )
         delivered = 0
         for subscription in list(self.store.live()):
+            if instr.enabled:
+                instr.count("fanout.filter_evals", family="wse")
             if not subscription.accepts(context):
                 continue
             delivered += 1
             if subscription.mode is DeliveryMode.PULL:
                 subscription.queue.append(payload.copy())
+                if instr.enabled:
+                    instr.count("fanout.payload_copies", family="wse")
             elif subscription.mode is DeliveryMode.WRAPPED:
                 subscription.queue.append(payload.copy())
+                if instr.enabled:
+                    instr.count("fanout.payload_copies", family="wse")
                 if len(subscription.queue) >= self.wrapped_batch_size:
                     self._flush_wrapped(subscription)
             else:
@@ -330,13 +395,23 @@ class EventSource:
 
             extra.append(text_element(self.topic_header, topic))
 
+        def outbound() -> XElem:
+            # frozen payloads are fan-out-shared; mutable ones are copied per
+            # attempt exactly as before the fast path existed
+            if payload.frozen:
+                return payload
+            instr = self.network.instrumentation
+            if instr.enabled:
+                instr.count("fanout.payload_copies", family="wse")
+            return payload.copy()
+
         def attempt() -> None:
             instr = self.network.instrumentation
             if not instr.enabled:
                 self._client.call(
                     subscription.notify_to,
                     action,
-                    [payload.copy()],
+                    [outbound()],
                     expect_reply=False,
                     extra_headers=extra,
                 )
@@ -345,7 +420,7 @@ class EventSource:
                 self._client.call(
                     subscription.notify_to,
                     action,
-                    [payload.copy()],
+                    [outbound()],
                     expect_reply=False,
                     extra_headers=extra,
                 )
@@ -354,7 +429,7 @@ class EventSource:
             self.delivery_manager.submit(
                 subscription.notify_to.address,
                 attempt,
-                items=[DeliveryItem(payload.copy(), topic)],
+                items=[DeliveryItem(payload if payload.frozen else payload.copy(), topic)],
                 family="wse",
                 describe=f"notify {subscription.id}",
             )
@@ -412,7 +487,10 @@ class EventSource:
     def _flush_wrapped(self, subscription: WseSubscription) -> None:
         batch, subscription.queue = subscription.queue, []
         wrapper = messages.build_wrapped_notification(self.version, batch)
-        items = [DeliveryItem(message.copy()) for message in batch]
+        items = [
+            DeliveryItem(message if message.frozen else message.copy())
+            for message in batch
+        ]
 
         def attempt() -> None:
             instr = self.network.instrumentation

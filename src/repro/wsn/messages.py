@@ -244,7 +244,9 @@ def build_notify(version: WsnVersion, notifications: list[NotificationMessage]) 
                 )
             )
         wrapper = XElem(version.qname("Message"))
-        wrapper.append(item.payload.copy())
+        # frozen payloads are fan-out-shared and safe to alias; mutable ones
+        # are defensively copied as before
+        wrapper.append(item.payload if item.payload.frozen else item.payload.copy())
         message.append(wrapper)
         notify.append(message)
     return notify

@@ -18,7 +18,7 @@ from repro.delivery.task import DeliveryItem
 from repro.filters.base import AcceptAllFilter, AndFilter, Filter, FilterContext, FilterError
 from repro.filters.content import MessageContentFilter
 from repro.filters.producer import ProducerPropertiesFilter
-from repro.filters.topics import TopicFilter, TopicNamespace
+from repro.filters.topics import TopicFilter, TopicNamespace, topic_expression_of
 from repro.soap.envelope import SoapEnvelope, SoapVersion
 from repro.soap.fault import FaultCode, SoapFault
 from repro.transport.endpoint import SoapClient, SoapEndpoint
@@ -82,6 +82,7 @@ class NotificationProducer:
         producer_properties: Optional[dict[str, str]] = None,
         enable_wsrf: Optional[bool] = None,
         delivery_manager: Optional["DeliveryManager"] = None,
+        debug_linear_match: bool = False,
     ) -> None:
         self.network = network
         self.version = version
@@ -89,6 +90,10 @@ class NotificationProducer:
         self.clock = network.clock
         self.default_lifetime = default_lifetime
         self.topics = topic_namespace or TopicNamespace()
+        #: escape hatch: bypass the topic index / frozen-payload fast path and
+        #: match with the original linear scan (differential tests diff the two)
+        self.debug_linear_match = debug_linear_match
+        self._topic_index = self.topics.new_index()
         self.producer_properties = dict(producer_properties or {})
         # WSRF port: mandatory <= 1.2, optional (default on) in 1.3
         if enable_wsrf is None:
@@ -172,6 +177,7 @@ class NotificationProducer:
         expiry = self._grant_termination(request.initial_termination_text)
         resource = self.registry.create()
         resource.termination_time = expiry
+        self.registry.note_termination(resource)
         subscription = WsnSubscription(
             resource=resource,
             consumer=request.consumer,
@@ -180,6 +186,7 @@ class NotificationProducer:
             use_raw=request.use_raw,
         )
         self._subscriptions[resource.key] = subscription
+        self._topic_index.add(resource.key, topic_expression_of(subscription_filter))
         self._set_resource_properties(subscription)
         resource.termination_listeners.append(self._on_subscription_terminated)
         self._notify_listeners("created", subscription)
@@ -308,6 +315,7 @@ class NotificationProducer:
         term_elem = envelope.body_element().find(self.version.qname("TerminationTime"))
         text = term_elem.full_text().strip() if term_elem is not None else None
         subscription.resource.termination_time = self._grant_termination(text)
+        self.registry.note_termination(subscription.resource)
         self._set_resource_properties(subscription)
         termination = subscription.resource.termination_time
         body = messages.build_renew_response(
@@ -418,7 +426,7 @@ class NotificationProducer:
                 subcode=self.version.qname("NoCurrentMessageOnTopicFault"),
             )
         body = XElem(self.version.qname("GetCurrentMessageResponse"))
-        body.append(payload.copy())
+        body.append(payload if payload.frozen else payload.copy())
         return self._reply(
             headers, self.version.action("GetCurrentMessageResponse"), body
         )
@@ -459,12 +467,70 @@ class NotificationProducer:
         return matched
 
     def _match_and_deliver(self, payload: XElem, topic: Optional[str]) -> int:
+        if self.debug_linear_match:
+            return self._match_and_deliver_linear(payload, topic)
+        instr = self.network.instrumentation
+        if topic is not None:
+            try:
+                self.topics.validate_publication(topic)
+            except FilterError as exc:
+                raise SoapFault(FaultCode.SENDER, str(exc)) from exc
+        # one frozen payload instance is shared by every match this publish
+        if payload.frozen:
+            frozen = payload
+        else:
+            frozen = payload.copy().freeze()
+            if instr.enabled:
+                instr.count("fanout.payload_copies", family="wsn")
+        if topic is not None:
+            self._current_message[topic] = frozen
+        self.registry.sweep_due()
+        context = FilterContext(
+            frozen, topic=topic, producer_properties=self.producer_properties
+        )
+        candidates = self._topic_index.candidates(topic)
+        if instr.enabled:
+            instr.count("fanout.index_hits", len(candidates), family="wsn")
+            skipped = len(self._subscriptions) - len(candidates)
+            if skipped > 0:
+                instr.count("fanout.index_skips", skipped, family="wsn")
+        matched = 0
+        for key in candidates:
+            subscription = self._subscriptions.get(key)
+            if subscription is None or not subscription.resource.alive(self.clock.now()):
+                continue
+            if instr.enabled:
+                instr.count("fanout.filter_evals", family="wsn")
+            if not subscription.filter.matches(context):
+                continue
+            matched += 1
+            message = NotificationMessage(
+                frozen,
+                topic=topic,
+                subscription_reference=self.registry.epr_for(
+                    subscription.resource, self.manager_address
+                ),
+                producer_reference=self.epr(),
+            )
+            if subscription.paused:
+                subscription.paused_queue.append(message)
+            else:
+                self._deliver(subscription, [message])
+        return matched
+
+    def _match_and_deliver_linear(self, payload: XElem, topic: Optional[str]) -> int:
+        """The pre-index matcher, kept verbatim as the differential baseline
+        (``debug_linear_match=True``): full sweep, linear scan, one filter
+        evaluation and one payload copy per subscriber."""
+        instr = self.network.instrumentation
         if topic is not None:
             try:
                 self.topics.validate_publication(topic)
             except FilterError as exc:
                 raise SoapFault(FaultCode.SENDER, str(exc)) from exc
             self._current_message[topic] = payload.copy()
+            if instr.enabled:
+                instr.count("fanout.payload_copies", family="wsn")
         self.registry.sweep()
         context = FilterContext(
             payload, topic=topic, producer_properties=self.producer_properties
@@ -473,9 +539,13 @@ class NotificationProducer:
         for subscription in list(self._subscriptions.values()):
             if not subscription.resource.alive(self.clock.now()):
                 continue
+            if instr.enabled:
+                instr.count("fanout.filter_evals", family="wsn")
             if not subscription.filter.matches(context):
                 continue
             matched += 1
+            if instr.enabled:
+                instr.count("fanout.payload_copies", family="wsn")
             message = NotificationMessage(
                 payload.copy(),
                 topic=topic,
@@ -489,6 +559,23 @@ class NotificationProducer:
             else:
                 self._deliver(subscription, [message])
         return matched
+
+    def note_publication(self, payload: XElem, topic: Optional[str]) -> None:
+        """Record a publication without fanning out — the broker's
+        zero-subscription fast path.  Preserves the observable side effects
+        of :meth:`publish`: topic validation (and namespace growth) and the
+        GetCurrentMessage cache."""
+        if topic is None:
+            return
+        try:
+            self.topics.validate_publication(topic)
+        except FilterError as exc:
+            raise SoapFault(FaultCode.SENDER, str(exc)) from exc
+        self._current_message[topic] = payload if payload.frozen else payload.copy()
+
+    def has_subscriptions(self) -> bool:
+        """Whether any subscription (live or not-yet-swept) exists — O(1)."""
+        return bool(self._subscriptions)
 
     def _deliver(
         self, subscription: WsnSubscription, notifications: list[NotificationMessage]
@@ -515,7 +602,10 @@ class NotificationProducer:
                 subscription.consumer.address,
                 attempt,
                 items=[
-                    DeliveryItem(item.payload.copy(), item.topic)
+                    DeliveryItem(
+                        item.payload if item.payload.frozen else item.payload.copy(),
+                        item.topic,
+                    )
                     for item in notifications
                 ],
                 family="wsn",
@@ -553,7 +643,7 @@ class NotificationProducer:
                 self._client.call(
                     subscription.consumer,
                     self.version.action("Notify"),
-                    [item.payload.copy()],
+                    [item.payload if item.payload.frozen else item.payload.copy()],
                     expect_reply=False,
                 )
         else:
@@ -569,6 +659,7 @@ class NotificationProducer:
 
     def _on_subscription_terminated(self, resource: WsResource, reason: str) -> None:
         subscription = self._subscriptions.pop(resource.key, None)
+        self._topic_index.discard(resource.key)
         if subscription is None:
             return
         self._notify_listeners("destroyed", subscription)

@@ -47,6 +47,7 @@ def set_termination_time(
             f"requested termination time {termination_time} is in the past (now={now})"
         )
     resource.termination_time = termination_time
+    registry.note_termination(resource)
     return termination_time
 
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
@@ -89,6 +90,10 @@ class ResourceRegistry:
         self._key_prefix = key_prefix
         self._counter = itertools.count(1)
         self._resources: dict[ResourceKey, WsResource] = {}
+        # earliest-expiry heap of (termination_time, key); lazy deletion:
+        # entries go stale when a resource is destroyed or its termination
+        # time changes, and sweep_due skips them
+        self._expiry_heap: list[tuple[float, ResourceKey]] = []
 
     def create(self, *, lifetime: Optional[float] = None) -> WsResource:
         """Create a resource; ``lifetime`` is seconds from now (soft state)."""
@@ -97,7 +102,34 @@ class ResourceRegistry:
         if lifetime is not None:
             resource.termination_time = self.clock.now() + lifetime
         self._resources[key] = resource
+        self.note_termination(resource)
         return resource
+
+    def note_termination(self, resource: WsResource) -> None:
+        """Record (a change of) ``resource.termination_time`` so
+        :meth:`sweep_due` sees it; must be called after every assignment."""
+        if resource.termination_time is not None:
+            heapq.heappush(
+                self._expiry_heap, (resource.termination_time, resource.key)
+            )
+
+    def sweep_due(self) -> list[WsResource]:
+        """Expire exactly the resources whose termination time has passed.
+
+        Amortized O(expired log n) per call instead of :meth:`sweep`'s full
+        scan — the fan-out hot path calls this once per publication.
+        """
+        now = self.clock.now()
+        heap = self._expiry_heap
+        expired: list[WsResource] = []
+        while heap and heap[0][0] <= now:
+            when, key = heapq.heappop(heap)
+            resource = self._resources.get(key)
+            if resource is None or resource.termination_time != when:
+                continue  # stale entry (destroyed / rescheduled)
+            self._expire(resource)
+            expired.append(resource)
+        return expired
 
     def get(self, key: ResourceKey) -> WsResource:
         """Look up a live resource; raises :class:`ResourceUnknownFault`."""

@@ -16,7 +16,7 @@ reproduction does not depend on any third-party web-services tooling:
 """
 
 from repro.xmlkit.names import QName, Namespaces
-from repro.xmlkit.element import XElem
+from repro.xmlkit.element import FrozenElementError, XElem
 from repro.xmlkit.parser import parse_xml, XmlParseError
 from repro.xmlkit.writer import serialize_xml
 from repro.xmlkit.xpath import XPath, XPathError
@@ -24,6 +24,7 @@ from repro.xmlkit.xpath import XPath, XPathError
 __all__ = [
     "QName",
     "Namespaces",
+    "FrozenElementError",
     "XElem",
     "parse_xml",
     "XmlParseError",

@@ -9,11 +9,16 @@ compare whole SOAP messages directly.
 
 from __future__ import annotations
 
+from types import MappingProxyType
 from typing import Iterable, Iterator, Optional, Union
 
 from repro.xmlkit.names import QName
 
 Child = Union["XElem", str]
+
+
+class FrozenElementError(TypeError):
+    """Raised when a mutating operation reaches a frozen element."""
 
 
 class XElem:
@@ -23,7 +28,7 @@ class XElem:
     keys are :class:`QName` (unprefixed attributes have an empty namespace).
     """
 
-    __slots__ = ("name", "attrs", "children")
+    __slots__ = ("name", "attrs", "children", "_frozen", "_fcache")
 
     def __init__(
         self,
@@ -34,6 +39,8 @@ class XElem:
         if not isinstance(name, QName):
             raise TypeError(f"element name must be a QName, got {type(name).__name__}")
         self.name = name
+        self._frozen = False
+        self._fcache: Optional[list] = None  # writer's serialization cache slot
         self.attrs: dict[QName, str] = dict(attrs) if attrs else {}
         self.children: list[Child] = []
         if children:
@@ -44,6 +51,8 @@ class XElem:
 
     def append(self, child: Child) -> "XElem":
         """Append a sub-element or text chunk; returns ``self`` for chaining."""
+        if self._frozen:
+            raise FrozenElementError(f"element <{self.name}> is frozen")
         if not isinstance(child, (XElem, str)):
             raise TypeError(f"child must be XElem or str, got {type(child).__name__}")
         self.children.append(child)
@@ -55,7 +64,36 @@ class XElem:
         return self
 
     def set(self, attr: QName, value: str) -> "XElem":
+        if self._frozen:
+            raise FrozenElementError(f"element <{self.name}> is frozen")
         self.attrs[attr] = value
+        return self
+
+    # --- immutability -----------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> "XElem":
+        """Recursively make this tree immutable; returns ``self``.
+
+        A frozen payload can be shared across an entire notification fan-out
+        (queues, batches, push closures) without per-subscriber deep copies:
+        mutation raises :class:`FrozenElementError`, and :meth:`copy` hands
+        back a fresh mutable tree for the paths that genuinely rewrite.
+        Freezing also gives the serializer a stable place to cache the
+        element's serialized form (see :mod:`repro.xmlkit.writer`).
+        """
+        if self._frozen:
+            return self
+        for child in self.children:
+            if isinstance(child, XElem):
+                child.freeze()
+        self.children = tuple(self.children)  # type: ignore[assignment]
+        self.attrs = MappingProxyType(self.attrs)  # type: ignore[assignment]
+        self._frozen = True
+        self._fcache = [None, None, None]
         return self
 
     # --- navigation --------------------------------------------------------
@@ -137,7 +175,8 @@ class XElem:
         return f"XElem({self.name}, attrs={len(self.attrs)}, children={len(self.children)})"
 
     def copy(self) -> "XElem":
-        """Deep copy; the mediation layer rewrites copies, never originals."""
+        """Deep copy (always mutable, even when the source tree is frozen);
+        the mediation layer rewrites copies, never originals."""
         dup = XElem(self.name, dict(self.attrs))
         for child in self.children:
             dup.append(child.copy() if isinstance(child, XElem) else child)

@@ -5,6 +5,14 @@ conventional prefixes (``wsa``, ``wse``, ``wsnt``...), unknown namespaces get
 ``ns0``, ``ns1``... in first-use order.  Deterministic output matters for the
 message-format comparison benchmarks, which diff serialized messages
 byte-for-byte.
+
+Frozen subtrees (:meth:`XElem.freeze`) additionally act as serialization
+cache points: the first time a frozen element is written it remembers the
+exact text it produced together with the prefix assignment it was produced
+under, and every later write under the *same* prefix assignment splices that
+text back in verbatim.  Because notification fan-out reuses one frozen
+payload across every push, the body of a publication is serialized once and
+re-used byte-identically for each subscriber.
 """
 
 from __future__ import annotations
@@ -12,14 +20,41 @@ from __future__ import annotations
 from repro.xmlkit.element import XElem
 from repro.xmlkit.names import Namespaces, QName
 
-_ESCAPES_TEXT = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
-_ESCAPES_ATTR = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+# a single translate pass per text node (was: chained str.replace passes)
+_TEXT_TRANSLATION = str.maketrans({"&": "&amp;", "<": "&lt;", ">": "&gt;"})
+_ATTR_TRANSLATION = str.maketrans(
+    {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+)
 
 
-def _escape(value: str, table: dict[str, str]) -> str:
-    for raw, enc in table.items():
-        value = value.replace(raw, enc)
-    return value
+def _escape_text(value: str) -> str:
+    return value.translate(_TEXT_TRANSLATION)
+
+
+def _escape_attr(value: str) -> str:
+    return value.translate(_ATTR_TRANSLATION)
+
+
+class WriterStats:
+    """Serialization accounting for the fan-out benchmarks (single-threaded)."""
+
+    __slots__ = ("frozen_serializations", "frozen_splices")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.frozen_serializations = 0
+        self.frozen_splices = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "frozen_serializations": self.frozen_serializations,
+            "frozen_splices": self.frozen_splices,
+        }
+
+
+WRITER_STATS = WriterStats()
 
 
 class _PrefixAllocator:
@@ -66,7 +101,42 @@ def serialize_xml(root: XElem, *, xml_declaration: bool = False, indent: bool = 
     return "".join(parts)
 
 
+def _namespace_order(elem: XElem) -> list[str]:
+    """Namespaces of a subtree in first-use pre-order (deduplicated) —
+    the exact order :func:`_collect_namespaces` would register them in."""
+    seen: set[str] = set()
+    order: list[str] = []
+
+    def walk(node: XElem) -> None:
+        uri = node.name.namespace
+        if uri and uri not in seen:
+            seen.add(uri)
+            order.append(uri)
+        for attr in node.attrs:
+            ns = attr.namespace
+            if ns and ns not in (Namespaces.XMLNS, Namespaces.XML) and ns not in seen:
+                seen.add(ns)
+                order.append(ns)
+        for child in node.elements():
+            walk(child)
+
+    walk(elem)
+    return order
+
+
+def _frozen_namespace_order(elem: XElem) -> tuple[str, ...]:
+    state = elem._fcache
+    assert state is not None
+    if state[0] is None:
+        state[0] = tuple(_namespace_order(elem))
+    return state[0]
+
+
 def _collect_namespaces(elem: XElem, allocator: _PrefixAllocator) -> None:
+    if elem._fcache is not None:  # frozen: replay the memoized namespace order
+        for uri in _frozen_namespace_order(elem):
+            allocator.prefix_for(uri)
+        return
     if elem.name.namespace:
         allocator.prefix_for(elem.name.namespace)
     for attr in elem.attrs:
@@ -82,6 +152,32 @@ def _tag(name: QName, allocator: _PrefixAllocator) -> str:
     return f"{allocator.prefix_for(name.namespace)}:{name.local}"
 
 
+def _write_frozen(elem: XElem, allocator: _PrefixAllocator, parts: list[str]) -> None:
+    """Write a frozen subtree through its serialization cache.
+
+    The cache is valid only for the prefix assignment it was filled under:
+    the key is the tuple of prefixes the allocator maps this subtree's
+    namespaces to.  A different assignment (a different envelope context)
+    falls back to a normal serialization and re-primes the cache.
+    """
+    state = elem._fcache
+    assert state is not None
+    mapping = tuple(
+        allocator.prefix_for(uri) for uri in _frozen_namespace_order(elem)
+    )
+    if state[1] == mapping and state[2] is not None:
+        WRITER_STATS.frozen_splices += 1
+        parts.append(state[2])
+        return
+    sub: list[str] = []
+    _write(elem, allocator, sub, declare_namespaces=False, indent=None, splice=False)
+    text = "".join(sub)
+    state[1] = mapping
+    state[2] = text
+    WRITER_STATS.frozen_serializations += 1
+    parts.append(text)
+
+
 def _write(
     elem: XElem,
     allocator: _PrefixAllocator,
@@ -89,13 +185,14 @@ def _write(
     *,
     declare_namespaces: bool,
     indent: int | None,
+    splice: bool = True,
 ) -> None:
     pad = "  " * indent if indent is not None else ""
     tag = _tag(elem.name, allocator)
     parts.append(f"{pad}<{tag}")
     if declare_namespaces:
         for uri, prefix in sorted(allocator.declared().items(), key=lambda kv: kv[1]):
-            parts.append(f' xmlns:{prefix}="{_escape(uri, _ESCAPES_ATTR)}"')
+            parts.append(f' xmlns:{prefix}="{_escape_attr(uri)}"')
     for attr, value in elem.attrs.items():
         if attr.namespace == Namespaces.XML:
             attr_tag = f"xml:{attr.local}"
@@ -103,7 +200,7 @@ def _write(
             attr_tag = f"{allocator.prefix_for(attr.namespace)}:{attr.local}"
         else:
             attr_tag = attr.local
-        parts.append(f' {attr_tag}="{_escape(value, _ESCAPES_ATTR)}"')
+        parts.append(f' {attr_tag}="{_escape_attr(value)}"')
     if not elem.children:
         parts.append("/>")
         if indent is not None:
@@ -114,16 +211,21 @@ def _write(
     only_text = any(isinstance(child, str) for child in elem.children)
     if indent is not None and not only_text:
         parts.append("\n")
+    child_indent = indent + 1 if indent is not None and not only_text else None
     for child in elem.children:
         if isinstance(child, str):
-            parts.append(_escape(child, _ESCAPES_TEXT))
+            parts.append(_escape_text(child))
+        elif splice and child_indent is None and child._fcache is not None:
+            # top-most frozen boundary: cached text or one serialization
+            _write_frozen(child, allocator, parts)
         else:
             _write(
                 child,
                 allocator,
                 parts,
                 declare_namespaces=False,
-                indent=indent + 1 if indent is not None and not only_text else None,
+                indent=child_indent,
+                splice=splice,
             )
     if indent is not None and not only_text:
         parts.append(pad)

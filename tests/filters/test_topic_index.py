@@ -1,0 +1,206 @@
+"""The fan-out fast path's topic-subscription trie.
+
+The load-bearing property: for every (expression, path) pair the index's
+candidate set agrees exactly with ``TopicExpression.matches`` — the trie is a
+pure acceleration of the linear scan, never a semantic change.
+"""
+
+import random
+
+import pytest
+
+from repro.filters.base import AcceptAllFilter, AndFilter
+from repro.filters.content import MessageContentFilter
+from repro.filters.topics import (
+    TopicDialect,
+    TopicExpression,
+    TopicFilter,
+    TopicNamespace,
+    TopicSubscriptionIndex,
+    topic_expression_of,
+)
+
+FULL = TopicDialect.FULL
+
+
+def _index_with(expressions: dict[str, TopicExpression | None]) -> TopicSubscriptionIndex:
+    index = TopicSubscriptionIndex()
+    for key, expression in expressions.items():
+        index.add(key, expression)
+    return index
+
+
+class TestCandidates:
+    def test_concrete_exact_match_only(self):
+        index = _index_with({"s1": TopicExpression("a/b", TopicDialect.CONCRETE)})
+        assert index.candidates("a/b") == ["s1"]
+        assert index.candidates("a") == []
+        assert index.candidates("a/b/c") == []
+
+    def test_simple_dialect_matches_root_only(self):
+        index = _index_with({"s1": TopicExpression("news", TopicDialect.SIMPLE)})
+        assert index.candidates("news") == ["s1"]
+        assert index.candidates("news/sports") == []
+
+    def test_star_wildcard(self):
+        index = _index_with({"s1": TopicExpression("a/*", FULL)})
+        assert index.candidates("a/b") == ["s1"]
+        assert index.candidates("a/c") == ["s1"]
+        assert index.candidates("a") == []
+        assert index.candidates("a/b/c") == []
+
+    def test_descendants_suffix(self):
+        index = _index_with({"s1": TopicExpression("a//.", FULL)})
+        assert index.candidates("a") == ["s1"]
+        assert index.candidates("a/b/c") == ["s1"]
+        assert index.candidates("b") == []
+
+    def test_gap_wildcard(self):
+        index = _index_with({"s1": TopicExpression("a//z", FULL)})
+        assert index.candidates("a/z") == ["s1"]
+        assert index.candidates("a/b/z") == ["s1"]
+        assert index.candidates("a/b/c/z") == ["s1"]
+        assert index.candidates("a/z/b") == []
+
+    def test_union_branches(self):
+        index = _index_with({"s1": TopicExpression("a/b|c", FULL)})
+        assert index.candidates("a/b") == ["s1"]
+        assert index.candidates("c") == ["s1"]
+        assert index.candidates("a") == []
+
+    def test_always_bucket_matches_everything_including_no_topic(self):
+        index = _index_with({"s1": None})
+        assert index.candidates("anything/at/all") == ["s1"]
+        assert index.candidates(None) == ["s1"]
+
+    def test_topic_filtered_keys_never_match_topicless_publication(self):
+        index = _index_with(
+            {"s1": TopicExpression("a", TopicDialect.CONCRETE), "s2": None}
+        )
+        assert index.candidates(None) == ["s2"]
+
+    def test_candidates_preserve_insertion_order(self):
+        index = TopicSubscriptionIndex()
+        keys = [f"k{i}" for i in range(20)]
+        for key in keys:
+            index.add(key, TopicExpression("a//.", FULL))
+        assert index.candidates("a/b") == keys
+
+    def test_reinsertion_moves_key_to_the_back(self):
+        index = TopicSubscriptionIndex()
+        index.add("k1", TopicExpression("a", TopicDialect.CONCRETE))
+        index.add("k2", TopicExpression("a", TopicDialect.CONCRETE))
+        index.add("k1", TopicExpression("a", TopicDialect.CONCRETE))
+        assert index.candidates("a") == ["k2", "k1"]
+
+    def test_discard(self):
+        index = _index_with(
+            {
+                "s1": TopicExpression("a/b", TopicDialect.CONCRETE),
+                "s2": None,
+            }
+        )
+        index.discard("s1")
+        index.discard("s2")
+        index.discard("missing")  # no-op
+        assert index.candidates("a/b") == []
+        assert len(index) == 0
+        assert "s1" not in index
+
+    def test_len_and_contains(self):
+        index = _index_with({"s1": None, "s2": TopicExpression("a", TopicDialect.CONCRETE)})
+        assert len(index) == 2
+        assert "s1" in index and "s2" in index
+
+
+class TestDifferentialAgainstLinearMatching:
+    """Randomized expressions x paths: trie == TopicExpression.matches."""
+
+    EXPRESSIONS = [
+        ("news", TopicDialect.SIMPLE),
+        ("news/sports", TopicDialect.CONCRETE),
+        ("news/sports/football", TopicDialect.CONCRETE),
+        ("news/*", FULL),
+        ("news//.", FULL),
+        ("*/sports", FULL),
+        ("news//football", FULL),
+        ("//football", FULL),
+        ("news/politics|weather", FULL),
+        ("weather/*/alerts", FULL),
+        ("*", FULL),
+        ("a//b//c", FULL),
+        ("a/*//.", FULL),
+    ]
+
+    PATHS = [
+        "news",
+        "news/sports",
+        "news/sports/football",
+        "news/politics",
+        "news/politics/local",
+        "weather",
+        "weather/alerts",
+        "weather/europe/alerts",
+        "football",
+        "a/b/c",
+        "a/x/b/y/c",
+        "a/q",
+        "other",
+    ]
+
+    def test_exhaustive_agreement(self):
+        compiled = {
+            f"k{i}": TopicExpression(text, dialect)
+            for i, (text, dialect) in enumerate(self.EXPRESSIONS)
+        }
+        index = _index_with(dict(compiled))
+        for path in self.PATHS:
+            want = sorted(k for k, e in compiled.items() if e.matches(path))
+            assert sorted(index.candidates(path)) == want, path
+
+    def test_randomized_agreement(self):
+        rng = random.Random(20060813)
+        names = ["a", "b", "c", "d"]
+        for _ in range(200):
+            depth = rng.randint(1, 4)
+            segments = []
+            for _ in range(depth):
+                segments.append(rng.choice(names + ["*"]))
+            text = "/".join(segments)
+            if rng.random() < 0.3:
+                text = text.replace("/", "//", 1)
+            if rng.random() < 0.3:
+                text += "//."
+            try:
+                expression = TopicExpression(text, FULL)
+            except Exception:
+                continue
+            index = _index_with({"k": expression})
+            for _ in range(20):
+                path = "/".join(
+                    rng.choice(names) for _ in range(rng.randint(1, 5))
+                )
+                want = ["k"] if expression.matches(path) else []
+                assert index.candidates(path) == want, (text, path)
+
+
+class TestTopicExpressionOf:
+    def test_topic_filter_exposes_its_expression(self):
+        expression = TopicExpression("a/b", TopicDialect.CONCRETE)
+        assert topic_expression_of(TopicFilter(expression)) is expression
+
+    def test_and_filter_exposes_first_topic_part(self):
+        expression = TopicExpression("a", TopicDialect.CONCRETE)
+        composite = AndFilter(
+            [MessageContentFilter("true()"), TopicFilter(expression)]
+        )
+        assert topic_expression_of(composite) is expression
+
+    def test_unindexable_filters_map_to_always(self):
+        assert topic_expression_of(AcceptAllFilter()) is None
+        assert topic_expression_of(MessageContentFilter("true()")) is None
+
+    def test_namespace_mints_indexes(self):
+        namespace = TopicNamespace()
+        assert isinstance(namespace.new_index(), TopicSubscriptionIndex)
+        assert namespace.new_index() is not namespace.new_index()

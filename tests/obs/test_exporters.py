@@ -75,3 +75,36 @@ class TestCli:
 
     def test_unknown_subcommand_fails(self, capsys):
         assert main(["no-such-subcommand"]) == 2
+
+
+class TestFanoutSummary:
+    def test_fanout_counters_are_aggregated_in_the_summary(self):
+        instrumentation = tiny_instrumented_run()
+        instrumentation.count("fanout.index_hits", 3, family="wsn")
+        instrumentation.count("fanout.index_hits", 2, family="wse")
+        instrumentation.count("fanout.index_skips", 40, family="wsn")
+        instrumentation.count("fanout.payload_copies", family="broker")
+        instrumentation.count("fanout.filter_evals", 5, family="wsn")
+        report = build_report(instrumentation)
+        assert report["summary"]["fanout"] == {
+            "filter_evals": 5,
+            "index_hits": 5,
+            "index_skips": 40,
+            "payload_copies": 1,
+        }
+
+    def test_fanout_line_in_text_report(self):
+        instrumentation = tiny_instrumented_run()
+        instrumentation.count("fanout.index_hits", 7, family="wsn")
+        rendered = render_text_report(instrumentation)
+        assert "fan-out: index_hits=7" in rendered
+
+    def test_no_fanout_counters_no_fanout_summary(self):
+        report = build_report(tiny_instrumented_run())
+        assert "fanout" not in report["summary"]
+
+    def test_demo_scenario_surfaces_fanout_alongside_delivery(self):
+        report = build_report(run_demo_scenario())
+        assert "delivery" in report["summary"]
+        assert "fanout" in report["summary"]
+        assert report["summary"]["fanout"]["index_hits"] >= 1

@@ -1,0 +1,147 @@
+"""Amortized expiry: the earliest-expiry heaps must agree with the full scans."""
+
+from repro.transport.clock import VirtualClock
+from repro.wse.model import DeliveryMode, SubscriptionStore
+from repro.wse.versions import WseVersion
+from repro.wsrf.lifetime import set_termination_time
+from repro.wsrf.resource import ResourceRegistry
+from repro.filters.base import AcceptAllFilter
+
+
+class TestRegistrySweepDue:
+    def test_sweep_due_expires_exactly_the_overdue(self):
+        clock = VirtualClock()
+        registry = ResourceRegistry(clock)
+        early = registry.create(lifetime=10.0)
+        late = registry.create(lifetime=100.0)
+        forever = registry.create()
+        clock.advance(50.0)
+        expired = registry.sweep_due()
+        assert [r.key for r in expired] == [early.key]
+        assert registry.find(late.key) is late
+        assert registry.find(forever.key) is forever
+
+    def test_sweep_due_fires_termination_listeners(self):
+        clock = VirtualClock()
+        registry = ResourceRegistry(clock)
+        resource = registry.create(lifetime=5.0)
+        seen = []
+        resource.termination_listeners.append(lambda r, reason: seen.append(reason))
+        clock.advance(10.0)
+        registry.sweep_due()
+        assert seen == ["expired"]
+
+    def test_destroyed_resource_leaves_only_a_stale_heap_entry(self):
+        clock = VirtualClock()
+        registry = ResourceRegistry(clock)
+        resource = registry.create(lifetime=5.0)
+        registry.destroy(resource.key)
+        clock.advance(10.0)
+        assert registry.sweep_due() == []
+
+    def test_extension_makes_the_old_entry_stale(self):
+        clock = VirtualClock()
+        registry = ResourceRegistry(clock)
+        resource = registry.create(lifetime=5.0)
+        set_termination_time(registry, resource, clock.now() + 100.0)
+        clock.advance(10.0)  # past the original expiry, not the new one
+        assert registry.sweep_due() == []
+        assert registry.find(resource.key) is resource
+        clock.advance(100.0)
+        assert registry.sweep_due() == [resource]
+
+    def test_set_termination_time_to_infinite_never_expires(self):
+        clock = VirtualClock()
+        registry = ResourceRegistry(clock)
+        resource = registry.create(lifetime=5.0)
+        set_termination_time(registry, resource, None)
+        clock.advance(1000.0)
+        assert registry.sweep_due() == []
+        assert resource.alive(clock.now())
+
+    def test_sweep_due_agrees_with_full_sweep(self):
+        # same population, two registries, two sweep strategies: same deaths
+        clock_a, clock_b = VirtualClock(), VirtualClock()
+        scan = ResourceRegistry(clock_a)
+        heap = ResourceRegistry(clock_b)
+        lifetimes = [3.0, 7.0, 7.0, 20.0, None, 1.0]
+        for lifetime in lifetimes:
+            scan.create(lifetime=lifetime)
+            heap.create(lifetime=lifetime)
+        for step in (2.0, 3.0, 10.0, 50.0):
+            clock_a.advance(step)
+            clock_b.advance(step)
+            want = sorted(r.key for r in scan.sweep())
+            got = sorted(r.key for r in heap.sweep_due())
+            assert got == want
+            assert len(scan) == len(heap)
+
+
+class TestStoreSweepDue:
+    def _store(self):
+        clock = VirtualClock()
+        return clock, SubscriptionStore(clock)
+
+    def _create(self, store, expires):
+        return store.create(
+            version=WseVersion.V2004_08,
+            notify_to=None,
+            mode=DeliveryMode.PULL,
+            filter=AcceptAllFilter(),
+            expires=expires,
+        )
+
+    def test_sweep_due_matches_sweep_expired(self):
+        clock, store = self._store()
+        self._create(store, 5.0)
+        keeper = self._create(store, 100.0)
+        self._create(store, None)
+        clock.advance(10.0)
+        expired = store.sweep_due()
+        assert [s.expires for s in expired] == [5.0]
+        assert store.get(keeper.id) is keeper
+        assert store.sweep_expired() == []  # nothing left overdue
+
+    def test_renew_through_update_expiry_staleness(self):
+        clock, store = self._store()
+        subscription = self._create(store, 5.0)
+        store.update_expiry(subscription, clock.now() + 100.0)
+        clock.advance(10.0)
+        assert store.sweep_due() == []
+        assert store.get(subscription.id) is subscription
+
+    def test_removed_subscription_is_not_resurrected(self):
+        clock, store = self._store()
+        subscription = self._create(store, 5.0)
+        store.remove(subscription.id)
+        clock.advance(10.0)
+        assert store.sweep_due() == []
+
+    def test_hooks_fire_on_create_and_every_removal_path(self):
+        clock, store = self._store()
+        events = []
+        store.on_created.append(lambda s: events.append(("created", s.id)))
+        store.on_removed.append(lambda s: events.append(("removed", s.id)))
+        a = self._create(store, 5.0)
+        b = self._create(store, 6.0)
+        c = self._create(store, None)
+        store.remove(a.id)
+        clock.advance(10.0)
+        store.sweep_due()
+        store.remove(c.id)
+        assert events == [
+            ("created", a.id),
+            ("created", b.id),
+            ("created", c.id),
+            ("removed", a.id),
+            ("removed", b.id),
+            ("removed", c.id),
+        ]
+
+    def test_has_subscriptions(self):
+        clock, store = self._store()
+        assert not store.has_subscriptions()
+        subscription = self._create(store, None)
+        assert store.has_subscriptions()
+        store.remove(subscription.id)
+        assert not store.has_subscriptions()

@@ -83,3 +83,38 @@ class TestWriter:
 
     def test_empty_element_self_closes(self):
         assert serialize_xml(XElem(QName("", "a"))) == "<a/>"
+
+
+class TestEscapeGoldens:
+    """Byte-for-byte goldens for text/attribute escaping (the translate-table
+    rewrite must not change a single byte — the msgformats benches diff bytes)."""
+
+    def test_text_escaping_golden(self):
+        tree = XElem(QName("", "t"), children=['a & b < c > d "quoted" \'single\''])
+        assert (
+            serialize_xml(tree)
+            == "<t>a &amp; b &lt; c &gt; d \"quoted\" 'single'</t>"
+        )
+
+    def test_attribute_escaping_golden(self):
+        tree = XElem(QName("", "t"), {QName("", "v"): 'a & b < c > d "q"'})
+        assert (
+            serialize_xml(tree)
+            == '<t v="a &amp; b &lt; c &gt; d &quot;q&quot;"/>'
+        )
+
+    def test_namespace_uri_escaping_golden(self):
+        tree = XElem(QName("urn:x?a=1&b=2", "t"))
+        assert (
+            serialize_xml(tree)
+            == '<ns0:t xmlns:ns0="urn:x?a=1&amp;b=2"/>'
+        )
+
+    def test_ampersand_entity_double_escape_golden(self):
+        # already-escaped input must be escaped again, not passed through
+        tree = XElem(QName("", "t"), children=["&amp; &lt;"])
+        assert serialize_xml(tree) == "<t>&amp;amp; &amp;lt;</t>"
+
+    def test_escape_roundtrip(self):
+        original = XElem(QName("", "t"), children=['<>&"\' mixed & <tags>'])
+        assert parse_xml(serialize_xml(original)) == original
