@@ -19,7 +19,6 @@ byte-identical artifact — asserted below.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 from repro.delivery import DeliveryPolicy
@@ -27,6 +26,7 @@ from repro.messenger import WsMessenger
 from repro.transport import SimulatedNetwork, VirtualClock
 from repro.wse import EventSink, WseSubscriber
 from repro.wsn import NotificationConsumer, PullPointClient, WsnSubscriber
+from repro.util.artifacts import render_artifact
 from repro.xmlkit import parse_xml
 
 RESULT_FILE = Path(__file__).resolve().parents[1] / "BENCH_delivery_reliability.json"
@@ -178,7 +178,7 @@ def test_write_reliability_report(benchmark):
             "reliable": run_lossy_scenario(reliable=True),
             "firewall": run_firewall_scenario(),
         }
-        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        return render_artifact(payload)
 
     first, second = document(), document()
     assert first == second, "artifact must be byte-identical at the same seed"

@@ -18,6 +18,7 @@ from pathlib import Path
 
 from repro.obs import Instrumentation
 from repro.transport import SimulatedNetwork, VirtualClock
+from repro.util.artifacts import SCHEMA_VERSION, write_artifact
 from repro.transport.endpoint import SoapEndpoint
 from repro.wsa.epr import EndpointReference
 from repro.wsa.headers import reset_message_counter
@@ -55,7 +56,15 @@ CELL_KEYS = frozenset(
     {"subscribers", "selectivity", "matching", "publishes", "linear", "indexed"}
 )
 TOP_KEYS = frozenset(
-    {"benchmark", "seed", "publishes", "hot_topic", "grid", "acceptance"}
+    {
+        "benchmark",
+        "seed",
+        "publishes",
+        "hot_topic",
+        "grid",
+        "acceptance",
+        "schema_version",
+    }
 )
 
 
@@ -211,6 +220,7 @@ def test_schema_matches_committed_artifact():
     """CI smoke: fail on schema drift between the code and the artifact."""
     committed = json.loads(RESULT_FILE.read_text())
     assert set(committed) == TOP_KEYS
+    assert committed["schema_version"] == SCHEMA_VERSION
     assert len(committed["grid"]) == len(SUBSCRIBER_GRID) * len(SELECTIVITY_GRID)
     for cell in committed["grid"]:
         assert set(cell) == CELL_KEYS
@@ -225,7 +235,7 @@ def test_write_fanout_report():
     report = build_report()
     assert report["acceptance"]["filter_evals_ratio"] >= 5.0
     assert report["acceptance"]["payload_copies_reduction"] >= 0.5
-    RESULT_FILE.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    write_artifact(RESULT_FILE, report)
     print(f"\nwrote {RESULT_FILE}")
     point = report["acceptance"]
     print(

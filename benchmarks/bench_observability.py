@@ -19,12 +19,12 @@ exporter must render deterministically.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
 from repro.messenger import WsMessenger
-from repro.obs import Instrumentation, build_report, render_json_report
+from repro.obs import Instrumentation, build_report, render_json_report, slo_summary
+from repro.util.artifacts import write_artifact
 from repro.transport import SimulatedNetwork, VirtualClock
 from repro.wse import EventSink, WseSubscriber
 from repro.wsn import NotificationConsumer, WsnSubscriber
@@ -95,6 +95,14 @@ def test_instrumented_publish(benchmark):
     _results["metric_series"] = len(instrumentation.metrics)
     _results["wire_frames_per_publish"] = report["summary"]["wire_frames"] / ROUNDS
 
+    # end-to-end delivery latency (publish -> delivered on the virtual
+    # clock) per family, from the lineage-fed SLO histograms
+    latency = slo_summary(instrumentation.metrics)
+    assert latency, "instrumented publishes must feed the latency histograms"
+    for family in ("wse", "wsn"):
+        assert family in latency["per_family"]
+    _results["delivery_latency"] = latency["per_family"]
+
     # determinism: rendering twice yields byte-identical JSON
     assert render_json_report(instrumentation) == render_json_report(instrumentation)
 
@@ -115,8 +123,9 @@ def test_write_overhead_report(benchmark):
         "spans_per_publish": _results["spans_per_publish"],
         "wire_frames_per_publish": _results["wire_frames_per_publish"],
         "metric_series": _results["metric_series"],
+        "delivery_latency": _results["delivery_latency"],
     }
-    RESULT_FILE.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    write_artifact(RESULT_FILE, document)
     print()
     print(f"null instrumentation:  {null * 1e6:.1f} us/publish")
     print(f"full instrumentation:  {instrumented * 1e6:.1f} us/publish ({overhead:.2f}x)")

@@ -30,12 +30,14 @@ def event(job, progress):
     )
 
 
-def main() -> None:
+def main(network=None) -> None:
     profile = ConvergedProfile()
     assert profile.dominates_parents()
     print("converged profile dominates WSE 08/2004 and WSN 1.3:", profile.dominates_parents())
 
-    network = SimulatedNetwork(VirtualClock())
+    # an injected network lets obs-audit re-run this scenario instrumented
+    if network is None:
+        network = SimulatedNetwork(VirtualClock())
     network.add_zone("lan", blocks_inbound=True)
     source = ConvergedSource(network, "http://converged")
     subscriber = ConvergedSubscriber(network)

@@ -46,8 +46,10 @@ def error_event(job, message):
     )
 
 
-def main() -> None:
-    network = SimulatedNetwork(VirtualClock())
+def main(network=None) -> None:
+    # an injected network lets obs-audit re-run this scenario instrumented
+    if network is None:
+        network = SimulatedNetwork(VirtualClock())
     broker = WsMessenger(network, "http://broker.grid")
     subscriber = WsnSubscriber(network)
 

@@ -27,8 +27,10 @@ def order_event(sku, quantity):
     )
 
 
-def main() -> None:
-    network = SimulatedNetwork(VirtualClock())
+def main(network=None) -> None:
+    # an injected network lets obs-audit re-run this scenario instrumented
+    if network is None:
+        network = SimulatedNetwork(VirtualClock())
 
     # --- broker 1: JMS underneath ------------------------------------------
     jms_provider = JmsProvider(network.clock)

@@ -29,8 +29,10 @@ def reading(station, celsius):
     )
 
 
-def main() -> None:
-    network = SimulatedNetwork(VirtualClock())
+def main(network=None) -> None:
+    # an injected network lets obs-audit re-run this scenario instrumented
+    if network is None:
+        network = SimulatedNetwork(VirtualClock())
     broker = WsMessenger(network, "http://broker.weather")
 
     # consumers, one per family, both subscribed at the broker front door

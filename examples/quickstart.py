@@ -14,8 +14,10 @@ from repro.wsn import NotificationConsumer, WsnSubscriber
 from repro.xmlkit import parse_xml
 
 
-def main() -> None:
-    network = SimulatedNetwork(VirtualClock())
+def main(network=None) -> None:
+    # an injected network lets obs-audit re-run this scenario instrumented
+    if network is None:
+        network = SimulatedNetwork(VirtualClock())
     broker = WsMessenger(network, "http://broker.example")
 
     # a WS-Eventing consumer: sink + subscriber roles

@@ -22,8 +22,10 @@ def event(n):
     return parse_xml(f'<ev:E xmlns:ev="urn:rfd"><ev:n>{n}</ev:n></ev:E>')
 
 
-def main() -> None:
-    network = SimulatedNetwork(VirtualClock())
+def main(network=None) -> None:
+    # an injected network lets obs-audit re-run this scenario instrumented
+    if network is None:
+        network = SimulatedNetwork(VirtualClock())
     network.add_zone("corp-lan", blocks_inbound=True)
     broker = WsMessenger(
         network,

@@ -5,7 +5,10 @@ published cells), the traced Figures 1-2, and the converged-prototype
 column.  Subcommands:
 
 - ``obs-report [--text|--json]`` — run the instrumented mediation demo
-  scenario and render the observability report (see :mod:`repro.obs`).
+  scenario and render the observability report (see :mod:`repro.obs`);
+- ``obs-audit`` — re-run the demo and every bundled example under
+  instrumentation and check the message-conservation invariants
+  (see :mod:`repro.obs.audit`); exit 1 if any book fails to balance.
 """
 
 from __future__ import annotations
@@ -19,8 +22,15 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.report import obs_report_main
 
         return obs_report_main(argv[1:])
+    if argv and argv[0] == "obs-audit":
+        from repro.obs.audit import obs_audit_main
+
+        return obs_audit_main(argv[1:])
     if argv:
-        print(f"unknown subcommand {argv[0]!r}; try: obs-report", file=sys.stderr)
+        print(
+            f"unknown subcommand {argv[0]!r}; try: obs-report, obs-audit",
+            file=sys.stderr,
+        )
         return 2
     from repro.comparison import (
         PAPER_TABLE1,

@@ -79,6 +79,7 @@ class _Recorder:
     """Wire observer: maps completed exchanges to labelled edges."""
 
     def __init__(self, network: SimulatedNetwork, labels: dict[str, str]) -> None:
+        self.network = network
         self.labels = labels
         self.interactions: list[Interaction] = []
         self.actor = "?"
@@ -94,7 +95,14 @@ class _Recorder:
             request = parse_request(observation.request)
             envelope = parse_envelope(request.body)
             action = extract_headers(envelope).action
-        except Exception:
+        except Exception as exc:
+            # a frame the recorder cannot parse is dropped from the figure,
+            # but the drop itself must show up in the metrics
+            self.network.instrumentation.count(
+                "obs.swallowed_errors_total",
+                site="comparison.figures.recorder",
+                kind=type(exc).__name__,
+            )
             return
         operation = action.rsplit("/", 1)[-1]
         target = self.labels.get(observation.address)

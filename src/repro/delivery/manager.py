@@ -115,18 +115,27 @@ class DeliveryManager:
     ) -> DeliveryTask:
         """Queue one message for ``sink``; attempts immediately when the
         sink's queue is empty (the healthy-network fast path)."""
+        instr = self.network.instrumentation
+        item_list = list(items or [])
+        lineage = next(
+            (item.lineage for item in item_list if item.lineage is not None), None
+        )
         task = DeliveryTask(
             sink=sink,
             send=send,
-            items=list(items or []),
+            items=item_list,
             family=family,
             describe=describe,
+            # itemless control traffic still resumes under the span that
+            # submitted it (e.g. a SubscriptionEnd inside a publish)
+            lineage=lineage if lineage is not None else instr.trace_context(),
             enqueued_at=self.clock.now(),
             on_delivered=on_delivered,
             on_dead=on_dead,
         )
         self.stats.submitted += 1
-        self.network.instrumentation.count("delivery.submitted", family=family)
+        instr.count("delivery.submitted", family=family)
+        self._record_items(task, "enqueued", sink=sink, family=family)
         self._enqueue(task)
         return task
 
@@ -139,8 +148,18 @@ class DeliveryManager:
         task.enqueued_at = self.clock.now()
         self.stats.replayed += 1
         self.network.instrumentation.count("delivery.replayed", family=task.family)
+        self._record_items(task, "replayed", sink=task.sink)
         self._enqueue(task)
         return task
+
+    def _record_items(self, task: DeliveryTask, state: str, **detail) -> None:
+        """Ledger one transition for every lineage-bearing item of a task."""
+        instr = self.network.instrumentation
+        if not instr.enabled:
+            return
+        for item in task.items:
+            if item.lineage is not None:
+                instr.lineage_event(item.lineage.lineage_id, state, **detail)
 
     def _enqueue(self, task: DeliveryTask) -> None:
         queue = self._queues.setdefault(task.sink, deque())
@@ -209,6 +228,7 @@ class DeliveryManager:
         self.network.instrumentation.count(
             "delivery.parked", len(task.items), family=task.family
         )
+        self._record_items(task, "pending_pull", sink=task.sink, box=box.address)
 
     def _dead_letter(self, task: DeliveryTask, reason: str) -> None:
         task.status = TaskStatus.DEAD
@@ -217,6 +237,7 @@ class DeliveryManager:
         self.network.instrumentation.count(
             "delivery.dead_lettered", family=task.family, reason=reason
         )
+        self._record_items(task, "dead_lettered", sink=task.sink, reason=reason)
         if task.on_dead is not None:
             task.on_dead(task, reason)
 
@@ -255,8 +276,20 @@ class DeliveryManager:
             if task.attempts > 1:
                 self.stats.retries += 1
                 instr.count("delivery.retries", family=task.family)
+            self._record_items(task, "attempted", n=task.attempts, sink=sink)
             try:
-                task.send()
+                # resume the message's trace: a scheduler-fired retry has an
+                # empty span stack, so ``remote=`` re-parents this attempt
+                # (and the wire injection inside the thunk) under the span
+                # that enqueued the task
+                with instr.span(
+                    "delivery.attempt",
+                    remote=task.lineage,
+                    sink=sink,
+                    family=task.family,
+                    attempt=str(task.attempts),
+                ):
+                    task.send()
             except (NetworkError, SoapFault) as exc:
                 task.last_error = f"{type(exc).__name__}: {exc}"
                 breaker.record_failure()
@@ -293,6 +326,15 @@ class DeliveryManager:
                 delivered_at - task.enqueued_at,
                 family=task.family,
             )
+            if instr.enabled:
+                for item in task.items:
+                    if item.lineage is not None:
+                        instr.lineage_delivered(
+                            item.lineage.lineage_id,
+                            family=task.family,
+                            hops=item.lineage.hop + 1,
+                            sink=task.sink,
+                        )
             if task.on_delivered is not None:
                 task.on_delivered(task)
 

@@ -97,6 +97,21 @@ class MessageBox:
         del self.queue[: len(batch)]
         return batch
 
+    def _record_drained(self, batch: list[DeliveryItem], family: str) -> None:
+        """Close each drained item's obligation: delivered, via pull."""
+        instr = self.network.instrumentation
+        if not instr.enabled:
+            return
+        for item in batch:
+            if item.lineage is not None:
+                instr.lineage_delivered(
+                    item.lineage.lineage_id,
+                    family=family,
+                    hops=item.lineage.hop + 1,
+                    sink=self.sink,
+                    via="pull",
+                )
+
     def _handle_get_messages(self, envelope: SoapEnvelope, headers: MessageHeaders):
         # imported here, not at module top: mediation lives in the messenger
         # package, whose __init__ pulls in the broker — which imports us
@@ -108,6 +123,7 @@ class MessageBox:
         batch = self._take(
             envelope.body_element(), self.wsn_version.qname("MaximumNumber")
         )
+        self._record_drained(batch, "wsn")
         response = XElem(self.wsn_version.qname("GetMessagesResponse"))
         for element in wsn_message_elements(
             [MediatedNotification(item.payload, item.topic) for item in batch],
@@ -125,6 +141,7 @@ class MessageBox:
         batch = self._take(
             envelope.body_element(), self.wse_version.qname("MaxMessages")
         )
+        self._record_drained(batch, "wse")
         response = wse_messages.build_pull_response(
             self.wse_version, [item.payload for item in batch]
         )

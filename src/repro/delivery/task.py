@@ -12,17 +12,27 @@ thunk itself is opaque.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.xmlkit.element import XElem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.propagation import LineageContext
 
 
 @dataclass(frozen=True)
 class DeliveryItem:
-    """One spec-neutral message carried by a task (payload + topic)."""
+    """One spec-neutral message carried by a task (payload + topic).
+
+    ``lineage`` is the sender-side trace context captured when the fan-out
+    created this obligation; it survives queueing, parking and DLQ replay,
+    so the eventual delivery (push or pull) still lands in the publish's
+    trace tree and ledger.
+    """
 
     payload: XElem
     topic: Optional[str] = None
+    lineage: Optional["LineageContext"] = None
 
 
 class TaskStatus:
@@ -46,6 +56,10 @@ class DeliveryTask:
     #: metric label: which protocol family queued this ("wse"/"wsn"/"")
     family: str = ""
     describe: str = ""
+    #: trace context the send thunk resumes under (a batched wrapped-mode
+    #: task carries several lineages in ``items``; the wire header carries
+    #: this one — the first item's)
+    lineage: Optional["LineageContext"] = None
     enqueued_at: float = 0.0
     attempts: int = 0
     status: str = TaskStatus.QUEUED

@@ -273,7 +273,16 @@ class WsMessenger:
             self.backbone.publish(payload, topic)
             return
         instr.count("broker.publications")
-        with instr.span("broker.publish", topic=topic or ""):
+        # a mediated publish arrives inside a dispatch span that already
+        # carries the origin's lineage; a locally-originated one mints here
+        originating = instr.trace_context() is None
+        with instr.span("broker.publish", mint=True, topic=topic or "") as span:
+            instr.lineage_event(
+                span.lineage,
+                "published" if originating else "mediated",
+                broker=self.address,
+                topic=topic or "",
+            )
             self.backbone.publish(payload, topic)
 
     def _fan_out(self, payload: XElem, topic: Optional[str]) -> None:

@@ -14,6 +14,17 @@ measurement substrate the reproduction itself runs on.  Four layers:
 - :mod:`repro.obs.exporters` — a text report and a deterministic JSON
   document, exposed via ``python -m repro obs-report``.
 
+On top of those, message lineage connects the story *across* hops:
+
+- :mod:`repro.obs.propagation` — the W3C-traceparent-style SOAP header
+  that carries (lineage id, parent span, hop) over the wire;
+- :mod:`repro.obs.lineage` — the per-lineage state ledger
+  (published → mediated → enqueued → attempted → delivered/…);
+- :mod:`repro.obs.slo` — publish-to-delivery latency histograms with
+  deterministic per-family/per-hop percentiles;
+- :mod:`repro.obs.audit` — the conservation auditor behind
+  ``python -m repro obs-audit``.
+
 Everything hangs off one :class:`~repro.obs.instrument.Instrumentation`
 handle installed on a :class:`~repro.transport.network.SimulatedNetwork`;
 the default is a null object (:data:`NULL_INSTRUMENTATION`) so
@@ -27,7 +38,10 @@ from repro.obs.instrument import (
     Instrumentation,
     NullInstrumentation,
 )
+from repro.obs.lineage import LineageEvent, LineageLedger
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.propagation import LINEAGE_HEADER, LineageContext
+from repro.obs.slo import slo_summary
 from repro.obs.tracing import Span, Tracer
 
 __all__ = [
@@ -36,6 +50,10 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Instrumentation",
+    "LINEAGE_HEADER",
+    "LineageContext",
+    "LineageEvent",
+    "LineageLedger",
     "MetricsRegistry",
     "NULL_INSTRUMENTATION",
     "NullInstrumentation",
@@ -45,4 +63,5 @@ __all__ = [
     "build_report",
     "render_json_report",
     "render_text_report",
+    "slo_summary",
 ]

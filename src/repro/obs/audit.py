@@ -1,0 +1,244 @@
+"""The conservation auditor: every published message must be accounted for.
+
+Operational studies of notification middleware found that aggregate
+counters hide broker misbehaviour; what exposes it is *message accounting*
+— the books must balance.  This module audits one instrumented run's
+lineage ledger (:mod:`repro.obs.lineage`) and trace store against four
+invariant groups:
+
+1. **conservation** — per lineage and globally, in delivery-obligation
+   units: ``opened == delivered + dead_lettered + failed + pending``, and
+   every pending obligation is parked in a message box awaiting pull (at
+   quiescence nothing may be silently in flight);
+2. **event order** — each lineage's first event is its ``published``
+   record and timestamps never run backwards;
+3. **no orphan spans** — every span carrying a lineage refers to a ledger
+   entry, and every span's parent id resolves;
+4. **no dangling lineage** — every ledger lineage has a ``published``
+   event and at least one span (the trace and the ledger tell one story).
+
+Run it over the bundled scenarios with ``python -m repro obs-audit``; the
+output is virtual-clock deterministic and diffed in CI against a golden
+snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.instrument import Instrumentation
+from repro.obs.lineage import OPENING_STATES
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One violated invariant."""
+
+    invariant: str
+    lineage_id: str  # "" for global findings
+    message: str
+
+    def render(self) -> str:
+        where = f" [{self.lineage_id}]" if self.lineage_id else ""
+        return f"FAIL {self.invariant}{where}: {self.message}"
+
+
+@dataclass
+class AuditResult:
+    """The outcome of auditing one instrumented run."""
+
+    scenario: str
+    lineages: int = 0
+    spans: int = 0
+    events: int = 0
+    opened: int = 0
+    delivered: int = 0
+    dead_lettered: int = 0
+    failed: int = 0
+    pending: int = 0
+    parked_outstanding: int = 0
+    findings: list[AuditFinding] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "lineages": self.lineages,
+            "spans": self.spans,
+            "events": self.events,
+            "obligations": {
+                "opened": self.opened,
+                "delivered": self.delivered,
+                "dead_lettered": self.dead_lettered,
+                "failed": self.failed,
+                "pending": self.pending,
+                "parked_outstanding": self.parked_outstanding,
+            },
+            "findings": [f.render() for f in self.findings],
+            "passed": self.passed,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"obs-audit: {self.scenario}",
+            f"  lineages={self.lineages} spans={self.spans} events={self.events}",
+            (
+                f"  obligations: opened={self.opened} delivered={self.delivered}"
+                f" dead_lettered={self.dead_lettered} failed={self.failed}"
+                f" pending={self.pending} (parked awaiting pull="
+                f"{self.parked_outstanding})"
+            ),
+            (
+                "  conservation: opened == delivered + dead_lettered + failed"
+                " + pending"
+            ),
+        ]
+        for finding in self.findings:
+            lines.append(f"  {finding.render()}")
+        lines.append(f"  {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def audit(instrumentation: Instrumentation, *, scenario: str = "run") -> AuditResult:
+    """Audit one instrumented run; the result lists every violation."""
+    ledger = instrumentation.ledger
+    tracer = instrumentation.tracer
+    result = AuditResult(scenario=scenario)
+    result.lineages = len(ledger)
+    result.spans = len(tracer.spans)
+    result.events = sum(len(events) for events in ledger.events.values())
+
+    span_ids = {span.span_id for span in tracer.spans}
+    span_lineages = {span.lineage for span in tracer.spans if span.lineage}
+
+    for lineage_id in ledger.lineages():
+        events = ledger.events_of(lineage_id)
+        account = ledger.account_of(lineage_id)
+        result.opened += account.opened
+        result.delivered += account.delivered
+        result.dead_lettered += account.dead_lettered
+        result.failed += account.failed
+        result.pending += account.pending
+        result.parked_outstanding += account.parked_outstanding
+
+        # -- event order ----------------------------------------------------
+        if events[0].state != "published":
+            result.findings.append(
+                AuditFinding(
+                    "first-event-published",
+                    lineage_id,
+                    f"first event is {events[0].state!r}",
+                )
+            )
+        for earlier, later in zip(events, events[1:]):
+            if later.at < earlier.at:
+                result.findings.append(
+                    AuditFinding(
+                        "monotonic-timestamps",
+                        lineage_id,
+                        f"{later.state} at {later.at} after {earlier.state}"
+                        f" at {earlier.at}",
+                    )
+                )
+                break
+        if not any(event.state in OPENING_STATES for event in events):
+            # purely informational lineage (e.g. queued-only): nothing to
+            # conserve, but it must still have a trace (checked below)
+            pass
+
+        # -- conservation ---------------------------------------------------
+        if account.closed > account.opened:
+            result.findings.append(
+                AuditFinding(
+                    "conservation",
+                    lineage_id,
+                    f"closed {account.closed} obligations but only"
+                    f" {account.opened} were opened",
+                )
+            )
+        elif account.pending != account.parked_outstanding:
+            result.findings.append(
+                AuditFinding(
+                    "conservation",
+                    lineage_id,
+                    f"{account.pending} obligations pending but"
+                    f" {account.parked_outstanding} parked awaiting pull —"
+                    " messages are unaccounted for at quiescence",
+                )
+            )
+
+        # -- no dangling lineage --------------------------------------------
+        if lineage_id not in span_lineages:
+            result.findings.append(
+                AuditFinding(
+                    "no-dangling-lineage",
+                    lineage_id,
+                    "ledger entry has no trace spans",
+                )
+            )
+
+    # -- no orphan spans ----------------------------------------------------
+    for span in tracer.spans:
+        if span.lineage is not None and span.lineage not in ledger.events:
+            result.findings.append(
+                AuditFinding(
+                    "no-orphan-spans",
+                    span.lineage,
+                    f"span #{span.span_id} ({span.name}) has no ledger entry",
+                )
+            )
+        if span.parent_id is not None and span.parent_id not in span_ids:
+            result.findings.append(
+                AuditFinding(
+                    "no-orphan-spans",
+                    span.lineage or "",
+                    f"span #{span.span_id} ({span.name}) parent"
+                    f" #{span.parent_id} is unknown",
+                )
+            )
+    return result
+
+
+# --- the CLI: audit the bundled scenarios ----------------------------------
+
+
+def obs_audit_main(argv: "list[str] | None" = None) -> int:
+    """CLI: run every bundled scenario under instrumentation and audit it."""
+    import contextlib
+    import io
+
+    from repro.obs.report import run_demo_scenario
+    from repro.obs.scenarios import example_scenarios
+
+    argv = list(argv or [])
+    results: list[AuditResult] = []
+
+    demo_instr = run_demo_scenario()
+    results.append(audit(demo_instr, scenario="obs-report demo"))
+
+    for name, runner in example_scenarios():
+        from repro.transport import SimulatedNetwork, VirtualClock
+        from repro.wsa.headers import reset_message_counter
+
+        reset_message_counter()
+        network = SimulatedNetwork(VirtualClock())
+        instrumentation = Instrumentation.attach(network)
+        with contextlib.redirect_stdout(io.StringIO()):
+            runner(network)
+        results.append(audit(instrumentation, scenario=name))
+
+    failed = [r for r in results if not r.passed]
+    try:
+        for result in results:
+            print(result.render())
+            print()
+        print(
+            f"obs-audit: {len(results) - len(failed)}/{len(results)}"
+            " scenarios conserve every message"
+        )
+    except BrokenPipeError:
+        pass
+    return 1 if failed else 0

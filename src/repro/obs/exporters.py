@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 
 from repro.obs.instrument import Instrumentation
+from repro.obs.slo import slo_summary
 
 
 def _base_name(key: str) -> str:
@@ -59,14 +60,23 @@ def build_report(instrumentation: Instrumentation, *, title: str = "obs report")
     fanout = _fanout_summary(snapshot["metrics"]["counters"])
     if fanout:
         summary["fanout"] = fanout
-    return {
+    lineage = snapshot["lineage"]
+    if lineage:
+        totals = instrumentation.ledger.totals()
+        summary["lineage"] = {"lineages": len(lineage), **totals.to_dict()}
+    latency = slo_summary(instrumentation.metrics)
+    report = {
         "title": title,
         "clock": snapshot["clock"],
         "summary": summary,
         "metrics": snapshot["metrics"],
         "spans": spans,
         "wire": snapshot["wire"],
+        "lineage": lineage,
     }
+    if latency:
+        report["delivery_latency"] = latency
+    return report
 
 
 def render_json_report(
@@ -122,6 +132,41 @@ def render_text_report(
         f"  {line}" for line in (tree.splitlines() if tree else ["(none)"])
     )
     lines.append("")
+
+    if report["lineage"]:
+        lines.append("Lineage")
+        lines.append("-------")
+        for lineage_id, entry in report["lineage"].items():
+            account = entry["account"]
+            lines.append(
+                f"  {lineage_id}: opened={account['opened']}"
+                f" delivered={account['delivered']}"
+                f" dead_lettered={account['dead_lettered']}"
+                f" failed={account['failed']} pending={account['pending']}"
+                f" attempts={account['attempts']}"
+            )
+            for event in entry["events"]:
+                detail = " ".join(
+                    f"{k}={v}" for k, v in event.items() if k not in ("at", "state")
+                )
+                lines.append(
+                    f"    {event['at']:9.4f}s {event['state']}"
+                    f"{(' ' + detail) if detail else ''}"
+                )
+        lines.append("")
+
+    if "delivery_latency" in report:
+        lines.append("Delivery latency (publish -> delivered, virtual seconds)")
+        lines.append("--------------------------------------------------------")
+        latency = report["delivery_latency"]
+        for group_name, key_prefix in (("per_family", "family"), ("per_hops", "hops")):
+            for label, stats in latency[group_name].items():
+                lines.append(
+                    f"  {key_prefix}={label:<12s} count={stats['count']}"
+                    f" p50={stats['p50']:g} p95={stats['p95']:g}"
+                    f" p99={stats['p99']:g}"
+                )
+        lines.append("")
 
     lines.append("Wire")
     lines.append("----")

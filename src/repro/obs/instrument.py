@@ -20,10 +20,13 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.obs.capture import WireCapture
+from repro.obs.lineage import LineageLedger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import observe_delivery_latency
 from repro.obs.tracing import Tracer
 
 if TYPE_CHECKING:  # avoid a runtime cycle with repro.transport.network
+    from repro.obs.propagation import LineageContext
     from repro.transport.network import SimulatedNetwork
 
 
@@ -53,7 +56,7 @@ class NullInstrumentation:
 
     enabled = False
 
-    def span(self, name: str, **attrs: str) -> _NullSpan:
+    def span(self, name: str, *, remote=None, mint: bool = False, **attrs: str) -> _NullSpan:
         return _NULL_SPAN
 
     def count(self, name: str, value: int = 1, **labels: str) -> None:
@@ -66,6 +69,17 @@ class NullInstrumentation:
         pass
 
     def record_wire(self, observation) -> None:
+        pass
+
+    def trace_context(self) -> None:
+        return None
+
+    def lineage_event(self, lineage_id, state: str, **detail) -> None:
+        pass
+
+    def lineage_delivered(
+        self, lineage_id, *, family: str, hops: int, sink: str, via: str = "push"
+    ) -> None:
         pass
 
 
@@ -83,6 +97,7 @@ class Instrumentation:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(clock)
         self.capture = WireCapture(max_frames=max_frames)
+        self.ledger = LineageLedger(clock)
 
     @classmethod
     def attach(
@@ -104,8 +119,15 @@ class Instrumentation:
 
     # --- the hot-path surface ---------------------------------------------
 
-    def span(self, name: str, **attrs: str):
-        return self.tracer.span(name, **attrs)
+    def span(
+        self,
+        name: str,
+        *,
+        remote: Optional["LineageContext"] = None,
+        mint: bool = False,
+        **attrs: str,
+    ):
+        return self.tracer.span(name, remote=remote, mint=mint, **attrs)
 
     def count(self, name: str, value: int = 1, **labels: str) -> None:
         self.metrics.counter(name, **labels).inc(value)
@@ -119,6 +141,48 @@ class Instrumentation:
     def record_wire(self, observation) -> None:
         self.capture.record(observation)
 
+    # --- lineage -----------------------------------------------------------
+
+    def trace_context(self) -> Optional["LineageContext"]:
+        """The current span's lineage context (sender hop), or ``None``.
+
+        ``None`` exactly when no lineage-bearing span is active — which is
+        also when wire injection must not happen, so call sites can gate on
+        the return value alone.
+        """
+        return self.tracer.continuation()
+
+    def lineage_event(self, lineage_id: Optional[str], state: str, **detail) -> None:
+        """Record one ledger transition; a ``None`` lineage id is ignored
+        (untraced traffic, e.g. management calls)."""
+        if lineage_id is not None:
+            self.ledger.record(lineage_id, state, **detail)
+
+    def lineage_delivered(
+        self,
+        lineage_id: Optional[str],
+        *,
+        family: str,
+        hops: int,
+        sink: str,
+        via: str = "push",
+    ) -> None:
+        """Close one obligation as delivered and observe its end-to-end
+        latency into the SLO histograms."""
+        if lineage_id is None:
+            return
+        published = self.ledger.published_at(lineage_id)
+        self.ledger.record(
+            lineage_id, "delivered", sink=sink, via=via, hops=hops
+        )
+        if published is not None:
+            observe_delivery_latency(
+                self.metrics,
+                self.clock.now() - published,
+                family=family,
+                hops=hops,
+            )
+
     # --- lifecycle ---------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -128,6 +192,7 @@ class Instrumentation:
             "metrics": self.metrics.snapshot(),
             "spans": [span.to_dict() for span in self.tracer.spans],
             "wire": self.capture.snapshot(),
+            "lineage": self.ledger.snapshot(),
         }
 
     def reset(self) -> None:
@@ -135,3 +200,4 @@ class Instrumentation:
         self.metrics.reset()
         self.tracer.reset()
         self.capture.reset()
+        self.ledger.reset()

@@ -1,0 +1,112 @@
+"""Wire-level trace propagation: the lineage header.
+
+In-process tracing (:mod:`repro.obs.tracing`) connects spans through a
+synchronous call stack, which breaks at every point where a message's life
+continues *outside* the stack that produced it: a retry fired later by the
+delivery scheduler, a message parked in a broker-side box and drained by
+pull, or simply the logical process boundary between two endpoints.  This
+module carries the causal chain across those gaps the way W3C Trace Context
+carries it across HTTP services: as a header on the message itself.
+
+The context rides as a WS-Addressing-style extension header block::
+
+    <lin:Lineage xmlns:lin="http://repro.invalid/obs/lineage">
+      01-lin-00000007-0000002a-02
+    </lin:Lineage>
+
+``01`` is the format version, then the lineage id (one per published
+notification, minted at the root publish), the parent span id (hex), and the
+hop count (hex) — the number of wire hops the message has crossed when the
+receiver sees it.  Injection happens in :class:`~repro.transport.endpoint.
+SoapClient` just before serialization (instrumented runs only, so
+uninstrumented wire bytes are untouched); extraction happens in
+:class:`~repro.transport.endpoint.SoapEndpoint` before dispatch.  A missing
+or malformed header never faults a message: extraction degrades to ``None``
+and the dispatch starts a fresh root span, exactly as before this module
+existed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.soap.envelope import SoapEnvelope
+from repro.xmlkit.names import QName
+
+#: namespace + qualified name of the lineage extension header block
+LINEAGE_NS = "http://repro.invalid/obs/lineage"
+LINEAGE_HEADER = QName(LINEAGE_NS, "Lineage")
+
+#: wire-format version field (bump on any encoding change)
+FORMAT_VERSION = "01"
+
+
+@dataclass(frozen=True)
+class LineageContext:
+    """One message's position in its trace: lineage, parent span, hop.
+
+    ``hop`` counts wire hops crossed since the root publish.  A context held
+    by the *sender* (a continuation context, e.g. stored on a queued delivery
+    task) carries the sender's own hop; :meth:`step` derives the receiver's
+    context, one hop further.
+    """
+
+    lineage_id: str
+    parent_span: int
+    hop: int
+
+    def step(self) -> "LineageContext":
+        """The context as seen one wire hop downstream."""
+        return replace(self, hop=self.hop + 1)
+
+    def encode(self) -> str:
+        # fields are fixed-width on the wire; saturate rather than overflow
+        parent = min(self.parent_span, 0xFFFFFFFF)
+        hop = min(self.hop, 0xFF)
+        return f"{FORMAT_VERSION}-{self.lineage_id}-{parent:08x}-{hop:02x}"
+
+    @classmethod
+    def decode(cls, text: str) -> Optional["LineageContext"]:
+        """Parse the header text; ``None`` on anything malformed."""
+        parts = text.strip().rsplit("-", 2)
+        if len(parts) != 3:
+            return None
+        head, parent_hex, hop_hex = parts
+        version, sep, lineage_id = head.partition("-")
+        if not sep or version != FORMAT_VERSION or not lineage_id:
+            return None
+        # fixed-width fields: a short tail would otherwise mis-split a
+        # truncated header into a plausible-looking context
+        if len(parent_hex) != 8 or len(hop_hex) != 2:
+            return None
+        try:
+            parent_span = int(parent_hex, 16)
+            hop = int(hop_hex, 16)
+        except ValueError:
+            return None
+        if parent_span < 0 or hop < 0:
+            return None
+        return cls(lineage_id=lineage_id, parent_span=parent_span, hop=hop)
+
+
+def inject(envelope: SoapEnvelope, context: LineageContext) -> SoapEnvelope:
+    """Stamp the sender's context onto an outgoing envelope (stepped one
+    hop, so the receiver reads its own position).  Replaces any stale
+    lineage header already present (e.g. a re-sent envelope)."""
+    from repro.xmlkit.element import text_element
+
+    envelope.remove_headers(LINEAGE_HEADER)
+    envelope.add_header(text_element(LINEAGE_HEADER, context.step().encode()))
+    return envelope
+
+
+def extract(envelope: SoapEnvelope) -> Optional[LineageContext]:
+    """Recover the lineage context; ``None`` when absent or malformed."""
+    try:
+        text = envelope.header_text(LINEAGE_HEADER)
+    except Exception:
+        return None
+    if not text:
+        return None
+    return LineageContext.decode(text)

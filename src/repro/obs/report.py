@@ -16,13 +16,24 @@ DEMO_TOPIC = "obs/demo"
 
 
 def run_demo_scenario() -> Instrumentation:
-    """The instrumented mediated-publish lifecycle; returns the handle."""
+    """The instrumented mediated-publish lifecycle; returns the handle.
+
+    Exercises the full lineage story on one publish: a WSE-origin message
+    mediated by the broker, pushed to a WSE sink and a WSN consumer, and —
+    for the consumer behind the firewall — retried, parked in a message box
+    and finally drained by pull from inside the zone.  Every hop carries
+    the same lineage id, so the trace tree, ledger and latency histograms
+    all reconstruct from SOAP headers alone.
+    """
+    from repro.delivery import DeliveryPolicy
     from repro.messenger import WsMessenger, mediation
-    from repro.transport import SimulatedNetwork, VirtualClock
+    from repro.transport import MessageLost, SimulatedNetwork, VirtualClock
+    from repro.wsa.headers import reset_message_counter
     from repro.wse import EventSink, EventSource, WseSubscriber
-    from repro.wsn import NotificationConsumer, WsnSubscriber
+    from repro.wsn import NotificationConsumer, PullPointClient, WsnSubscriber
     from repro.xmlkit import parse_xml
 
+    reset_message_counter()
     network = SimulatedNetwork(VirtualClock())
     instrumentation = Instrumentation.attach(network)
 
@@ -30,7 +41,11 @@ def run_demo_scenario() -> Instrumentation:
     source = EventSource(
         network, "http://obs-wse-source", topic_header=mediation.WSE_TOPIC_HEADER
     )
-    broker = WsMessenger(network, "http://obs-broker")
+    broker = WsMessenger(
+        network,
+        "http://obs-broker",
+        delivery=DeliveryPolicy(max_attempts=3, breaker_failure_threshold=3),
+    )
     broker.bridge_from_wse_source(source.epr())
 
     # consumers of both families behind the broker front door
@@ -40,15 +55,39 @@ def run_demo_scenario() -> Instrumentation:
     WsnSubscriber(network).subscribe(broker.epr(), consumer.epr(), topic=DEMO_TOPIC)
 
     # one consumer behind a stateful firewall: its push delivery must fail,
-    # giving the wire capture a firewall_blocked frame to show
+    # park in a broker-side message box, and be drained by pull from inside
     network.add_zone("intranet", blocks_inbound=True)
     doomed = NotificationConsumer(network, "http://obs-doomed", zone="intranet")
-    WsnSubscriber(network).subscribe(broker.epr(), doomed.epr(), topic=DEMO_TOPIC)
+    WsnSubscriber(network, zone="intranet").subscribe(
+        broker.epr(), doomed.epr(), topic=DEMO_TOPIC
+    )
+
+    # one flaky consumer: its first two pushes are lost in flight, so the
+    # scheduler-fired retries (which rejoin the trace through the task's
+    # carried lineage context) appear in the span tree and the ledger
+    flaky = NotificationConsumer(network, "http://obs-flaky")
+    WsnSubscriber(network).subscribe(broker.epr(), flaky.epr(), topic=DEMO_TOPIC)
+    drops = {"remaining": 2}
+
+    def _drop_first_pushes(address: str, request: bytes) -> None:
+        if address == flaky.address and drops["remaining"] > 0:
+            drops["remaining"] -= 1
+            raise MessageLost(address)
+
+    network.observers.append(_drop_first_pushes)
 
     event = parse_xml(
         '<obs:Reading xmlns:obs="urn:obs-demo"><obs:value>42</obs:value></obs:Reading>'
     )
     source.publish(event, topic=DEMO_TOPIC)
+    broker.run_deliveries_until_idle()
+
+    # the firewalled consumer drains its parked message from inside the zone
+    # (client-initiated GetMessages passes the firewall; the box handler
+    # closes the parked obligation as delivered-via-pull)
+    box = broker.message_boxes.get(doomed.address)
+    if box is not None and len(box):
+        PullPointClient(network, zone="intranet").get_messages(box.epr())
 
     # one unreachable push for the third failure outcome
     try:

@@ -1,0 +1,55 @@
+"""Bundled scenarios for ``obs-audit``: the repo's examples, instrumented.
+
+Every ``examples/*.py`` whose ``main`` builds a :class:`SimulatedNetwork`
+accepts an injected one, which lets the auditor re-run the exact documented
+scenario under full instrumentation and check the conservation invariants
+over it.  The examples live outside the package (they are documentation
+first), so they are loaded by file path relative to the repo root; an
+installed-without-examples tree simply audits the demo scenario alone.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+from typing import Callable, Iterator
+
+#: audited examples, in a fixed order (deterministic CLI output).
+#: spec_evolution_report is omitted: it builds no network.
+EXAMPLE_NAMES: tuple[str, ...] = (
+    "quickstart",
+    "mediation_demo",
+    "legacy_bridge",
+    "firewall_pullpoint",
+    "grid_monitoring",
+    "converged_prototype",
+    "reliable_firewall_drain",
+)
+
+
+def _examples_dir() -> Path:
+    # src/repro/obs/scenarios.py -> repo root is three levels above src/
+    return Path(__file__).resolve().parents[3] / "examples"
+
+
+def _load_runner(name: str) -> Callable:
+    path = _examples_dir() / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"repro_example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.main
+
+
+def example_scenarios() -> Iterator[tuple[str, Callable]]:
+    """Yield ``(name, runner)`` pairs; ``runner(network)`` runs the example
+    on the given (instrumented) network."""
+    directory = _examples_dir()
+    if not directory.is_dir():
+        return
+    for name in EXAMPLE_NAMES:
+        if not (directory / f"{name}.py").is_file():
+            continue
+        runner = _load_runner(name)
+        yield f"examples/{name}.py", (
+            lambda network, _runner=runner: _runner(network=network)
+        )

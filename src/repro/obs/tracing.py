@@ -9,18 +9,34 @@ mediated publish come out as one connected tree
 with no explicit context passing anywhere in the instrumented code.
 Timestamps come from the :class:`VirtualClock`, so traces are bit-for-bit
 deterministic across runs.
+
+The stack alone breaks wherever a message's life continues outside the call
+stack that produced it — a delivery retry fired later by the scheduler, a
+parked message drained by pull, a logical process boundary.  For those,
+spans carry a **lineage**: an id minted at the root publish (``mint=True``)
+that is inherited down the stack, carried across the wire in a SOAP header
+(:mod:`repro.obs.propagation`), and re-established on the far side via
+``remote=``, which links the new span under its wire-carried parent instead
+of starting a disconnected root.  ``hop`` counts wire hops crossed since
+the root publish.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.propagation import LineageContext
 
 
 class Span:
     """One timed operation: name, attributes, start/end, parent linkage."""
 
-    __slots__ = ("span_id", "parent_id", "name", "attrs", "start", "end", "status", "error")
+    __slots__ = (
+        "span_id", "parent_id", "name", "attrs", "start", "end",
+        "status", "error", "lineage", "hop",
+    )
 
     def __init__(
         self,
@@ -29,6 +45,9 @@ class Span:
         name: str,
         attrs: dict[str, str],
         start: float,
+        *,
+        lineage: Optional[str] = None,
+        hop: int = 0,
     ) -> None:
         self.span_id = span_id
         self.parent_id = parent_id
@@ -38,6 +57,10 @@ class Span:
         self.end: Optional[float] = None
         self.status = "ok"
         self.error: Optional[str] = None
+        #: lineage id of the notification this span serves (None = untraced)
+        self.lineage = lineage
+        #: wire hops crossed between the root publish and this span
+        self.hop = hop
 
     def set(self, key: str, value: str) -> None:
         """Attach an attribute discovered mid-span (e.g. the detected spec)."""
@@ -61,6 +84,9 @@ class Span:
             "end": round(self.end, 9) if self.end is not None else None,
             "status": self.status,
         }
+        if self.lineage is not None:
+            record["lineage"] = self.lineage
+            record["hop"] = self.hop
         if self.error is not None:
             record["error"] = self.error
         return record
@@ -77,11 +103,52 @@ class Tracer:
         self.spans: list[Span] = []
         self._stack: list[Span] = []
         self._next_id = 1
+        self._next_lineage = 1
+
+    def mint_lineage(self) -> str:
+        """A fresh, deterministic lineage id (one per root publish)."""
+        lineage = f"lin-{self._next_lineage:08d}"
+        self._next_lineage += 1
+        return lineage
 
     @contextmanager
-    def span(self, name: str, **attrs: str) -> Iterator[Span]:
-        parent = self._stack[-1].span_id if self._stack else None
-        record = Span(self._next_id, parent, name, dict(attrs), self._clock.now())
+    def span(
+        self,
+        name: str,
+        *,
+        remote: Optional["LineageContext"] = None,
+        mint: bool = False,
+        **attrs: str,
+    ) -> Iterator[Span]:
+        """Open a span under the current stack top.
+
+        ``remote`` re-establishes a wire-carried context: when the live
+        stack does not already carry that lineage (a retry, a drain, a
+        fresh dispatch), the span parents under the remote parent span and
+        adopts its lineage and hop instead of starting a disconnected root.
+        ``mint`` marks a root-publish site: if no lineage is inherited, a
+        fresh one is minted there (hop 0).
+        """
+        top = self._stack[-1] if self._stack else None
+        parent = top.span_id if top else None
+        lineage = top.lineage if top else None
+        hop = top.hop if top else 0
+        if remote is not None:
+            if lineage is None or lineage != remote.lineage_id:
+                # the stack is not carrying this message's chain: link across
+                parent = remote.parent_span
+                lineage = remote.lineage_id
+            # either way the wire-carried hop count is authoritative — on a
+            # synchronous send the sender's frames are still on the stack,
+            # but this dispatch is one wire hop further along
+            hop = remote.hop
+        if mint and lineage is None:
+            lineage = self.mint_lineage()
+            hop = 0
+        record = Span(
+            self._next_id, parent, name, dict(attrs), self._clock.now(),
+            lineage=lineage, hop=hop,
+        )
         self._next_id += 1
         self.spans.append(record)
         self._stack.append(record)
@@ -97,17 +164,30 @@ class Tracer:
     def current(self) -> Optional[Span]:
         return self._stack[-1] if self._stack else None
 
+    def continuation(self) -> Optional["LineageContext"]:
+        """The current span's context, for same-process resumption (same
+        hop).  ``None`` when no traced span is active."""
+        top = self._stack[-1] if self._stack else None
+        if top is None or top.lineage is None:
+            return None
+        from repro.obs.propagation import LineageContext
+
+        return LineageContext(top.lineage, top.span_id, top.hop)
+
     def children_of(self, span: Span) -> list[Span]:
         return [s for s in self.spans if s.parent_id == span.span_id]
 
     def roots(self) -> list[Span]:
         return [s for s in self.spans if s.parent_id is None]
 
+    def spans_of_lineage(self, lineage_id: str) -> list[Span]:
+        return [s for s in self.spans if s.lineage == lineage_id]
+
     def depth_of(self, span: Span) -> int:
         """Nesting depth (roots are 0) — connectivity check for tests."""
         by_id = {s.span_id: s for s in self.spans}
         depth = 0
-        while span.parent_id is not None:
+        while span.parent_id is not None and span.parent_id in by_id:
             span = by_id[span.parent_id]
             depth += 1
         return depth
@@ -117,22 +197,32 @@ class Tracer:
         self.spans = list(self._stack)
 
     def render_tree(self) -> str:
-        """Indented text rendering of every span tree, in id order."""
+        """Indented text rendering of every span tree, in id order.
+
+        A span whose parent closed in an earlier window (or lives across a
+        wire/retry gap) renders as a root here; the lineage annotation keeps
+        the chain readable.
+        """
         lines: list[str] = []
+        known = {s.span_id for s in self.spans}
 
         def walk(span: Span, indent: int) -> None:
             attrs = " ".join(
                 f"{k}={span.attrs[k]}" for k in sorted(span.attrs)
             )
+            lineage = (
+                f" ~{span.lineage}@h{span.hop}" if span.lineage is not None else ""
+            )
             flag = "" if span.status == "ok" else f" !{span.status}"
             lines.append(
                 f"{'  ' * indent}{span.name}"
                 f" [{span.start:.4f}s +{span.duration * 1000:.3f}ms]"
-                f"{(' ' + attrs) if attrs else ''}{flag}"
+                f"{(' ' + attrs) if attrs else ''}{lineage}{flag}"
             )
             for child in self.children_of(span):
                 walk(child, indent + 1)
 
-        for root in self.roots():
-            walk(root, 0)
+        for span in self.spans:
+            if span.parent_id is None or span.parent_id not in known:
+                walk(span, 0)
         return "\n".join(lines)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.obs.propagation import extract as extract_lineage, inject as inject_lineage
 from repro.soap.codec import parse_envelope, serialize_envelope
 from repro.soap.envelope import SoapEnvelope, SoapVersion
 from repro.soap.fault import FaultCode, SoapFault
@@ -77,7 +78,12 @@ class SoapEndpoint:
             headers = MessageHeaders(to=self.address, action="")
         if not instr.enabled:
             return self._dispatch(envelope, headers)
-        with instr.span("dispatch", address=self.address, action=headers.action) as span:
+        # re-establish the wire-carried trace context (None when absent or
+        # malformed: the dispatch then roots a fresh tree, exactly as before)
+        lineage = extract_lineage(envelope)
+        with instr.span(
+            "dispatch", remote=lineage, address=self.address, action=headers.action
+        ) as span:
             handler = self._handlers.get(headers.action, self._fallback)
             if handler is None:
                 span.fail(f"no handler for {headers.action!r}")
@@ -161,6 +167,9 @@ class SoapClient:
             envelope.add_body(element)
         if self.envelope_filter is not None:
             self.envelope_filter(envelope)
+        context = self.network.instrumentation.trace_context()
+        if context is not None:
+            inject_lineage(envelope, context)
         wire = build_request(
             target.address,
             serialize_envelope(envelope).encode("utf-8"),
@@ -179,6 +188,9 @@ class SoapClient:
         """Send a pre-built envelope (used by the mediation layer)."""
         if self.envelope_filter is not None:
             self.envelope_filter(envelope)
+        context = self.network.instrumentation.trace_context()
+        if context is not None:
+            inject_lineage(envelope, context)
         headers = extract_headers(envelope)
         wire = build_request(
             target_address,

@@ -1,0 +1,35 @@
+"""Benchmark artifact writing: one shared schema version, one format.
+
+Every ``BENCH_*.json`` artifact carries the same top-level
+``schema_version`` field, so the CI smoke steps and any perf-trajectory
+tooling can reject an artifact produced by an older layout instead of
+silently mis-parsing it.  Bump :data:`SCHEMA_VERSION` whenever any
+artifact's shape changes incompatibly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: shared across every ``BENCH_*.json`` — bump on incompatible layout changes
+SCHEMA_VERSION = 1
+
+
+def stamp(document: dict) -> dict:
+    """A copy of ``document`` carrying the shared schema version."""
+    stamped = dict(document)
+    stamped["schema_version"] = SCHEMA_VERSION
+    return stamped
+
+
+def render_artifact(document: dict) -> str:
+    """The canonical artifact rendering: stamped, sorted, newline-terminated."""
+    return json.dumps(stamp(document), indent=2, sort_keys=True) + "\n"
+
+
+def write_artifact(path: Path, document: dict) -> str:
+    """Stamp ``document`` and write it to ``path``; returns the rendered text."""
+    text = render_artifact(document)
+    path.write_text(text)
+    return text

@@ -294,7 +294,17 @@ class EventSource:
         instr = self.network.instrumentation
         if not instr.enabled:
             return self._fan_out_event(payload, action, topic)
-        with instr.span("wse.publish", source=self.address, version=self._version_tag):
+        # a publish arriving with no live lineage is a true origin (mint a
+        # fresh one); with one — e.g. the broker backbone re-publishing a
+        # mediated message — it stays inside the existing trace
+        originating = instr.trace_context() is None
+        with instr.span(
+            "wse.publish", mint=True, source=self.address, version=self._version_tag
+        ) as span:
+            if originating:
+                instr.lineage_event(
+                    span.lineage, "published", source=self.address, family="wse"
+                )
             delivered = self._fan_out_event(payload, action, topic)
         instr.count(
             "notifications.matched", delivered, family="wse", version=self._version_tag
@@ -319,6 +329,7 @@ class EventSource:
             frozen, topic=topic, producer_properties=self.producer_properties
         )
         candidates = self._topic_index.candidates(topic)
+        lineage = instr.trace_context() if instr.enabled else None
         if instr.enabled:
             instr.count("fanout.index_hits", len(candidates), family="wse")
             skipped = len(self.store._subscriptions) - len(candidates)
@@ -336,8 +347,20 @@ class EventSource:
             delivered += 1
             if subscription.mode is DeliveryMode.PULL:
                 subscription.queue.append(frozen)
+                if lineage is not None:
+                    # informational: subscription queues hold bare payloads,
+                    # so per-item lineage ends here (no delivery obligation)
+                    instr.lineage_event(
+                        lineage.lineage_id, "queued",
+                        subscription=subscription.id, mode="pull",
+                    )
             elif subscription.mode is DeliveryMode.WRAPPED:
                 subscription.queue.append(frozen)
+                if lineage is not None:
+                    instr.lineage_event(
+                        lineage.lineage_id, "queued",
+                        subscription=subscription.id, mode="wrapped",
+                    )
                 if len(subscription.queue) >= self.wrapped_batch_size:
                     self._flush_wrapped(subscription)
             else:
@@ -429,7 +452,13 @@ class EventSource:
             self.delivery_manager.submit(
                 subscription.notify_to.address,
                 attempt,
-                items=[DeliveryItem(payload if payload.frozen else payload.copy(), topic)],
+                items=[
+                    DeliveryItem(
+                        payload if payload.frozen else payload.copy(),
+                        topic,
+                        lineage=self.network.instrumentation.trace_context(),
+                    )
+                ],
                 family="wse",
                 describe=f"notify {subscription.id}",
             )
@@ -442,7 +471,19 @@ class EventSource:
         from repro.transport.network import MessageLost
 
         instr = self.network.instrumentation
+        sink = subscription.notify_to.address if subscription.notify_to else ""
+        lineage = instr.trace_context() if instr.enabled else None
+        if lineage is not None:
+            # direct path: the obligation opens and closes synchronously
+            instr.lineage_event(
+                lineage.lineage_id, "enqueued", sink=sink, family="wse"
+            )
         for remaining in range(self.delivery_retries, -1, -1):
+            if lineage is not None:
+                instr.lineage_event(
+                    lineage.lineage_id, "attempted",
+                    n=self.delivery_retries - remaining + 1, sink=sink,
+                )
             try:
                 attempt()
                 if instr.enabled:
@@ -450,16 +491,33 @@ class EventSource:
                         "notifications.delivered", family="wse",
                         version=self._version_tag,
                     )
+                if lineage is not None:
+                    instr.lineage_delivered(
+                        lineage.lineage_id,
+                        family="wse",
+                        hops=lineage.hop + 1,
+                        sink=sink,
+                    )
                 return
             except MessageLost as exc:
                 if remaining == 0:  # transient, but retries exhausted
                     self._record_push_failure(subscription, stage, exc)
+                    if lineage is not None:
+                        instr.lineage_event(
+                            lineage.lineage_id, "failed",
+                            sink=sink, reason=type(exc).__name__,
+                        )
                     self._end_subscription(
                         subscription, SubscriptionEndCode.DELIVERY_FAILURE, str(exc)
                     )
             except (NetworkError, SoapFault) as exc:
                 # hard failure (unreachable/refused/fault): no point retrying
                 self._record_push_failure(subscription, stage, exc)
+                if lineage is not None:
+                    instr.lineage_event(
+                        lineage.lineage_id, "failed",
+                        sink=sink, reason=type(exc).__name__,
+                    )
                 self._end_subscription(
                     subscription, SubscriptionEndCode.DELIVERY_FAILURE, str(exc)
                 )

@@ -247,7 +247,14 @@ class NotificationBroker:
                 )
                 if expression.matches(topic):
                     count += 1
-            except Exception:
+            except Exception as exc:
+                # an unparsable filter contributes no demand, but the skip
+                # must be visible — a silent drop here pauses real publishers
+                self.network.instrumentation.count(
+                    "obs.swallowed_errors_total",
+                    site="wsn.broker.demand_for",
+                    kind=type(exc).__name__,
+                )
                 continue
         return count
 

@@ -454,12 +454,21 @@ class NotificationProducer:
         instr = self.network.instrumentation
         if not instr.enabled:
             return self._match_and_deliver(payload, topic)
+        # a publish arriving with no live lineage is a true origin (mint a
+        # fresh one); with one — e.g. the broker backbone re-publishing a
+        # mediated message — it stays inside the existing trace
+        originating = instr.trace_context() is None
         with instr.span(
             "wsn.publish",
+            mint=True,
             producer=self.address,
             version=self._version_tag,
             topic=topic or "",
-        ):
+        ) as span:
+            if originating:
+                instr.lineage_event(
+                    span.lineage, "published", producer=self.address, family="wsn"
+                )
             matched = self._match_and_deliver(payload, topic)
         instr.count(
             "notifications.matched", matched, family="wsn", version=self._version_tag
@@ -514,6 +523,15 @@ class NotificationProducer:
             )
             if subscription.paused:
                 subscription.paused_queue.append(message)
+                if instr.enabled:
+                    lineage = instr.trace_context()
+                    if lineage is not None:
+                        # informational: the paused queue holds bare messages,
+                        # so per-item lineage ends here (no obligation)
+                        instr.lineage_event(
+                            lineage.lineage_id, "queued",
+                            subscription=subscription.key, mode="paused",
+                        )
             else:
                 self._deliver(subscription, [message])
         return matched
@@ -598,6 +616,7 @@ class NotificationProducer:
         if self.delivery_manager is not None:
             # reliable path: the pipeline owns retries, dead-lettering and the
             # firewall fallback, so a failed attempt never ends the subscription
+            lineage = instr.trace_context()
             self.delivery_manager.submit(
                 subscription.consumer.address,
                 attempt,
@@ -605,6 +624,7 @@ class NotificationProducer:
                     DeliveryItem(
                         item.payload if item.payload.frozen else item.payload.copy(),
                         item.topic,
+                        lineage=lineage,
                     )
                     for item in notifications
                 ],
@@ -612,8 +632,25 @@ class NotificationProducer:
                 describe=f"notify {subscription.key}",
             )
             return
+        lineage = instr.trace_context() if instr.enabled else None
+        sink = subscription.consumer.address
+        if lineage is not None:
+            # direct path: the obligation opens and closes synchronously
+            for _ in notifications:
+                instr.lineage_event(
+                    lineage.lineage_id, "enqueued", sink=sink, family="wsn"
+                )
+                instr.lineage_event(lineage.lineage_id, "attempted", n=1, sink=sink)
         try:
             attempt()
+            if lineage is not None:
+                for _ in notifications:
+                    instr.lineage_delivered(
+                        lineage.lineage_id,
+                        family="wsn",
+                        hops=lineage.hop + 1,
+                        sink=sink,
+                    )
         except (NetworkError, SoapFault) as exc:
             # failed consumer: destroy the subscription (soft state would
             # collect it anyway; this mirrors WSE's DeliveryFailure ending)
@@ -621,6 +658,12 @@ class NotificationProducer:
                 instr.count(
                     "notifications.failed", family="wsn", version=self._version_tag
                 )
+            if lineage is not None:
+                for _ in notifications:
+                    instr.lineage_event(
+                        lineage.lineage_id, "failed",
+                        sink=sink, reason=type(exc).__name__,
+                    )
             record_failure(
                 self.delivery_failures,
                 instr,

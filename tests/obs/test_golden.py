@@ -1,0 +1,43 @@
+"""Golden-snapshot tests: the CLI output is part of the contract.
+
+``obs-report`` and ``obs-audit`` run entirely on the virtual clock, so
+their output is byte-identical across runs and machines.  CI diffs the
+live output against these committed snapshots; regenerate them with::
+
+    PYTHONPATH=src python -m repro obs-report > tests/obs/golden/obs_report.txt
+    PYTHONPATH=src python -m repro obs-audit  > tests/obs/golden/obs_audit.txt
+
+after any intentional change to the demo scenario, the examples, or the
+report/audit renderers.
+"""
+
+import contextlib
+import io
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def run_cli(argv: list[str]) -> tuple[int, str]:
+    from repro.__main__ import main
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(argv)
+    return code, buffer.getvalue()
+
+
+def test_obs_report_matches_golden_snapshot():
+    code, output = run_cli(["obs-report"])
+    assert code == 0
+    assert output == (GOLDEN_DIR / "obs_report.txt").read_text()
+
+
+def test_obs_audit_matches_golden_snapshot():
+    code, output = run_cli(["obs-audit"])
+    assert code == 0
+    assert output == (GOLDEN_DIR / "obs_audit.txt").read_text()
+
+
+def test_obs_report_is_deterministic_across_runs():
+    assert run_cli(["obs-report"]) == run_cli(["obs-report"])

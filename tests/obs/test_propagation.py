@@ -1,0 +1,89 @@
+"""Unit tests for the lineage SOAP header: encode/decode, inject/extract.
+
+The wire format must round-trip exactly, step the hop count once per wire
+crossing, and degrade to ``None`` (never raise) on absent or malformed
+headers — a peer running older software must not be able to crash a
+dispatch by sending garbage lineage.
+"""
+
+import pytest
+
+from repro.obs.propagation import (
+    FORMAT_VERSION,
+    LINEAGE_HEADER,
+    LineageContext,
+    extract,
+    inject,
+)
+from repro.soap import parse_envelope, serialize_envelope
+from repro.soap.envelope import SoapEnvelope, SoapVersion, build_envelope
+from repro.xmlkit import parse_xml
+from repro.xmlkit.element import text_element
+
+
+def make_envelope() -> SoapEnvelope:
+    return build_envelope(
+        SoapVersion.V11, body=[parse_xml('<p:E xmlns:p="urn:prop-test"/>')]
+    )
+
+
+class TestEncoding:
+    def test_encode_decode_round_trip(self):
+        context = LineageContext("lin-00000007", 41, 3)
+        assert LineageContext.decode(context.encode()) == context
+
+    def test_encoded_form_is_versioned_and_hex(self):
+        assert LineageContext("lin-00000001", 255, 2).encode() == (
+            f"{FORMAT_VERSION}-lin-00000001-000000ff-02"
+        )
+
+    def test_step_advances_only_the_hop(self):
+        stepped = LineageContext("lin-00000001", 9, 1).step()
+        assert (stepped.lineage_id, stepped.parent_span, stepped.hop) == (
+            "lin-00000001", 9, 2,
+        )
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "garbage",
+            "99-lin-00000001-00000001-01",  # unknown version
+            "01-lin-00000001-xyz-01",  # non-hex parent
+            "01-lin-00000001-00000001-zz",  # non-hex hop
+            "01-lin-00000001-00000001",  # missing field
+            "01--00000001-01",  # empty lineage id
+        ],
+    )
+    def test_malformed_text_decodes_to_none(self, text):
+        assert LineageContext.decode(text) is None
+
+
+class TestWire:
+    def test_inject_then_extract_steps_the_hop(self):
+        envelope = make_envelope()
+        inject(envelope, LineageContext("lin-00000003", 12, 0))
+        carried = extract(envelope)
+        assert carried == LineageContext("lin-00000003", 12, 1)
+
+    def test_inject_survives_serialization(self):
+        envelope = make_envelope()
+        inject(envelope, LineageContext("lin-00000004", 5, 2))
+        reparsed = parse_envelope(serialize_envelope(envelope))
+        assert extract(reparsed) == LineageContext("lin-00000004", 5, 3)
+
+    def test_reinjection_replaces_the_stale_header(self):
+        envelope = make_envelope()
+        inject(envelope, LineageContext("lin-00000001", 1, 0))
+        inject(envelope, LineageContext("lin-00000002", 2, 4))
+        carried = extract(envelope)
+        assert carried == LineageContext("lin-00000002", 2, 5)
+        assert len(envelope.headers_named(LINEAGE_HEADER)) == 1
+
+    def test_absent_header_extracts_to_none(self):
+        assert extract(make_envelope()) is None
+
+    def test_malformed_header_extracts_to_none(self):
+        envelope = make_envelope()
+        envelope.add_header(text_element(LINEAGE_HEADER, "not-a-context"))
+        assert extract(envelope) is None

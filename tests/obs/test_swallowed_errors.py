@@ -1,0 +1,55 @@
+"""Formerly-silent exception swallows now surface as a counter.
+
+Both sites still skip the failing element (an unparsable filter must not
+take down demand reconciliation; an unparsable frame must not break a
+figure trace) — but the skip is recorded in
+``obs.swallowed_errors_total{site=...}`` so it can never again hide a
+broker pausing real publishers or a figure silently losing edges.
+"""
+
+from types import SimpleNamespace
+
+from repro.comparison.figures import _Recorder
+from repro.obs.instrument import Instrumentation
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.wsn.broker import NotificationBroker
+
+
+def counter_total(instrumentation, site):
+    values = instrumentation.metrics.counter_values("obs.swallowed_errors_total")
+    return sum(v for k, v in values.items() if f"site={site}" in k)
+
+
+def test_demand_for_counts_unparsable_filters():
+    network = SimulatedNetwork(VirtualClock())
+    instrumentation = Instrumentation.attach(network)
+    broker = object.__new__(NotificationBroker)  # unit-level: no endpoints
+    broker.network = network
+    good = SimpleNamespace(paused=False, topic_expression="jobs")
+    bad = SimpleNamespace(paused=False, topic_expression="")  # FilterError
+    broker.producer = SimpleNamespace(live_subscriptions=lambda: [good, bad])
+
+    assert broker.demand_for("jobs") == 1  # the bad filter is skipped...
+    assert counter_total(
+        instrumentation, "wsn.broker.demand_for"
+    ) == 1  # ...but the skip is recorded
+
+
+def test_figure_recorder_counts_unparsable_frames():
+    network = SimulatedNetwork(VirtualClock())
+    instrumentation = Instrumentation.attach(network)
+    recorder = _Recorder(network, labels={})
+    recorder._observe(
+        SimpleNamespace(ok=True, request=b"not an http request", address="x")
+    )
+    assert recorder.interactions == []
+    assert counter_total(instrumentation, "comparison.figures.recorder") == 1
+
+
+def test_uninstrumented_runs_still_skip_silently():
+    network = SimulatedNetwork(VirtualClock())  # null instrumentation
+    recorder = _Recorder(network, labels={})
+    recorder._observe(
+        SimpleNamespace(ok=True, request=b"garbage", address="x")
+    )
+    assert recorder.interactions == []  # no crash, no counter, no trace

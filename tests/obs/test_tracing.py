@@ -87,3 +87,124 @@ class TestLifecycle:
         assert lines[0].startswith("root ")
         assert lines[1].startswith("  leaf ")
         assert lines[1].endswith("!error")
+
+
+class TestLineage:
+    def test_mint_assigns_fresh_ids_at_hop_zero(self):
+        tracer = make_tracer()
+        with tracer.span("publish-1", mint=True) as first:
+            pass
+        with tracer.span("publish-2", mint=True) as second:
+            pass
+        assert first.lineage == "lin-00000001"
+        assert second.lineage == "lin-00000002"
+        assert (first.hop, second.hop) == (0, 0)
+
+    def test_children_inherit_lineage_without_minting(self):
+        tracer = make_tracer()
+        with tracer.span("publish", mint=True) as root:
+            with tracer.span("fan_out", mint=True) as inner:
+                pass
+        assert inner.lineage == root.lineage  # mint only fires at the root
+        assert inner.hop == root.hop
+
+    def test_remote_context_reparents_a_scheduler_fired_retry(self):
+        """A retry runs on an empty stack; ``remote=`` must re-link it."""
+        from repro.obs.propagation import LineageContext
+
+        tracer = make_tracer()
+        with tracer.span("publish", mint=True) as publish:
+            carried = tracer.continuation()
+        assert tracer.current() is None  # the enqueuing stack unwound
+        with tracer.span("retry", remote=carried) as retry:
+            pass
+        assert retry.parent_id == publish.span_id
+        assert retry.lineage == publish.lineage
+        assert isinstance(carried, LineageContext)
+
+    def test_nested_spans_across_a_retry_sequence_stay_connected(self):
+        """attempt 1 (live stack) and attempts 2..n (scheduler) all land in
+        one tree, and a wire dispatch under a retry advances the hop."""
+        tracer = make_tracer()
+        with tracer.span("publish", mint=True) as publish:
+            carried = tracer.continuation()
+            with tracer.span("attempt", n="1"):
+                pass
+        for n in (2, 3):
+            with tracer.span("attempt", remote=carried, n=str(n)):
+                with tracer.span("dispatch", remote=carried.step()) as dispatch:
+                    assert dispatch.hop == publish.hop + 1
+        lineage_spans = tracer.spans_of_lineage(publish.lineage)
+        assert len(lineage_spans) == 6  # publish + 3 attempts + 2 dispatches
+        assert all(
+            tracer.depth_of(span) >= 1
+            for span in lineage_spans
+            if span is not publish
+        ), "every attempt must hang off the publish, never a fresh root"
+
+    def test_wire_hop_is_authoritative_on_a_synchronous_send(self):
+        """The sender's frames are still on the stack during a synchronous
+        dispatch; the hop must still advance (stack parentage is kept)."""
+        tracer = make_tracer()
+        with tracer.span("notify", mint=True) as notify:
+            carried = tracer.continuation().step()
+            with tracer.span("dispatch", remote=carried) as dispatch:
+                assert dispatch.hop == notify.hop + 1
+        assert dispatch.parent_id == notify.span_id  # same-lineage: keep stack
+
+    def test_absent_lineage_degrades_to_a_fresh_untraced_root(self):
+        """``remote=None`` (absent or malformed header) must not crash and
+        must behave exactly as before propagation existed."""
+        tracer = make_tracer()
+        with tracer.span("dispatch", remote=None) as span:
+            pass
+        assert span.lineage is None
+        assert span.parent_id is None
+        assert span.hop == 0
+
+    def test_malformed_wire_header_yields_an_untraced_dispatch(self):
+        """End-to-end: garbage lineage text on the wire never faults the
+        receiving endpoint; the dispatch simply starts untraced."""
+        from repro.obs.instrument import Instrumentation
+        from repro.obs.propagation import LINEAGE_HEADER
+        from repro.transport import SimulatedNetwork
+        from repro.transport.endpoint import SoapClient, SoapEndpoint
+        from repro.wsa.epr import EndpointReference
+        from repro.xmlkit import parse_xml
+        from repro.xmlkit.element import text_element
+
+        network = SimulatedNetwork(VirtualClock())
+        instrumentation = Instrumentation.attach(network)
+        endpoint = SoapEndpoint(network, "http://trace-sink")
+        endpoint.on_any(lambda envelope, headers: None)
+
+        def corrupt(envelope):
+            envelope.remove_headers(LINEAGE_HEADER)
+            envelope.add_header(text_element(LINEAGE_HEADER, "99-bogus"))
+            return envelope
+
+        client = SoapClient(network, envelope_filter=corrupt)
+        client.call(
+            EndpointReference("http://trace-sink"),
+            "urn:trace-test/Poke",
+            [parse_xml('<t:Poke xmlns:t="urn:trace-test"/>')],
+        )
+        dispatches = [
+            s for s in instrumentation.tracer.spans if s.name == "dispatch"
+        ]
+        assert len(dispatches) == 1
+        assert dispatches[0].lineage is None
+        assert dispatches[0].status == "ok"
+
+    def test_failed_span_inside_lineage_keeps_error_and_lineage(self):
+        tracer = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("publish", mint=True):
+                with tracer.span("attempt"):
+                    raise RuntimeError("sink down")
+        attempt = next(s for s in tracer.spans if s.name == "attempt")
+        assert attempt.status == "error"
+        assert attempt.lineage is not None
+        record = attempt.to_dict()
+        assert record["lineage"] == attempt.lineage
+        assert record["error"] == "RuntimeError: sink down"
