@@ -8,7 +8,10 @@ column.  Subcommands:
   scenario and render the observability report (see :mod:`repro.obs`);
 - ``obs-audit`` — re-run the demo and every bundled example under
   instrumentation and check the message-conservation invariants
-  (see :mod:`repro.obs.audit`); exit 1 if any book fails to balance.
+  (see :mod:`repro.obs.audit`); exit 1 if any book fails to balance;
+- ``conformance --seed N --cases M`` — deterministic wire-fidelity fuzzing
+  of the codec, framing, lifecycle, and mediation layers
+  (see :mod:`repro.conformance`); exit 1 on any failure.
 """
 
 from __future__ import annotations
@@ -26,9 +29,13 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.audit import obs_audit_main
 
         return obs_audit_main(argv[1:])
+    if argv and argv[0] == "conformance":
+        from repro.conformance.cli import conformance_main
+
+        return conformance_main(argv[1:])
     if argv:
         print(
-            f"unknown subcommand {argv[0]!r}; try: obs-report, obs-audit",
+            f"unknown subcommand {argv[0]!r}; try: obs-report, obs-audit, conformance",
             file=sys.stderr,
         )
         return 2

@@ -95,7 +95,12 @@ class JmsProvider:
     """The message broker all connections attach to."""
 
     def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        from repro.obs.instrument import NULL_INSTRUMENTATION
+
         self.clock = clock if clock is not None else VirtualClock()
+        #: swappable observability hook (the JMS baseline has no
+        #: SimulatedNetwork to carry one); Instrumentation-compatible
+        self.instrumentation = NULL_INSTRUMENTATION
         self._queues: dict[str, Queue] = {}
         self._topics: dict[str, Topic] = {}
 

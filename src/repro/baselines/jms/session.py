@@ -129,8 +129,14 @@ class MessageConsumer:
             elif hasattr(self, "_subscription"):
                 try:
                     self.destination._subscribers.remove(self._subscription)
-                except ValueError:
-                    pass
+                except ValueError as exc:
+                    # double-close: the subscriber is already detached; the
+                    # skip is recorded, never silently dropped
+                    self.session.connection.provider.instrumentation.count(
+                        "obs.swallowed_errors_total",
+                        site="jms.consumer.close",
+                        kind=type(exc).__name__,
+                    )
 
 
 class Session:

@@ -1,0 +1,55 @@
+"""``python -m repro conformance``: run the wire-fidelity fuzzer."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.conformance.harness import ENGINES, run_conformance, run_corpus
+
+
+def conformance_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro conformance",
+        description=(
+            "Deterministic conformance fuzzing of the codec, HTTP framing, "
+            "subscription lifecycle, and WS-Messenger mediation layers."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=2006, help="RNG seed (default 2006)")
+    parser.add_argument(
+        "--cases", type=int, default=2000, help="total cases across engines (default 2000)"
+    )
+    parser.add_argument(
+        "--engines",
+        default=None,
+        help=f"comma-separated subset of {','.join(ENGINES)} (default: all)",
+    )
+    parser.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="also replay the regression corpus in DIR",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    args = parser.parse_args(argv)
+
+    engines = args.engines.split(",") if args.engines else None
+    try:
+        report = run_conformance(args.seed, args.cases, engines=engines)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(report.to_json() if args.json else report.render())
+
+    corpus_failures = 0
+    if args.corpus:
+        results = run_corpus(args.corpus)
+        corpus_failures = sum(1 for _, message in results if message is not None)
+        if not args.json:
+            print()
+            print(f"corpus: {len(results)} cases, {corpus_failures} failures")
+            for entry, message in results:
+                if message is not None:
+                    print(f"FAIL {entry.engine}/{entry.name}: {message}")
+    return 0 if report.ok and corpus_failures == 0 else 1

@@ -1,0 +1,252 @@
+"""HTTP framing engine: parse-or-``HttpFramingError``, never truncate.
+
+The simulated transport hands over whole wire blobs, so the only honest
+behaviours for the framing layer are (a) a parsed message whose body is
+exactly what the peer framed, or (b) :class:`HttpFramingError`.  Returning a
+silently shortened body — or leaking a ``UnicodeEncodeError`` from a
+non-ASCII SOAPAction — would let the upper layers account message sizes and
+payloads that never matched the wire.
+
+Case kinds:
+
+- ``build_request`` — adversarial path/host/action/body through
+  :func:`build_request`; if the builder accepts them, the parsed request must
+  round-trip method, path, and body exactly.
+- ``response`` — same property for :func:`build_response`/``parse_response``.
+- ``tamper_length`` — a hand-framed request whose declared ``Content-Length``
+  disagrees with the body must raise; agreement must parse with the body intact.
+- ``truncate`` — any proper prefix of a valid request must raise.
+- ``embedded_crlf`` — a body containing ``CRLFCRLF`` must survive intact when
+  the declared length covers it.
+- ``garbage`` / ``response_garbage`` — arbitrary byte soup must either parse
+  or raise ``HttpFramingError``; no other exception type may escape.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.conformance.gen import bytes_to_case, case_to_bytes, gen_text, pick
+from repro.transport.http import (
+    HttpFramingError,
+    build_request,
+    build_response,
+    parse_request,
+    parse_response,
+)
+from repro.util.rng import SeededRng
+
+_PATH_POOL = ("/", "/events", "/a/b", "/s%20p", "/ä", "/tab\there", "/sp ace", "")
+_HOST_POOL = ("localhost", "broker.example", "bröker", "a:8080")
+_ACTION_POOL = (
+    "",
+    "http://docs.oasis-open.org/wsn/bw-2/NotificationConsumer/Notify",
+    "über-action",
+    "with\r\ninjected: header",
+    'quo"ted',
+)
+_BODY_POOL = (b"", b"<e/>", b"<e>\xc3\xa9</e>", b"0123456789" * 3, b"a\nb")
+_REASON_POOL = ("OK", "Bad Request", "Accepté", "split\r\nReason", "")
+_STATUS_POOL = (200, 202, 400, 500, 599)
+
+_GARBAGE_FRAGMENTS = (
+    b"POST / HTTP/1.1",
+    b"GET",
+    b"HTTP/1.1 200 OK",
+    b"HTTP/1.1 abc NotANumber",
+    b"\r\n",
+    b"\r\n\r\n",
+    b"Content-Length: 5",
+    b"Content-Length: -1",
+    b"Content-Length: xyz",
+    b"Content-Length: 0",
+    b": valueless",
+    b"Host localhost-no-colon",
+    b"SOAPAction: \"a\"",
+    b"hello body",
+    b"\xff\xfe\x80",
+    b"",
+)
+
+
+def _gen_garbage(rng: SeededRng) -> bytes:
+    return b"".join(
+        pick(rng, _GARBAGE_FRAGMENTS) for _ in range(1 + rng.randrange(6))
+    )
+
+
+class FramingEngine:
+    name = "framing"
+
+    def generate(self, rng: SeededRng) -> dict:
+        kind = rng.randrange(7)
+        if kind == 0:
+            return {
+                "kind": "build_request",
+                "path": pick(rng, _PATH_POOL),
+                "host": pick(rng, _HOST_POOL),
+                "action": pick(rng, _ACTION_POOL),
+                "body": bytes_to_case(pick(rng, _BODY_POOL)),
+            }
+        if kind == 1:
+            return {
+                "kind": "response",
+                "status": pick(rng, _STATUS_POOL),
+                "reason": pick(rng, _REASON_POOL),
+                "body": bytes_to_case(pick(rng, _BODY_POOL)),
+            }
+        if kind == 2:
+            body = pick(rng, _BODY_POOL)
+            declared = len(body) if rng.randrange(3) == 0 else rng.randrange(40)
+            return {
+                "kind": "tamper_length",
+                "declared": declared,
+                "body": bytes_to_case(body),
+            }
+        if kind == 3:
+            return {
+                "kind": "truncate",
+                "body": bytes_to_case(pick(rng, (b"<e/>", b"0123456789", b"x"))),
+                "drop": 1 + rng.randrange(16),
+            }
+        if kind == 4:
+            prefix = gen_text(rng, pool=("a", "b", " ")).encode("ascii")
+            return {
+                "kind": "embedded_crlf",
+                "body": bytes_to_case(prefix + b"\r\n\r\n" + b"tail"),
+            }
+        if kind == 5:
+            return {"kind": "garbage", "wire": bytes_to_case(_gen_garbage(rng))}
+        return {"kind": "response_garbage", "wire": bytes_to_case(_gen_garbage(rng))}
+
+    # --- checking ---------------------------------------------------------
+
+    def check(self, case: object) -> Optional[str]:
+        if not isinstance(case, dict) or not isinstance(case.get("kind"), str):
+            return None
+        checker = getattr(self, f"_check_{case['kind']}", None)
+        if checker is None:
+            return None
+        try:
+            return checker(case)
+        except (KeyError, TypeError, AttributeError, UnicodeEncodeError):
+            return None  # structurally invalid case (shrinker artifact)
+
+    def _check_build_request(self, case: dict) -> Optional[str]:
+        body = case_to_bytes(case["body"])
+        url = f"http://{case['host']}{case['path']}"
+        try:
+            wire = build_request(url, body, soap_action=case["action"])
+        except HttpFramingError:
+            return None  # rejecting adversarial input is a correct outcome
+        except Exception as exc:  # e.g. UnicodeEncodeError pre-hardening
+            return f"build_request leaked {type(exc).__name__}: {exc}"
+        try:
+            parsed = parse_request(wire)
+        except HttpFramingError as exc:
+            return f"build_request framed an unparsable request: {exc}"
+        if parsed.method != "POST":
+            return f"method corrupted in transit: {parsed.method!r}"
+        expected_path = case["path"] or "/"
+        if parsed.path != expected_path:
+            return f"path corrupted in transit: {expected_path!r} -> {parsed.path!r}"
+        if parsed.body != body:
+            return f"body corrupted in transit: {body!r} -> {parsed.body!r}"
+        return None
+
+    def _check_response(self, case: dict) -> Optional[str]:
+        body = case_to_bytes(case["body"])
+        if not isinstance(case["status"], int):
+            return None
+        try:
+            wire = build_response(case["status"], body, reason=case["reason"] or None)
+        except HttpFramingError:
+            return None
+        except Exception as exc:
+            return f"build_response leaked {type(exc).__name__}: {exc}"
+        try:
+            parsed = parse_response(wire)
+        except HttpFramingError as exc:
+            return f"build_response framed an unparsable response: {exc}"
+        if parsed.status != case["status"]:
+            return f"status corrupted: {case['status']} -> {parsed.status}"
+        if parsed.body != body:
+            return f"body corrupted: {body!r} -> {parsed.body!r}"
+        return None
+
+    def _check_tamper_length(self, case: dict) -> Optional[str]:
+        body = case_to_bytes(case["body"])
+        declared = case["declared"]
+        if not isinstance(declared, int) or declared < 0:
+            return None
+        wire = (
+            b"POST /conf HTTP/1.1\r\nHost: localhost\r\n"
+            + f"Content-Length: {declared}\r\n\r\n".encode("ascii")
+            + body
+        )
+        try:
+            parsed = parse_request(wire)
+        except HttpFramingError:
+            if declared == len(body):
+                return f"matching Content-Length {declared} was rejected"
+            return None
+        if declared != len(body):
+            return (
+                f"Content-Length {declared} accepted for a {len(body)}-byte body "
+                f"(silent truncation/padding)"
+            )
+        if parsed.body != body:
+            return f"body corrupted: {body!r} -> {parsed.body!r}"
+        return None
+
+    def _check_truncate(self, case: dict) -> Optional[str]:
+        body = case_to_bytes(case["body"])
+        drop = case["drop"]
+        if not isinstance(drop, int) or drop < 1 or b"\r" in body:
+            return None
+        wire = build_request("http://localhost/conf", body)
+        cut = wire[: max(0, len(wire) - drop)]
+        try:
+            parsed = parse_request(cut)
+        except HttpFramingError:
+            return None
+        return (
+            f"truncated wire (dropped {drop} of {len(wire)} bytes) parsed "
+            f"silently with body {parsed.body!r}"
+        )
+
+    def _check_embedded_crlf(self, case: dict) -> Optional[str]:
+        body = case_to_bytes(case["body"])
+        wire = build_request("http://localhost/conf", body)
+        try:
+            parsed = parse_request(wire)
+        except HttpFramingError as exc:
+            return f"body containing CRLFCRLF rejected: {exc}"
+        if parsed.body != body:
+            return (
+                f"body containing CRLFCRLF truncated at the embedded separator: "
+                f"{body!r} -> {parsed.body!r}"
+            )
+        return None
+
+    def _check_garbage(self, case: dict) -> Optional[str]:
+        return self._parse_or_framing_error(case, parse_request)
+
+    def _check_response_garbage(self, case: dict) -> Optional[str]:
+        return self._parse_or_framing_error(case, parse_response)
+
+    def _parse_or_framing_error(self, case: dict, parser) -> Optional[str]:
+        wire = case_to_bytes(case["wire"])
+        try:
+            message = parser(wire)
+        except HttpFramingError:
+            return None
+        except Exception as exc:
+            return f"{parser.__name__} leaked {type(exc).__name__}: {exc}"
+        declared = message.headers.get("Content-Length")
+        if declared is not None and int(declared) != len(message.body):
+            return (
+                f"{parser.__name__} accepted Content-Length {declared} with a "
+                f"{len(message.body)}-byte body"
+            )
+        return None

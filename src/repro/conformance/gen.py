@@ -1,0 +1,201 @@
+"""Seeded case generators shared by the conformance engines.
+
+Cases are plain JSON values (dicts/lists/strings/ints) for three reasons:
+they serialize into the regression corpus verbatim, the greedy shrinker can
+simplify them structurally without knowing what they mean, and a shrunk
+counterexample pasted into a bug report is readable as-is.
+
+Because the shrinker mutates cases blindly (deleting list items, truncating
+strings, zeroing ints), every engine validates a case before interpreting it
+and treats an invalid case as vacuously passing — the shrinker then simply
+never wanders outside the case space.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, TypeVar, Union
+
+from repro.util.rng import SeededRng
+from repro.xmlkit.element import XElem
+from repro.xmlkit.names import Namespaces, QName
+
+T = TypeVar("T")
+
+JsonTree = Union[dict, list, str, int, float]
+
+# --- pools -------------------------------------------------------------------
+# small fixed vocabularies keep cases readable and shrinking fast; the
+# adversarial power is in the *combinations*, not in exotic single values
+
+NAMESPACE_POOL = (
+    "",
+    "urn:conf:a",
+    "urn:conf:b",
+    "http://conf.invalid/c",
+    Namespaces.WSNT_13,  # has a preferred prefix — exercises that writer path
+    Namespaces.WSA_2005_08,
+)
+
+LOCAL_NAME_POOL = ("a", "b", "evt", "Data", "x-y", "n1", "long.name", "Ω")
+
+#: raw text chunks for generated trees — includes every character class the
+#: writer must escape and the parser must hand back unchanged
+TEXT_CHUNK_POOL = (
+    "t",
+    "a b",
+    "0",
+    " ",
+    "\t",
+    "\n",
+    "\r",
+    "&",
+    "<",
+    ">",
+    '"',
+    "'",
+    "]]>",
+    "é",
+    "中",
+)
+
+ATTR_VALUE_POOL = TEXT_CHUNK_POOL
+
+
+def pick(rng: SeededRng, pool: Sequence[T]) -> T:
+    return pool[rng.randrange(len(pool))]
+
+
+def gen_text(rng: SeededRng, *, max_chunks: int = 4, pool: Sequence[str] = TEXT_CHUNK_POOL) -> str:
+    return "".join(pick(rng, pool) for _ in range(1 + rng.randrange(max_chunks)))
+
+
+# --- tree specs --------------------------------------------------------------
+# {"ns": str, "local": str, "attrs": [[ns, local, value], ...],
+#  "children": [spec | "text chunk", ...]}
+
+
+def gen_tree_spec(rng: SeededRng, *, depth: int = 0, max_depth: int = 3) -> dict:
+    attrs: list[list[str]] = []
+    seen: set[tuple[str, str]] = set()
+    for _ in range(rng.randrange(3)):
+        key = (pick(rng, NAMESPACE_POOL), pick(rng, LOCAL_NAME_POOL))
+        if key in seen:
+            continue  # duplicate attribute QNames are not well-formed
+        seen.add(key)
+        attrs.append([key[0], key[1], gen_text(rng, pool=ATTR_VALUE_POOL)])
+    children: list[Union[dict, str]] = []
+    if depth < max_depth:
+        for _ in range(rng.randrange(4)):
+            if rng.randrange(2):
+                children.append(gen_text(rng))
+            else:
+                children.append(gen_tree_spec(rng, depth=depth + 1, max_depth=max_depth))
+    return {
+        "ns": pick(rng, NAMESPACE_POOL),
+        "local": pick(rng, LOCAL_NAME_POOL),
+        "attrs": attrs,
+        "children": children,
+    }
+
+
+def _valid_xml_name(name: object) -> bool:
+    if not isinstance(name, str) or not name:
+        return False
+    first = name[0]
+    if not (first.isalpha() or first == "_"):
+        return False
+    return all(ch.isalnum() or ch in "-._" for ch in name)
+
+
+def valid_tree_spec(spec: object) -> bool:
+    """Structural validity — the gate that keeps the shrinker honest."""
+    if not isinstance(spec, dict):
+        return False
+    if not isinstance(spec.get("ns"), str) or not _valid_xml_name(spec.get("local")):
+        return False
+    attrs = spec.get("attrs")
+    if not isinstance(attrs, list):
+        return False
+    seen: set[tuple[str, str]] = set()
+    for attr in attrs:
+        if not (isinstance(attr, list) and len(attr) == 3):
+            return False
+        ns, local, value = attr
+        if not isinstance(ns, str) or not _valid_xml_name(local) or not isinstance(value, str):
+            return False
+        if (ns, local) in seen:
+            return False
+        seen.add((ns, local))
+    children = spec.get("children")
+    if not isinstance(children, list):
+        return False
+    for child in children:
+        if isinstance(child, str):
+            continue
+        if not valid_tree_spec(child):
+            return False
+    return True
+
+
+def spec_to_elem(spec: dict) -> XElem:
+    elem = XElem(QName(spec["ns"], spec["local"]))
+    for ns, local, value in spec["attrs"]:
+        elem.set(QName(ns, local), value)
+    for child in spec["children"]:
+        elem.append(child if isinstance(child, str) else spec_to_elem(child))
+    return elem
+
+
+# --- strict tree equality ----------------------------------------------------
+# XElem.__eq__ is deliberately whitespace-insensitive (message-level
+# comparisons want that); round-trip conformance needs the exact tree, so
+# this comparison keeps whitespace-only text and only merges adjacency —
+# which is unobservable after serialization anyway.
+
+
+def _merged_text(elem: XElem) -> list[Union[XElem, str]]:
+    merged: list[Union[XElem, str]] = []
+    for child in elem.children:
+        if isinstance(child, str):
+            if not child:
+                continue
+            if merged and isinstance(merged[-1], str):
+                merged[-1] = merged[-1] + child
+                continue
+        merged.append(child)
+    return merged
+
+
+def strict_diff(a: XElem, b: XElem, path: str = "/") -> Optional[str]:
+    """First exact-structure mismatch between two trees, or None."""
+    if a.name != b.name:
+        return f"{path}: name {a.name} != {b.name}"
+    if dict(a.attrs) != dict(b.attrs):
+        return f"{path}: attrs {dict(a.attrs)!r} != {dict(b.attrs)!r}"
+    left, right = _merged_text(a), _merged_text(b)
+    if len(left) != len(right):
+        return f"{path}: {len(left)} children != {len(right)}"
+    for index, (ca, cb) in enumerate(zip(left, right)):
+        here = f"{path}[{index}]"
+        if isinstance(ca, str) or isinstance(cb, str):
+            if ca != cb:
+                return f"{here}: text {ca!r} != {cb!r}"
+            continue
+        found = strict_diff(ca, cb, f"{here}<{ca.name.local}>")
+        if found is not None:
+            return found
+    return None
+
+
+# --- bytes in JSON -----------------------------------------------------------
+# wire blobs ride in cases as latin-1 strings: the mapping is 1:1 for all 256
+# byte values, json escapes take care of the rest, and — unlike base64 — any
+# shrinker truncation of the string is still a decodable (smaller) blob
+
+
+def bytes_to_case(data: bytes) -> str:
+    return data.decode("latin-1")
+
+
+def case_to_bytes(text: str) -> bytes:
+    return text.encode("latin-1")

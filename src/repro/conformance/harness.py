@@ -1,0 +1,185 @@
+"""The conformance runner: engines, deterministic reports, corpus replay.
+
+Every case is generated from ``SeededRng(seed).fork(f"{engine}/{index}")``,
+so a case's content depends only on the seed and its coordinates — never on
+how many cases ran before it, which engines are enabled, or what failed.
+That is what makes the report byte-identical across runs and lets a single
+``(engine, index)`` pair be re-investigated in isolation.
+
+The corpus is the fuzzer's long-term memory: every shrunk counterexample
+that led to a fix is frozen as a JSON file under ``tests/conformance/
+corpus/`` and replayed by both the test suite and the CLI (``--corpus``) —
+a regression reintroducing any fixed bug fails immediately, without waiting
+for the fuzzer to rediscover it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.conformance.codec_engine import CodecEngine
+from repro.conformance.framing_engine import FramingEngine
+from repro.conformance.gen import JsonTree
+from repro.conformance.lifecycle_engine import LifecycleEngine
+from repro.conformance.mediation_engine import MediationEngine
+from repro.conformance.shrink import shrink
+from repro.util.rng import SeededRng
+
+ENGINES = {
+    engine.name: engine
+    for engine in (CodecEngine(), FramingEngine(), LifecycleEngine(), MediationEngine())
+}
+
+
+def canonical_json(value: JsonTree) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), ensure_ascii=True)
+
+
+def check_case(engine, case: JsonTree) -> Optional[str]:
+    """Run one case; any exception the engine leaks is itself a failure."""
+    try:
+        return engine.check(case)
+    except Exception as exc:  # noqa: BLE001 — a crash IS the finding
+        return f"engine crashed: {type(exc).__name__}: {exc}"
+
+
+@dataclass
+class Failure:
+    engine: str
+    index: int
+    message: str
+    case: JsonTree
+    shrunk: JsonTree
+    shrunk_message: str
+
+
+@dataclass
+class EngineRun:
+    engine: str
+    cases: int
+    failures: list[Failure] = field(default_factory=list)
+
+
+@dataclass
+class ConformanceReport:
+    seed: int
+    cases: int
+    runs: list[EngineRun]
+
+    @property
+    def failures(self) -> list[Failure]:
+        return [failure for run in self.runs for failure in run.failures]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [
+            "repro conformance fuzz",
+            f"seed={self.seed} cases={self.cases} "
+            f"engines={','.join(run.engine for run in self.runs)}",
+            "",
+            f"{'engine':<12} {'cases':>7} {'failures':>9}",
+        ]
+        for run in self.runs:
+            lines.append(f"{run.engine:<12} {run.cases:>7} {len(run.failures):>9}")
+        for failure in self.failures:
+            lines += [
+                "",
+                f"FAIL {failure.engine}[{failure.index}]: {failure.shrunk_message}",
+                f"  shrunk: {canonical_json(failure.shrunk)}",
+                f"  original: {canonical_json(failure.case)}",
+            ]
+        lines += ["", f"result: {'PASS' if self.ok else 'FAIL'} ({len(self.failures)} failures)"]
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return canonical_json(
+            {
+                "seed": self.seed,
+                "cases": self.cases,
+                "result": "pass" if self.ok else "fail",
+                "engines": {run.engine: {"cases": run.cases, "failures": len(run.failures)} for run in self.runs},
+                "failures": [
+                    {
+                        "engine": failure.engine,
+                        "index": failure.index,
+                        "message": failure.shrunk_message,
+                        "shrunk": failure.shrunk,
+                        "case": failure.case,
+                    }
+                    for failure in self.failures
+                ],
+            }
+        )
+
+
+def run_conformance(
+    seed: int,
+    cases: int,
+    *,
+    engines: Optional[Sequence[str]] = None,
+    shrink_budget: int = 200,
+) -> ConformanceReport:
+    """Fuzz ``cases`` cases split evenly across the selected engines."""
+    names = list(engines) if engines else list(ENGINES)
+    unknown = [name for name in names if name not in ENGINES]
+    if unknown:
+        raise ValueError(f"unknown engines {unknown}; have {sorted(ENGINES)}")
+    base, extra = divmod(cases, len(names))
+    runs: list[EngineRun] = []
+    for position, name in enumerate(names):
+        engine = ENGINES[name]
+        run = EngineRun(name, base + (1 if position < extra else 0))
+        for index in range(run.cases):
+            case = engine.generate(SeededRng(seed).fork(f"{name}/{index}"))
+            message = check_case(engine, case)
+            if message is None:
+                continue
+            shrunk = shrink(
+                case,
+                lambda candidate: check_case(engine, candidate) is not None,
+                budget=shrink_budget,
+            )
+            run.failures.append(
+                Failure(name, index, message, case, shrunk, check_case(engine, shrunk) or message)
+            )
+        runs.append(run)
+    return ConformanceReport(seed, cases, runs)
+
+
+# --- regression corpus -------------------------------------------------------
+
+
+@dataclass
+class CorpusCase:
+    path: Path
+    name: str
+    engine: str
+    case: JsonTree
+
+
+def load_corpus(directory: Path | str) -> list[CorpusCase]:
+    """Load ``*.json`` corpus files (sorted by name, for stable output)."""
+    entries: list[CorpusCase] = []
+    for path in sorted(Path(directory).glob("*.json")):
+        record = json.loads(path.read_text(encoding="utf-8"))
+        engine = record["engine"]
+        if engine not in ENGINES:
+            raise ValueError(f"{path}: unknown engine {engine!r}")
+        entries.append(
+            CorpusCase(path, record.get("name", path.stem), engine, record["case"])
+        )
+    return entries
+
+
+def run_corpus(directory: Path | str) -> list[tuple[CorpusCase, Optional[str]]]:
+    """Replay every corpus case; pairs each with its failure message (or None)."""
+    return [
+        (entry, check_case(ENGINES[entry.engine], entry.case))
+        for entry in load_corpus(directory)
+    ]

@@ -1,0 +1,467 @@
+"""Lifecycle engine: subscription schedules against both spec families.
+
+Each case is a schedule — initial subscriptions with generated expirations,
+then a sequence of clock advances, publishes, renews, unsubscribes, and
+status queries — executed against a *real* WSE source or WSN producer over
+the simulated network, with a tiny reference model running alongside.  The
+invariants are the ones the paper's comparison takes for granted:
+
+- an invalid expiration (``PT0S``, ``-PT5S``, a past dateTime, garbage) is
+  faulted at subscribe/renew time with the family's own subcode — never
+  silently granted;
+- a granted expiration is exact: a requested absolute dateTime is echoed
+  verbatim, and a duration (or the default lifetime) is anchored at the
+  grant instant — which the model brackets between the virtual-clock reads
+  before and after the call, since the simulated network charges per-hop
+  latency between client and manager;
+- no delivery after expiry or unsubscribe, every delivery before, in order;
+- management operations on an expired or unsubscribed subscription fault.
+
+The model is deliberately naive — a dict per subscription with a float
+expiry — because its whole value is having *no code in common* with the
+stores it checks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.conformance.gen import pick
+from repro.soap.fault import SoapFault
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.util.rng import SeededRng
+from repro.util.xstime import format_datetime, parse_expires
+from repro.xmlkit.element import XElem
+from repro.xmlkit.names import QName
+
+_FAMILIES = ("wse", "wsn")
+_WSE_VERSIONS = ("V2004_01", "V2004_08")
+_DEFAULT_LIFETIME = 3600.0
+
+_INVALID_KINDS = ("zero", "negative", "pastdt", "garbage")
+
+
+def _gen_expiry(rng: SeededRng, *, allow_invalid: bool = True) -> dict:
+    roll = rng.randrange(100)
+    if roll < 20:
+        return {"kind": "none"}
+    if roll < 60 or not allow_invalid:
+        return {"kind": "duration", "secs": 1 + rng.randrange(1000)}
+    if roll < 75:
+        return {"kind": "datetime", "secs": 1 + rng.randrange(1000)}
+    invalid = pick(rng, _INVALID_KINDS)
+    if invalid in ("negative", "pastdt"):
+        return {"kind": invalid, "secs": 1 + rng.randrange(100)}
+    return {"kind": invalid}
+
+
+def _valid_expiry_spec(spec: object) -> bool:
+    if not isinstance(spec, dict):
+        return False
+    kind = spec.get("kind")
+    if kind in ("none", "zero", "garbage"):
+        return True
+    if kind in ("duration", "datetime", "negative", "pastdt"):
+        return isinstance(spec.get("secs"), int) and spec["secs"] >= 1
+    return False
+
+
+def _render_expiry(spec: dict, now: float) -> Optional[str]:
+    kind = spec["kind"]
+    if kind == "none":
+        return None
+    if kind == "duration":
+        return f"PT{spec['secs']}S"
+    if kind == "datetime":
+        return format_datetime(now + spec["secs"])
+    if kind == "zero":
+        return "PT0S"
+    if kind == "negative":
+        return f"-PT{spec['secs']}S"
+    if kind == "pastdt":
+        return format_datetime(now - spec["secs"])
+    return "P!not-a-duration"  # garbage
+
+
+def _expiry_is_invalid(spec: dict) -> bool:
+    return spec["kind"] in _INVALID_KINDS
+
+
+class LifecycleEngine:
+    name = "lifecycle"
+
+    def generate(self, rng: SeededRng) -> dict:
+        family = pick(rng, _FAMILIES)
+        version = pick(rng, _WSE_VERSIONS) if family == "wse" else "V1_3"
+        subs = [_gen_expiry(rng) for _ in range(1 + rng.randrange(3))]
+        ops: list[dict] = []
+        for _ in range(2 + rng.randrange(7)):
+            roll = rng.randrange(100)
+            if roll < 30:
+                secs = 3000 + rng.randrange(1200) if rng.randrange(5) == 0 else 1 + rng.randrange(400)
+                ops.append({"op": "advance", "secs": secs})
+            elif roll < 60:
+                ops.append({"op": "publish"})
+            elif roll < 80:
+                ops.append(
+                    {
+                        "op": "renew",
+                        "sub": rng.randrange(len(subs)),
+                        "expires": _gen_expiry(rng),
+                    }
+                )
+            elif roll < 92 or version != "V2004_08":
+                ops.append({"op": "unsubscribe", "sub": rng.randrange(len(subs))})
+            else:
+                ops.append({"op": "status", "sub": rng.randrange(len(subs))})
+        return {"family": family, "version": version, "subs": subs, "ops": ops}
+
+    # --- validity (the shrinker mutates blindly) --------------------------
+
+    def _valid(self, case: object) -> bool:
+        if not isinstance(case, dict):
+            return False
+        family, version = case.get("family"), case.get("version")
+        if family == "wse":
+            if version not in _WSE_VERSIONS:
+                return False
+        elif family == "wsn":
+            if version != "V1_3":
+                return False
+        else:
+            return False
+        subs = case.get("subs")
+        if not isinstance(subs, list) or not subs:
+            return False
+        if not all(_valid_expiry_spec(s) for s in subs):
+            return False
+        ops = case.get("ops")
+        if not isinstance(ops, list):
+            return False
+        for op in ops:
+            if not isinstance(op, dict):
+                return False
+            kind = op.get("op")
+            if kind == "advance":
+                if not (isinstance(op.get("secs"), int) and op["secs"] >= 1):
+                    return False
+            elif kind == "publish":
+                pass
+            elif kind == "renew":
+                if not (
+                    isinstance(op.get("sub"), int)
+                    and 0 <= op["sub"] < len(subs)
+                    and _valid_expiry_spec(op.get("expires"))
+                ):
+                    return False
+            elif kind in ("unsubscribe", "status"):
+                if not (isinstance(op.get("sub"), int) and 0 <= op["sub"] < len(subs)):
+                    return False
+                if kind == "status" and version != "V2004_08":
+                    return False
+            else:
+                return False
+        return True
+
+    # --- execution --------------------------------------------------------
+
+    def check(self, case: object) -> Optional[str]:
+        if not self._valid(case):
+            return None
+        runner = _WseRun(case) if case["family"] == "wse" else _WsnRun(case)
+        return runner.run()
+
+
+class _Run:
+    """Shared schedule interpreter; subclasses bind one family's client API."""
+
+    fault_subcode: str
+
+    def __init__(self, case: dict) -> None:
+        self.case = case
+        self.clock = VirtualClock()
+        self.network = SimulatedNetwork(self.clock)
+        #: per-sub model: {"handle", "expires": float, "gone": bool, "expected": [markers]}
+        self.model: list[dict] = []
+        self.published = 0
+
+    # family bindings ------------------------------------------------------
+
+    def subscribe(self, index: int, expires_text: Optional[str]) -> object:
+        raise NotImplementedError
+
+    def renew(self, handle: object, expires_text: Optional[str]) -> str:
+        raise NotImplementedError
+
+    def unsubscribe(self, handle: object) -> None:
+        raise NotImplementedError
+
+    def status(self, handle: object) -> str:
+        raise NotImplementedError
+
+    def publish(self, payload: XElem) -> None:
+        raise NotImplementedError
+
+    def delivered(self, index: int) -> list[str]:
+        raise NotImplementedError
+
+    def granted_text(self, handle: object) -> str:
+        raise NotImplementedError
+
+    # model ----------------------------------------------------------------
+
+    def _live(self, sub: dict) -> bool:
+        return (
+            sub["handle"] is not None
+            and not sub["gone"]
+            and sub["expires"] > self.clock.now()
+        )
+
+    def _grant_failure(
+        self, spec: dict, text: Optional[str], before: float, after: float, granted_text: str
+    ) -> tuple[Optional[str], float]:
+        """Validate a granted expiration; returns (failure, granted_seconds).
+
+        An absolute request must be echoed verbatim.  A duration (or the
+        default lifetime) is anchored at the instant the manager granted it,
+        which must fall inside the request's round-trip window on the
+        virtual clock — any other anchor means the lease is longer or
+        shorter than the spec promises.
+        """
+        try:
+            granted = parse_expires(granted_text, now=before)
+        except ValueError as exc:
+            return f"ungrammatical granted expiration {granted_text!r}: {exc}", 0.0
+        if spec["kind"] == "datetime":
+            if granted_text != text:
+                return f"granted {granted_text!r} != requested absolute {text!r}", granted
+            return None, granted
+        secs = _DEFAULT_LIFETIME if spec["kind"] == "none" else float(spec["secs"])
+        anchor = granted - secs
+        if not (before - 1e-9 <= anchor <= after + 1e-9):
+            return (
+                f"granted {granted_text!r} anchors the {secs}s lease at t={anchor}, "
+                f"outside the request window [{before}, {after}]",
+                granted,
+            )
+        return None, granted
+
+    def run(self) -> Optional[str]:
+        failure = self._subscribe_all()
+        if failure is not None:
+            return failure
+        for step, op in enumerate(self.case["ops"]):
+            failure = self._apply(step, op)
+            if failure is not None:
+                return f"[{self.case['family']}/{self.case['version']}] op {step} {op['op']}: {failure}"
+        return self._check_deliveries("final")
+
+    def _subscribe_all(self) -> Optional[str]:
+        for index, spec in enumerate(self.case["subs"]):
+            now = self.clock.now()
+            text = _render_expiry(spec, now)
+            tag = f"[{self.case['family']}/{self.case['version']}] subscribe {index} ({spec['kind']})"
+            try:
+                handle = self.subscribe(index, text)
+            except SoapFault as fault:
+                if not _expiry_is_invalid(spec):
+                    return f"{tag}: unexpected fault: {fault}"
+                if not self._fault_matches(fault):
+                    return f"{tag}: fault lacks {self.fault_subcode} subcode: {fault}"
+                self.model.append(
+                    {"handle": None, "expires": 0.0, "gone": True, "expected": []}
+                )
+                continue
+            if _expiry_is_invalid(spec):
+                return f"{tag}: invalid expiration {text!r} was granted"
+            failure, granted = self._grant_failure(
+                spec, text, now, self.clock.now(), self.granted_text(handle)
+            )
+            if failure is not None:
+                return f"{tag}: {failure}"
+            self.model.append(
+                {"handle": handle, "expires": granted, "gone": False, "expected": []}
+            )
+        return None
+
+    def _fault_matches(self, fault: SoapFault) -> bool:
+        subcode = getattr(fault, "subcode", None)
+        if subcode is not None and self.fault_subcode in subcode.local:
+            return True
+        return self.fault_subcode in str(fault)
+
+    def _apply(self, step: int, op: dict) -> Optional[str]:
+        kind = op["op"]
+        if kind == "advance":
+            self.clock.advance(float(op["secs"]))
+            return None
+        if kind == "publish":
+            marker = f"m{self.published}"
+            self.published += 1
+            for sub in self.model:
+                if self._live(sub):
+                    sub["expected"].append(marker)
+            self.publish(XElem(QName("", "conf-evt"), children=[marker]))
+            return self._check_deliveries(f"after publish {marker}")
+        sub = self.model[op["sub"]]
+        if sub["handle"] is None:
+            return None  # never created (faulted at subscribe): nothing to manage
+        if kind == "renew":
+            return self._apply_renew(sub, op)
+        if kind == "unsubscribe":
+            return self._apply_unsubscribe(sub, op)
+        return self._apply_status(sub, op)
+
+    def _apply_renew(self, sub: dict, op: dict) -> Optional[str]:
+        spec = op["expires"]
+        now = self.clock.now()
+        text = _render_expiry(spec, now)
+        live = self._live(sub)
+        try:
+            granted = self.renew(sub["handle"], text)
+        except SoapFault as fault:
+            if live and not _expiry_is_invalid(spec):
+                return f"sub {op['sub']}: unexpected renew fault: {fault}"
+            return None  # dead subscription or invalid expiry: fault is the contract
+        if not live:
+            return f"sub {op['sub']}: renew of a dead subscription succeeded"
+        if _expiry_is_invalid(spec):
+            return f"sub {op['sub']}: invalid renewal {text!r} was granted"
+        failure, granted_at = self._grant_failure(
+            spec, text, now, self.clock.now(), granted
+        )
+        if failure is not None:
+            return f"sub {op['sub']}: renew {failure}"
+        sub["expires"] = granted_at
+        return None
+
+    def _apply_unsubscribe(self, sub: dict, op: dict) -> Optional[str]:
+        live = self._live(sub)
+        try:
+            self.unsubscribe(sub["handle"])
+        except SoapFault as fault:
+            if live:
+                return f"sub {op['sub']}: unexpected unsubscribe fault: {fault}"
+            return None
+        if not live:
+            return f"sub {op['sub']}: unsubscribe of a dead subscription succeeded"
+        sub["gone"] = True
+        return None
+
+    def _apply_status(self, sub: dict, op: dict) -> Optional[str]:
+        live = self._live(sub)
+        try:
+            reported = self.status(sub["handle"])
+        except SoapFault as fault:
+            if live:
+                return f"sub {op['sub']}: unexpected status fault: {fault}"
+            return None
+        if not live:
+            return f"sub {op['sub']}: status of a dead subscription succeeded"
+        if reported != format_datetime(sub["expires"]):
+            return (
+                f"sub {op['sub']}: status reports {reported!r}, model says "
+                f"{format_datetime(sub['expires'])!r}"
+            )
+        return None
+
+    def _check_deliveries(self, when: str) -> Optional[str]:
+        for index, sub in enumerate(self.model):
+            if sub["handle"] is None:
+                continue
+            actual = self.delivered(index)
+            if actual != sub["expected"]:
+                return (
+                    f"[{self.case['family']}/{self.case['version']}] {when}: "
+                    f"sub {index} saw {actual}, model expects {sub['expected']}"
+                )
+        return None
+
+
+class _WseRun(_Run):
+    fault_subcode = "InvalidExpirationTime"
+
+    def __init__(self, case: dict) -> None:
+        super().__init__(case)
+        from repro.wse import EventSink, EventSource, WseSubscriber
+        from repro.wse.versions import WseVersion
+
+        version = WseVersion[case["version"]]
+        self.source = EventSource(self.network, "http://conf-source", version=version)
+        self.subscriber = WseSubscriber(self.network, version=version)
+        self.sinks = [
+            EventSink(self.network, f"http://conf-sink-{i}", version=version)
+            for i in range(len(case["subs"]))
+        ]
+
+    def subscribe(self, index: int, expires_text: Optional[str]) -> object:
+        return self.subscriber.subscribe(
+            self.source.epr(),
+            notify_to=self.sinks[index].epr(),
+            expires=expires_text,
+        )
+
+    def renew(self, handle: object, expires_text: Optional[str]) -> str:
+        return self.subscriber.renew(handle, expires_text)
+
+    def unsubscribe(self, handle: object) -> None:
+        self.subscriber.unsubscribe(handle)
+
+    def status(self, handle: object) -> str:
+        return self.subscriber.get_status(handle)
+
+    def publish(self, payload: XElem) -> None:
+        self.source.publish(payload)
+
+    def delivered(self, index: int) -> list[str]:
+        return [payload.full_text() for payload in self.sinks[index].payloads()]
+
+    def granted_text(self, handle: object) -> str:
+        return handle.expires_text
+
+
+class _WsnRun(_Run):
+    fault_subcode = "TerminationTimeFault"  # Unacceptable(Initial)TerminationTimeFault
+
+    TOPIC = "conf"
+
+    def __init__(self, case: dict) -> None:
+        super().__init__(case)
+        from repro.wsn import NotificationConsumer, NotificationProducer, WsnSubscriber
+        from repro.wsn.versions import WsnVersion
+
+        version = WsnVersion[case["version"]]
+        self.producer = NotificationProducer(
+            self.network, "http://conf-producer", version=version
+        )
+        self.subscriber = WsnSubscriber(self.network, version=version)
+        self.consumers = [
+            NotificationConsumer(self.network, f"http://conf-consumer-{i}", version=version)
+            for i in range(len(case["subs"]))
+        ]
+
+    def subscribe(self, index: int, expires_text: Optional[str]) -> object:
+        return self.subscriber.subscribe(
+            self.producer.epr(),
+            self.consumers[index].epr(),
+            topic=self.TOPIC,
+            initial_termination=expires_text,
+        )
+
+    def renew(self, handle: object, expires_text: Optional[str]) -> str:
+        return self.subscriber.renew(handle, expires_text)
+
+    def unsubscribe(self, handle: object) -> None:
+        self.subscriber.unsubscribe(handle)
+
+    def status(self, handle: object) -> str:  # pragma: no cover - not generated
+        raise NotImplementedError("status ops are WSE 08/2004 only")
+
+    def publish(self, payload: XElem) -> None:
+        self.producer.publish(payload, topic=self.TOPIC)
+
+    def delivered(self, index: int) -> list[str]:
+        return [payload.full_text() for payload in self.consumers[index].payloads()]
+
+    def granted_text(self, handle: object) -> str:
+        return handle.termination_time_text or ""

@@ -1,0 +1,74 @@
+"""Greedy structural shrinking of JSON counterexamples.
+
+The shrinker knows nothing about what a case means: it deletes list
+elements, truncates strings, and zeroes ints, keeping any mutation under
+which the case still fails.  Engines guard themselves by validating cases
+and treating invalid ones as passing, so the shrinker simply cannot escape
+the case space — an invalid mutant stops failing and is discarded.
+
+Greedy first-improvement is deliberately simple: counterexamples here are
+small (a schedule, a tree, a wire blob), and determinism matters more than
+minimality.  The candidate order is fixed, so the same failing case always
+shrinks to the same result.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.conformance.gen import JsonTree
+
+
+def _variants(value: JsonTree) -> Iterator[JsonTree]:
+    """Strictly-smaller mutants of ``value``, outermost deletions first."""
+    if isinstance(value, list):
+        for index in range(len(value)):
+            yield value[:index] + value[index + 1 :]
+        for index in range(len(value)):
+            for child in _variants(value[index]):
+                yield value[:index] + [child] + value[index + 1 :]
+    elif isinstance(value, dict):
+        for key in sorted(value):
+            for child in _variants(value[key]):
+                mutated = dict(value)
+                mutated[key] = child
+                yield mutated
+    elif isinstance(value, str):
+        if value:
+            yield value[: len(value) // 2]
+            yield value[:-1]
+    elif isinstance(value, bool):
+        return  # bool is an int subclass; don't "zero" flags into nonsense
+    elif isinstance(value, int):
+        if value != 0:
+            yield 0
+        if abs(value) > 1:
+            yield value // 2
+
+
+def shrink(
+    case: JsonTree,
+    is_failing: Callable[[JsonTree], bool],
+    *,
+    budget: int = 200,
+) -> JsonTree:
+    """Greedily minimize ``case`` while ``is_failing`` holds.
+
+    ``budget`` bounds the number of ``is_failing`` evaluations — lifecycle
+    cases replay a whole simulated network per probe, so shrinking is capped
+    rather than exhaustive.
+    """
+    current = case
+    calls = 0
+    improved = True
+    while improved and calls < budget:
+        improved = False
+        for candidate in _variants(current):
+            calls += 1
+            if is_failing(candidate):
+                current = candidate
+                improved = True
+                break
+            if calls >= budget:
+                break
+    return current

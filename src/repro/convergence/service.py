@@ -417,8 +417,13 @@ class ConvergedSource:
             self._client.call(
                 subscription.end_to, _action("SubscriptionEnd"), [body], expect_reply=False
             )
-        except (NetworkError, SoapFault):
-            pass
+        except (NetworkError, SoapFault) as exc:
+            # the EndTo sink may be the thing that died; record the skip
+            self.network.instrumentation.count(
+                "obs.swallowed_errors_total",
+                site="convergence.send_end",
+                kind=type(exc).__name__,
+            )
 
     def live_count(self) -> int:
         now = self.clock.now()

@@ -15,7 +15,13 @@ from repro.obs.propagation import extract as extract_lineage, inject as inject_l
 from repro.soap.codec import parse_envelope, serialize_envelope
 from repro.soap.envelope import SoapEnvelope, SoapVersion
 from repro.soap.fault import FaultCode, SoapFault
-from repro.transport.http import build_request, build_response, parse_request, parse_response
+from repro.transport.http import (
+    HttpFramingError,
+    build_request,
+    build_response,
+    parse_request,
+    parse_response,
+)
 from repro.transport.network import PUBLIC_ZONE, SimulatedNetwork
 from repro.wsa.epr import EndpointReference
 from repro.wsa.headers import MessageHeaders, apply_headers, extract_headers
@@ -65,7 +71,12 @@ class SoapEndpoint:
 
     def _handle_wire(self, wire: bytes) -> bytes:
         instr = self.network.instrumentation
-        request = parse_request(wire)
+        try:
+            request = parse_request(wire)
+        except HttpFramingError as exc:
+            fault = SoapFault(FaultCode.SENDER, f"malformed HTTP framing: {exc}")
+            instr.count("endpoint.requests", address=self.address, status="framing_error")
+            return build_response(400, self._fault_bytes(fault, SoapVersion.V11))
         try:
             envelope = parse_envelope(request.body)
         except ValueError as exc:

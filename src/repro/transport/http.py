@@ -4,6 +4,13 @@ Every envelope crosses the simulated wire as a real HTTP request so the
 benchmarks can account true message sizes (Table 3's "message transport" row
 contrasts RPC-bound protocols with transport-independent SOAP; we demonstrate
 the HTTP binding while the codec itself stays transport-agnostic).
+
+Framing is strict in both directions: the head must be pure ASCII with
+CRLF-free header fields, and a declared ``Content-Length`` must match the
+body byte-for-byte.  Anything else raises :class:`HttpFramingError` — a
+mismatch silently accepted here would let a truncated or padded envelope
+masquerade as the real message, which is exactly the class of wire-fidelity
+bug the conformance fuzzer exists to catch.
 """
 
 from __future__ import annotations
@@ -38,18 +45,34 @@ class HttpResponse:
         return 200 <= self.status < 300
 
 
+def _require_token(value: str, what: str) -> str:
+    """An ASCII, CR/LF-free header field; raises HttpFramingError otherwise."""
+    if not value.isascii():
+        raise HttpFramingError(f"non-ASCII {what}: {value!r}")
+    if "\r" in value or "\n" in value:
+        raise HttpFramingError(f"CR/LF in {what}: {value!r}")
+    return value
+
+
 def build_request(
     url: str, body: bytes, *, soap_action: str = "", content_type: str = "text/xml; charset=utf-8"
 ) -> bytes:
     """Frame a SOAP POST to ``url``."""
+    if any(ch <= " " for ch in url):
+        # controls and SP must be rejected before urlparse sees them: a SP in
+        # the request-target would mis-split the request line on parse, and
+        # urlparse *silently strips* tab/CR/LF (WHATWG sanitization) — either
+        # way the path on the wire would not be the path the caller addressed
+        # (RFC 7230 §3.1.1 requires percent-encoding)
+        raise HttpFramingError(f"control character or space in request URL: {url!r}")
     parts = urlparse(url)
-    path = parts.path or "/"
+    path = _require_token(parts.path or "/", "request path")
     headers = [
         f"POST {path} HTTP/1.1",
-        f"Host: {parts.netloc or 'localhost'}",
-        f"Content-Type: {content_type}",
+        f"Host: {_require_token(parts.netloc or 'localhost', 'Host')}",
+        f"Content-Type: {_require_token(content_type, 'Content-Type')}",
         f"Content-Length: {len(body)}",
-        f'SOAPAction: "{soap_action}"',
+        f'SOAPAction: "{_require_token(soap_action, "SOAPAction")}"',
         "",
         "",
     ]
@@ -57,8 +80,10 @@ def build_request(
 
 
 def parse_request(wire: bytes) -> HttpRequest:
-    head, _, body = wire.partition(b"\r\n\r\n")
-    lines = head.decode("ascii", errors="replace").split(_CRLF)
+    head, sep, body = wire.partition(b"\r\n\r\n")
+    if not sep:
+        raise HttpFramingError("no header/body separator (CRLFCRLF)")
+    lines = _decode_head(head).split(_CRLF)
     if not lines or " " not in lines[0]:
         raise HttpFramingError("missing request line")
     try:
@@ -66,7 +91,7 @@ def parse_request(wire: bytes) -> HttpRequest:
     except ValueError as exc:
         raise HttpFramingError(f"bad request line: {lines[0]!r}") from exc
     headers = _parse_headers(lines[1:])
-    return HttpRequest(method, path, headers, body)
+    return HttpRequest(method, path, headers, _checked_body(headers, body))
 
 
 def build_response(status: int, body: bytes = b"", reason: str | None = None) -> bytes:
@@ -74,7 +99,7 @@ def build_response(status: int, body: bytes = b"", reason: str | None = None) ->
         status, "Unknown"
     )
     headers = [
-        f"HTTP/1.1 {status} {reason}",
+        f"HTTP/1.1 {status} {_require_token(reason, 'reason phrase')}",
         "Content-Type: text/xml; charset=utf-8",
         f"Content-Length: {len(body)}",
         "",
@@ -84,17 +109,29 @@ def build_response(status: int, body: bytes = b"", reason: str | None = None) ->
 
 
 def parse_response(wire: bytes) -> HttpResponse:
-    head, _, body = wire.partition(b"\r\n\r\n")
-    lines = head.decode("ascii", errors="replace").split(_CRLF)
+    head, sep, body = wire.partition(b"\r\n\r\n")
+    if not sep:
+        raise HttpFramingError("no header/body separator (CRLFCRLF)")
+    lines = _decode_head(head).split(_CRLF)
     if not lines or not lines[0].startswith("HTTP/"):
         raise HttpFramingError("missing status line")
     parts = lines[0].split(" ", 2)
     if len(parts) < 2:
         raise HttpFramingError(f"bad status line: {lines[0]!r}")
-    status = int(parts[1])
+    try:
+        status = int(parts[1])
+    except ValueError as exc:
+        raise HttpFramingError(f"non-numeric status: {parts[1]!r}") from exc
     reason = parts[2] if len(parts) > 2 else ""
     headers = _parse_headers(lines[1:])
-    return HttpResponse(status, reason, headers, body)
+    return HttpResponse(status, reason, headers, _checked_body(headers, body))
+
+
+def _decode_head(head: bytes) -> str:
+    try:
+        return head.decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise HttpFramingError(f"non-ASCII bytes in header section: {exc}") from exc
 
 
 def _parse_headers(lines: list[str]) -> dict[str, str]:
@@ -102,6 +139,37 @@ def _parse_headers(lines: list[str]) -> dict[str, str]:
     for line in lines:
         if not line:
             continue
-        name, _, value = line.partition(":")
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise HttpFramingError(f"malformed header line: {line!r}")
         headers[name.strip()] = value.strip()
     return headers
+
+
+def _checked_body(headers: dict[str, str], body: bytes) -> bytes:
+    """Validate the body against a declared Content-Length.
+
+    With no declared length the body is taken as delimited by the wire blob
+    itself (the simulated transport always hands over whole messages); with
+    one, any mismatch — short, long, or unparsable — is a framing error, not
+    a silent truncation.
+    """
+    declared = _content_length(headers)
+    if declared is not None and declared != len(body):
+        raise HttpFramingError(
+            f"Content-Length mismatch: declared {declared}, body has {len(body)} bytes"
+        )
+    return body
+
+
+def _content_length(headers: dict[str, str]) -> int | None:
+    for name, value in headers.items():
+        if name.lower() == "content-length":
+            try:
+                declared = int(value)
+            except ValueError as exc:
+                raise HttpFramingError(f"bad Content-Length: {value!r}") from exc
+            if declared < 0:
+                raise HttpFramingError(f"negative Content-Length: {declared}")
+            return declared
+    return None

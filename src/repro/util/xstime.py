@@ -59,7 +59,14 @@ def parse_duration(text: str) -> float:
 
 
 def format_duration(seconds: float) -> str:
-    """Render seconds as a canonical-ish ``xs:duration``."""
+    """Render seconds as a canonical-ish ``xs:duration``.
+
+    The output uses only day/time components, so a parse/format round trip
+    canonicalizes the year/month approximations: ``P1Y2M3DT4H5M6S`` parses
+    to 36,993,906 seconds and re-renders as ``P428DT4H5M6S``.  Formatting is
+    a retraction of parsing — ``format_duration(parse_duration(s))`` is a
+    fixpoint after one pass.
+    """
     if seconds < 0:
         return "-" + format_duration(-seconds)
     whole = int(seconds)
@@ -112,10 +119,23 @@ def parse_expires(text: str, now: float) -> Optional[float]:
     request (empty text, by local convention).  Durations are relative to
     ``now``.  This dual acceptance is exactly what WSE (both versions) and
     WSN 1.3 allow; WSN <= 1.2 callers pass only dateTimes.
+
+    Non-positive durations (``-PT5S``, ``PT0S``) are rejected here rather
+    than being silently converted into an already-expired lease: both spec
+    families require an *InvalidExpirationTime*-style fault for them, and
+    the endpoint handlers map this ``ValueError`` onto their per-family
+    SOAP fault subcode (WSE ``InvalidExpirationTime``, WSN
+    ``UnacceptableInitialTerminationTimeFault``).
     """
     text = text.strip()
     if not text:
         return None
     if text.startswith("P") or text.startswith("-P"):
-        return now + parse_duration(text)
+        duration = parse_duration(text)
+        if duration <= 0:
+            raise ValueError(
+                f"non-positive expiration duration: {text!r} "
+                "(the subscription would be expired on arrival)"
+            )
+        return now + duration
     return parse_datetime(text)

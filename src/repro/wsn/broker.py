@@ -221,8 +221,14 @@ class NotificationBroker:
         if registration.upstream is not None:
             try:
                 self._upstream_subscriber.unsubscribe(registration.upstream)
-            except SoapFault:
-                pass
+            except SoapFault as exc:
+                # the upstream subscription may already be gone; the skip is
+                # recorded so a systematically-faulting manager stays visible
+                self.network.instrumentation.count(
+                    "obs.swallowed_errors_total",
+                    site="wsn.broker.destroy_registration",
+                    kind=type(exc).__name__,
+                )
 
     # --- demand-based publishing ----------------------------------------------------------
 

@@ -675,8 +675,13 @@ class NotificationProducer:
             )
             try:
                 self.registry.destroy(subscription.key, reason="delivery failure")
-            except ResourceUnknownFault:
-                pass
+            except ResourceUnknownFault as destroy_exc:
+                # already destroyed (e.g. swept mid-delivery); record the skip
+                instr.count(
+                    "obs.swallowed_errors_total",
+                    site="wsn.producer.destroy_after_failure",
+                    kind=type(destroy_exc).__name__,
+                )
 
     def _send_notifications(
         self, subscription: WsnSubscription, notifications: list[NotificationMessage]

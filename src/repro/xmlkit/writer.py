@@ -21,9 +21,23 @@ from repro.xmlkit.element import XElem
 from repro.xmlkit.names import Namespaces, QName
 
 # a single translate pass per text node (was: chained str.replace passes)
-_TEXT_TRANSLATION = str.maketrans({"&": "&amp;", "<": "&lt;", ">": "&gt;"})
+# \r must be a character reference: the XML line-end normalization pass turns
+# a literal \r (or \r\n) into \n before the parser ever sees it
+_TEXT_TRANSLATION = str.maketrans(
+    {"&": "&amp;", "<": "&lt;", ">": "&gt;", "\r": "&#13;"}
+)
+# attribute-value normalization additionally folds \t and \n to spaces, so
+# all three must ride as character references to round-trip exactly
 _ATTR_TRANSLATION = str.maketrans(
-    {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+    {
+        "&": "&amp;",
+        "<": "&lt;",
+        ">": "&gt;",
+        '"': "&quot;",
+        "\t": "&#9;",
+        "\n": "&#10;",
+        "\r": "&#13;",
+    }
 )
 
 

@@ -46,6 +46,82 @@ def test_figure_recorder_counts_unparsable_frames():
     assert counter_total(instrumentation, "comparison.figures.recorder") == 1
 
 
+def test_destroy_registration_counts_upstream_unsubscribe_fault():
+    from repro.soap.fault import FaultCode, SoapFault
+
+    network = SimulatedNetwork(VirtualClock())
+    instrumentation = Instrumentation.attach(network)
+    broker = object.__new__(NotificationBroker)  # unit-level: no endpoints
+    broker.network = network
+
+    def failing_unsubscribe(handle):
+        raise SoapFault(FaultCode.SENDER, "already gone")
+
+    broker._upstream_subscriber = SimpleNamespace(unsubscribe=failing_unsubscribe)
+    registration = SimpleNamespace(destroyed=False, upstream=object())
+
+    broker.destroy_registration(registration)
+    assert registration.destroyed  # the registration is still torn down...
+    assert counter_total(instrumentation, "wsn.broker.destroy_registration") == 1
+
+
+def test_producer_counts_double_destroy_after_delivery_failure():
+    from repro.wsn import NotificationConsumer, NotificationProducer, WsnSubscriber
+    from repro.wsn.messages import NotificationMessage
+    from repro.xmlkit import parse_xml
+
+    network = SimulatedNetwork(VirtualClock())
+    instrumentation = Instrumentation.attach(network)
+    producer = NotificationProducer(network, "http://swallow-producer")
+    consumer = NotificationConsumer(network, "http://swallow-consumer")
+    handle = WsnSubscriber(network).subscribe(
+        producer.epr(), consumer.epr(), topic="t"
+    )
+    subscription = producer._subscriptions[handle.sub_id]
+    # the resource dies first (e.g. swept mid-delivery), then the consumer:
+    # the failure-path destroy now hits ResourceUnknownFault
+    producer.registry.destroy(subscription.key, reason="test teardown")
+    consumer.close()
+    producer._deliver(
+        subscription, [NotificationMessage(parse_xml("<e/>"), topic="t")]
+    )
+    assert counter_total(instrumentation, "wsn.producer.destroy_after_failure") == 1
+
+
+def test_convergence_counts_unreachable_end_to():
+    from repro.convergence.service import ConvergedConsumer, ConvergedSource, ConvergedSubscriber
+    from repro.xmlkit import parse_xml
+
+    network = SimulatedNetwork(VirtualClock())
+    instrumentation = Instrumentation.attach(network)
+    source = ConvergedSource(network, "http://swallow-source")
+    consumer = ConvergedConsumer(network, "http://swallow-sink")
+    end_sink = ConvergedConsumer(network, "http://swallow-end")
+    ConvergedSubscriber(network).subscribe(
+        source.epr(), consumer=consumer.epr(), topic="t", end_to=end_sink.epr()
+    )
+    # both the consumer and the EndTo sink vanish: delivery fails, and the
+    # SubscriptionEnd notice cannot be delivered either
+    consumer.close()
+    end_sink.close()
+    source.publish(parse_xml("<e/>"), topic="t")
+    assert counter_total(instrumentation, "convergence.send_end") == 1
+
+
+def test_jms_consumer_double_close_is_counted():
+    from repro.baselines.jms.provider import JmsProvider
+    from repro.baselines.jms.session import Connection
+
+    provider = JmsProvider()
+    provider.instrumentation = instrumentation = Instrumentation(provider.clock)
+    session = Connection(provider, "client-1").create_session()
+    consumer = session.create_consumer(provider.topic("t"))
+    # detach the subscription behind the consumer's back, then close
+    provider.topic("t")._subscribers.remove(consumer._subscription)
+    consumer.close()
+    assert counter_total(instrumentation, "jms.consumer.close") == 1
+
+
 def test_uninstrumented_runs_still_skip_silently():
     network = SimulatedNetwork(VirtualClock())  # null instrumentation
     recorder = _Recorder(network, labels={})

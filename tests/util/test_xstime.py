@@ -90,9 +90,45 @@ class TestParseExpires:
     def test_empty_means_no_expiry(self):
         assert parse_expires("   ", now=0.0) is None
 
-    def test_negative_duration_lands_in_past(self):
-        assert parse_expires("-PT10S", now=100.0) == 90.0
+    @pytest.mark.parametrize("bad", ["-PT10S", "PT0S", "-P1D", "P0D"])
+    def test_non_positive_duration_raises(self, bad):
+        # both spec families fault on a lease that would be born expired
+        with pytest.raises(ValueError, match="non-positive"):
+            parse_expires(bad, now=100.0)
+
+    def test_past_datetime_is_returned_for_endpoint_policy(self):
+        # absolute times in the past parse fine: the endpoint decides the
+        # fault (the "past" check needs the granting clock, not the parser)
+        assert parse_expires("2006-01-01T00:00:10Z", now=100.0) == 10.0
 
     def test_invalid_raises(self):
         with pytest.raises(ValueError):
             parse_expires("P!", now=0.0)
+
+
+class TestDurationCanonicalization:
+    def test_year_month_canonicalize_to_days(self):
+        # documented in format_duration: P1Y2M3DT4H5M6S -> P428DT4H5M6S
+        seconds = parse_duration("P1Y2M3DT4H5M6S")
+        assert seconds == 36_993_906.0
+        assert format_duration(seconds) == "P428DT4H5M6S"
+
+    @pytest.mark.parametrize(
+        "text,canonical",
+        [
+            ("PT90S", "PT1M30S"),
+            ("PT3600S", "PT1H"),
+            ("P1M", "P30D"),
+            ("P1Y", "P365D"),
+            ("PT0.250S", "PT0.25S"),
+            ("P0DT0H0M0S", "PT0S"),
+        ],
+    )
+    def test_format_of_parse_is_canonical(self, text, canonical):
+        assert format_duration(parse_duration(text)) == canonical
+
+    @pytest.mark.parametrize(
+        "text", ["PT1M30S", "PT1H", "P30D", "P428DT4H5M6S", "PT0S", "PT0.25S"]
+    )
+    def test_canonical_forms_are_fixpoints(self, text):
+        assert format_duration(parse_duration(text)) == text

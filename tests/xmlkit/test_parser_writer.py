@@ -118,3 +118,30 @@ class TestEscapeGoldens:
     def test_escape_roundtrip(self):
         original = XElem(QName("", "t"), children=['<>&"\' mixed & <tags>'])
         assert parse_xml(serialize_xml(original)) == original
+
+    def test_attribute_whitespace_golden(self):
+        # XML attribute-value normalization folds literal tab/LF/CR to
+        # spaces, so the writer must emit character references for them
+        tree = XElem(QName("", "t"), {QName("", "v"): "a\tb\nc\rd"})
+        assert serialize_xml(tree) == '<t v="a&#9;b&#10;c&#13;d"/>'
+
+    def test_text_cr_golden(self):
+        # XML line-end normalization folds a literal CR in text to LF
+        tree = XElem(QName("", "t"), children=["a\rb\nc"])
+        assert serialize_xml(tree) == "<t>a&#13;b\nc</t>"
+
+    def test_attribute_whitespace_roundtrip(self):
+        original = XElem(QName("", "t"), {QName("", "v"): "x\ny\tz\rw"})
+        reparsed = parse_xml(serialize_xml(original))
+        assert reparsed.attrs[QName("", "v")] == "x\ny\tz\rw"
+
+    def test_text_cr_roundtrip(self):
+        original = XElem(QName("", "t"), children=["line1\rline2"])
+        reparsed = parse_xml(serialize_xml(original))
+        assert reparsed.text() == "line1\rline2"
+
+    def test_whitespace_serialization_fixpoint(self):
+        wire = serialize_xml(
+            XElem(QName("", "t"), {QName("", "v"): "\t\n\r"}, children=["\r\n\t"])
+        )
+        assert serialize_xml(parse_xml(wire)) == wire

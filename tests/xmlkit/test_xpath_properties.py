@@ -34,7 +34,12 @@ def elements(draw, depth=2):
         else:
             text = draw(_texts)
             if text:
-                elem.append(text)
+                if elem.children and isinstance(elem.children[-1], str):
+                    # adjacent text siblings merge on re-parse (the split is
+                    # unobservable on the wire), so generate them pre-merged
+                    elem.children[-1] += text
+                else:
+                    elem.append(text)
     return elem
 
 
