@@ -1,0 +1,254 @@
+"""Benchmark — mesh fan-out: shard-parallel publish throughput.
+
+Runs the same workload — 32 topic roots x 3 subscribers each (96 total,
+fixed across every configuration) x 2 publishes per topic — against a plain
+one-broker :class:`WsMessenger` baseline and against 1/4/8-shard
+:class:`~repro.mesh.MeshCluster` configurations, with publishers and
+subscribers co-located with each topic's owning shard (the mesh fast path:
+no federation hops inside the measured loop).
+
+Throughput uses the **parallel-shard model**: the simulation is single-
+process, so each publish's cost (virtual seconds: the simulated wire +
+processing time the clock advances during the publish) is attributed to the
+topic's owning shard, and a configuration's makespan is its busiest shard's
+total — exactly the wall time an N-process deployment would take, with zero
+measurement noise because the virtual clock is deterministic.  Wall seconds
+are recorded per cell for reference but play no part in acceptance.
+
+Delivery fidelity is checked with a digest over every consumer's full
+delivery sequence (address, order, payload bytes, topic): all four
+configurations must produce the byte-identical digest, so the speedup is
+never bought with lost, duplicated, or reordered notifications.
+
+Writes ``BENCH_mesh_fanout.json``; CI replays the smoke test and checks the
+committed artifact against the schema below.
+"""
+
+import hashlib
+import json
+import time
+from pathlib import Path
+
+from repro.mesh import MeshCluster
+from repro.obs import Instrumentation
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.util.artifacts import SCHEMA_VERSION, write_artifact
+from repro.wsa.headers import reset_message_counter
+from repro.wsn import NotificationConsumer, WsnSubscriber
+from repro.messenger import WsMessenger
+from repro.xmlkit import parse_xml
+from repro.xmlkit.writer import serialize_xml
+
+RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_mesh_fanout.json"
+
+SEED = 20060813
+SHARD_GRID = [1, 4, 8]
+TOPIC_ROOTS = [f"t{i:02d}" for i in range(32)]
+SUBSCRIBERS_PER_TOPIC = 3
+PUBLISHES_PER_TOPIC = 2
+TOTAL_SUBSCRIBERS = len(TOPIC_ROOTS) * SUBSCRIBERS_PER_TOPIC
+TOTAL_PUBLISHES = len(TOPIC_ROOTS) * PUBLISHES_PER_TOPIC
+
+CELL_KEYS = frozenset(
+    {
+        "shards",
+        "publishes",
+        "deliveries",
+        "delivery_digest",
+        "busy_virtual_seconds",
+        "makespan_virtual_seconds",
+        "throughput_per_virtual_second",
+        "wall_seconds",
+    }
+)
+TOP_KEYS = frozenset(
+    {
+        "benchmark",
+        "seed",
+        "total_subscribers",
+        "topics",
+        "publishes",
+        "baseline",
+        "grid",
+        "acceptance",
+        "schema_version",
+    }
+)
+
+
+def _event(topic: str, round_index: int):
+    return parse_xml(
+        f'<ev:Tick xmlns:ev="urn:bench-mesh"><ev:topic>{topic}</ev:topic>'
+        f"<ev:round>{round_index}</ev:round></ev:Tick>"
+    )
+
+
+def _consumers(network):
+    """The fixed consumer population: addresses identical in every config."""
+    return {
+        topic: [
+            NotificationConsumer(network, f"http://bench-mesh-c/{topic}/{j}")
+            for j in range(SUBSCRIBERS_PER_TOPIC)
+        ]
+        for topic in TOPIC_ROOTS
+    }
+
+
+def _delivery_digest(consumers) -> str:
+    """One digest over every consumer's full in-order delivery sequence."""
+    record = []
+    for topic in TOPIC_ROOTS:
+        for consumer in consumers[topic]:
+            record.append(
+                [
+                    (serialize_xml(item.payload), item.topic)
+                    for item in consumer.received
+                ]
+            )
+    blob = json.dumps(record, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def measure_baseline() -> dict:
+    """The 1-broker WsMessenger reference: fidelity anchor for every cell."""
+    reset_message_counter()
+    network = SimulatedNetwork(VirtualClock())
+    Instrumentation.attach(network)
+    broker = WsMessenger(network, "http://bench-mesh-baseline")
+    consumers = _consumers(network)
+    subscriber = WsnSubscriber(network)
+    for topic in TOPIC_ROOTS:
+        for consumer in consumers[topic]:
+            subscriber.subscribe(broker.epr(), consumer.epr(), topic=topic)
+    virtual_start = network.clock.now()
+    for round_index in range(PUBLISHES_PER_TOPIC):
+        for topic in TOPIC_ROOTS:
+            broker.publish(_event(topic, round_index), topic=topic)
+    return {
+        "deliveries": sum(
+            len(c.received) for group in consumers.values() for c in group
+        ),
+        "delivery_digest": _delivery_digest(consumers),
+        "virtual_seconds": round(network.clock.now() - virtual_start, 6),
+    }
+
+
+def measure_cell(shards: int) -> dict:
+    """One mesh configuration: same workload, per-shard cost attribution."""
+    reset_message_counter()
+    network = SimulatedNetwork(VirtualClock())
+    Instrumentation.attach(network)
+    mesh = MeshCluster(network, shards, base_address="http://bench-mesh")
+    consumers = _consumers(network)
+    for topic in TOPIC_ROOTS:
+        for consumer in consumers[topic]:
+            mesh.subscribe_wsn(consumer.address, topic=topic)  # home = owner
+    busy: dict[str, float] = {node.name: 0.0 for node in mesh}
+    wall_start = time.perf_counter()
+    for round_index in range(PUBLISHES_PER_TOPIC):
+        for topic in TOPIC_ROOTS:
+            owner = mesh.owner_node_of_topic(topic).name
+            before = network.clock.now()
+            mesh.publish(_event(topic, round_index), topic=topic)  # via owner
+            busy[owner] += network.clock.now() - before
+    wall_seconds = time.perf_counter() - wall_start
+    makespan = max(busy.values())
+    return {
+        "shards": shards,
+        "publishes": TOTAL_PUBLISHES,
+        "deliveries": sum(
+            len(c.received) for group in consumers.values() for c in group
+        ),
+        "delivery_digest": _delivery_digest(consumers),
+        "busy_virtual_seconds": {
+            name: round(seconds, 6) for name, seconds in sorted(busy.items())
+        },
+        "makespan_virtual_seconds": round(makespan, 6),
+        "throughput_per_virtual_second": round(TOTAL_PUBLISHES / makespan, 3),
+        "wall_seconds": round(wall_seconds, 6),
+    }
+
+
+def build_report() -> dict:
+    baseline = measure_baseline()
+    grid = [measure_cell(shards) for shards in SHARD_GRID]
+    by_shards = {cell["shards"]: cell for cell in grid}
+    one, four = by_shards[1], by_shards[4]
+    acceptance = {
+        "throughput_1_shard": one["throughput_per_virtual_second"],
+        "throughput_4_shard": four["throughput_per_virtual_second"],
+        "speedup_4_over_1": round(
+            four["throughput_per_virtual_second"]
+            / one["throughput_per_virtual_second"],
+            3,
+        ),
+        "payloads_identical": all(
+            cell["delivery_digest"] == baseline["delivery_digest"] for cell in grid
+        ),
+    }
+    return {
+        "benchmark": "mesh_fanout",
+        "seed": SEED,
+        "total_subscribers": TOTAL_SUBSCRIBERS,
+        "topics": len(TOPIC_ROOTS),
+        "publishes": TOTAL_PUBLISHES,
+        "baseline": baseline,
+        "grid": grid,
+        "acceptance": acceptance,
+    }
+
+
+# --- pytest entry points -------------------------------------------------------------
+
+
+def test_smoke_single_shard_matches_baseline():
+    """CI smoke: the 1-shard mesh is delivery-identical to the plain broker."""
+    baseline = measure_baseline()
+    cell = measure_cell(1)
+    assert set(cell) == CELL_KEYS
+    assert cell["deliveries"] == baseline["deliveries"] == (
+        TOTAL_PUBLISHES * SUBSCRIBERS_PER_TOPIC
+    )
+    assert cell["delivery_digest"] == baseline["delivery_digest"]
+
+
+def test_four_shards_double_throughput():
+    """Acceptance: 4 shards >= 2x the 1-shard publish throughput, same bytes."""
+    baseline = measure_baseline()
+    one, four = measure_cell(1), measure_cell(4)
+    assert four["delivery_digest"] == baseline["delivery_digest"]
+    assert one["delivery_digest"] == baseline["delivery_digest"]
+    assert (
+        four["throughput_per_virtual_second"]
+        >= 2 * one["throughput_per_virtual_second"]
+    )
+
+
+def test_schema_matches_committed_artifact():
+    """CI smoke: fail on schema drift between the code and the artifact."""
+    committed = json.loads(RESULT_FILE.read_text())
+    assert set(committed) == TOP_KEYS
+    assert committed["schema_version"] == SCHEMA_VERSION
+    assert committed["total_subscribers"] == TOTAL_SUBSCRIBERS
+    assert [cell["shards"] for cell in committed["grid"]] == SHARD_GRID
+    for cell in committed["grid"]:
+        assert set(cell) == CELL_KEYS
+    acceptance = committed["acceptance"]
+    assert acceptance["speedup_4_over_1"] >= 2.0
+    assert acceptance["payloads_identical"] is True
+
+
+def test_write_mesh_fanout_report():
+    report = build_report()
+    assert report["acceptance"]["speedup_4_over_1"] >= 2.0
+    assert report["acceptance"]["payloads_identical"] is True
+    write_artifact(RESULT_FILE, report)
+    print(f"\nwrote {RESULT_FILE}")
+    acceptance = report["acceptance"]
+    print(
+        f"  {TOTAL_SUBSCRIBERS} subscribers, {TOTAL_PUBLISHES} publishes:"
+        f" 1-shard {acceptance['throughput_1_shard']}/vs,"
+        f" 4-shard {acceptance['throughput_4_shard']}/vs"
+        f" ({acceptance['speedup_4_over_1']}x), payloads identical:"
+        f" {acceptance['payloads_identical']}"
+    )

@@ -10,8 +10,11 @@ column.  Subcommands:
   instrumentation and check the message-conservation invariants
   (see :mod:`repro.obs.audit`); exit 1 if any book fails to balance;
 - ``conformance --seed N --cases M`` — deterministic wire-fidelity fuzzing
-  of the codec, framing, lifecycle, and mediation layers
-  (see :mod:`repro.conformance`); exit 1 on any failure.
+  of the codec, framing, lifecycle, mediation, and mesh layers
+  (see :mod:`repro.conformance`); exit 1 on any failure;
+- ``mesh-demo`` — assemble a sharded, federated broker mesh, drive
+  cross-shard traffic through a join/leave rebalance, and audit mesh-wide
+  message conservation (see :mod:`repro.mesh`); exit 1 if any book fails.
 """
 
 from __future__ import annotations
@@ -33,9 +36,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.conformance.cli import conformance_main
 
         return conformance_main(argv[1:])
+    if argv and argv[0] == "mesh-demo":
+        from repro.mesh.demo import mesh_demo_main
+
+        return mesh_demo_main(argv[1:])
     if argv:
         print(
-            f"unknown subcommand {argv[0]!r}; try: obs-report, obs-audit, conformance",
+            f"unknown subcommand {argv[0]!r}; try: obs-report, obs-audit,"
+            " conformance, mesh-demo",
             file=sys.stderr,
         )
         return 2

@@ -25,12 +25,19 @@ from repro.conformance.framing_engine import FramingEngine
 from repro.conformance.gen import JsonTree
 from repro.conformance.lifecycle_engine import LifecycleEngine
 from repro.conformance.mediation_engine import MediationEngine
+from repro.conformance.mesh_engine import MeshEngine
 from repro.conformance.shrink import shrink
 from repro.util.rng import SeededRng
 
 ENGINES = {
     engine.name: engine
-    for engine in (CodecEngine(), FramingEngine(), LifecycleEngine(), MediationEngine())
+    for engine in (
+        CodecEngine(),
+        FramingEngine(),
+        LifecycleEngine(),
+        MediationEngine(),
+        MeshEngine(),
+    )
 }
 
 

@@ -1,0 +1,46 @@
+"""`repro.mesh` — the sharded, federated broker mesh.
+
+The single WS-Messenger broker mediates between specifications; the mesh
+partitions the topic space across N of them.  Each topic root is owned by
+exactly one shard (consistent hashing, :mod:`repro.mesh.hashring`), the
+ownership map is versioned and rebalance-able (:mod:`repro.mesh.shardmap`),
+and shards exchange traffic over the mediation machinery itself — wrapped
+WSN Notify messages on the simulated wire (:mod:`repro.mesh.federation`).
+:mod:`repro.mesh.node` and :mod:`repro.mesh.cluster` assemble the pieces.
+"""
+
+from repro.mesh.cluster import MeshCluster, MeshSubscription
+from repro.mesh.federation import (
+    FederationLink,
+    FederationLinkManager,
+    LINK_VERSION,
+    aggregate_coverage,
+    link_topic_expression,
+)
+from repro.mesh.hashring import DEFAULT_VNODES, HashRing
+from repro.mesh.node import MeshNode
+from repro.mesh.shardmap import (
+    ShardMap,
+    ShardMapRegistry,
+    TOPICLESS_KEY,
+    routing_key_of_topic,
+    routing_keys_of_expression,
+)
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "FederationLink",
+    "FederationLinkManager",
+    "HashRing",
+    "LINK_VERSION",
+    "MeshCluster",
+    "MeshNode",
+    "MeshSubscription",
+    "ShardMap",
+    "ShardMapRegistry",
+    "TOPICLESS_KEY",
+    "aggregate_coverage",
+    "link_topic_expression",
+    "routing_key_of_topic",
+    "routing_keys_of_expression",
+]

@@ -1,0 +1,108 @@
+"""Consistent hashing: which shard owns a topic.
+
+The mesh partitions the topic space by the *root* of each concrete topic
+path (``jobs/status`` → ``jobs``): a root is the coarsest unit a
+subscription's topic expression can be pinned to without evaluating
+wildcards, so routing at root granularity keeps every expression mappable
+to a small, static set of owning shards (see :mod:`repro.mesh.shardmap`).
+
+The ring is classic consistent hashing with virtual nodes: every member is
+hashed onto the ring at ``vnodes`` points, and a key is owned by the first
+member point at or clockwise-after the key's own hash.  Hashing uses
+SHA-256 (stable across processes and Python versions — ``hash()`` is
+salted), so ring placement is a pure function of (member names, vnodes),
+which the rebalancing tests and the shard-map versioning both rely on.
+
+The property that makes the structure worth its complexity: membership
+changes move only the keys whose owning arc the new/departed member's
+points cover — on average ``1/n`` of the key space — instead of re-mapping
+everything the way ``hash(key) % n`` would.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Iterator
+
+#: ring positions per member; more points → smoother key distribution
+DEFAULT_VNODES = 64
+
+
+def _ring_hash(text: str) -> int:
+    """A stable 64-bit ring position for ``text``."""
+    return int.from_bytes(hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over member names with virtual nodes."""
+
+    def __init__(self, members: Iterable[str] = (), *, vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        self.vnodes = vnodes
+        self._members: set[str] = set()
+        #: sorted virtual-node positions and their owners, kept in lockstep
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for member in members:
+            self.add(member)
+
+    # --- membership ---------------------------------------------------------
+
+    def add(self, member: str) -> None:
+        if not member:
+            raise ValueError("empty member name")
+        if member in self._members:
+            return
+        self._members.add(member)
+        for position, owner in self._points_of(member):
+            index = bisect.bisect_left(self._points, position)
+            self._points.insert(index, position)
+            self._owners.insert(index, owner)
+
+    def remove(self, member: str) -> None:
+        if member not in self._members:
+            raise KeyError(member)
+        self._members.discard(member)
+        keep = [
+            (position, owner)
+            for position, owner in zip(self._points, self._owners)
+            if owner != member
+        ]
+        self._points = [position for position, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    def _points_of(self, member: str) -> Iterator[tuple[int, str]]:
+        for replica in range(self.vnodes):
+            yield _ring_hash(f"{member}#{replica}"), member
+
+    def members(self) -> list[str]:
+        return sorted(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    # --- lookup -------------------------------------------------------------
+
+    def owner(self, key: str) -> str:
+        """The member owning ``key`` (first point clockwise from its hash)."""
+        if not self._points:
+            raise LookupError("hash ring has no members")
+        index = bisect.bisect_right(self._points, _ring_hash(key))
+        if index == len(self._points):
+            index = 0  # wrap: the ring is circular
+        return self._owners[index]
+
+    def moved_keys(self, other: "HashRing", keys: Iterable[str]) -> dict[str, tuple[str, str]]:
+        """Keys whose owner differs between this ring and ``other``, as
+        ``{key: (owner_here, owner_there)}`` — the rebalancer's work list."""
+        moved: dict[str, tuple[str, str]] = {}
+        for key in keys:
+            before, after = self.owner(key), other.owner(key)
+            if before != after:
+                moved[key] = (before, after)
+        return moved

@@ -32,12 +32,23 @@ Deliver = Callable[[XElem, Optional[str]], None]
 class MessagingBackbone:
     """The generic underlying-messaging interface."""
 
+    #: set by the broker that mounts the backbone; lets adapters route
+    #: otherwise-invisible per-message drain errors through the network's
+    #: ``obs.swallowed_errors_total`` counter instead of dropping them
+    network = None
+
     def start(self, deliver: Deliver) -> None:
         """Connect the backbone to the broker's fan-out callback."""
         raise NotImplementedError
 
     def publish(self, payload: XElem, topic: Optional[str]) -> None:
         raise NotImplementedError
+
+    def _count_swallow(self, site: str, error: Exception) -> None:
+        if self.network is not None:
+            self.network.instrumentation.count(
+                "obs.swallowed_errors_total", site=site, kind=type(error).__name__
+            )
 
     def describe(self) -> str:
         return type(self).__name__
@@ -91,13 +102,25 @@ class JmsBackbone(MessagingBackbone):
         if topic is not None:
             message.set_property(self.TOPIC_PROPERTY, topic)
         self._producer.send(message)
+        first_error: Optional[Exception] = None
         while True:
             received = self._consumer.receive()
             if received is None:
                 break
             self.messages_carried += 1
             carried_topic = received.get_property(self.TOPIC_PROPERTY)
-            self._deliver(parse_xml(received.text), carried_topic)
+            try:
+                self._deliver(parse_xml(received.text), carried_topic)
+            except Exception as exc:  # noqa: BLE001
+                # one bad buffered message must not strand those queued
+                # behind it; the first error still surfaces after the drain,
+                # any further ones are counted rather than silently lost
+                if first_error is None:
+                    first_error = exc
+                else:
+                    self._count_swallow("messenger.adapters.jms_drain", exc)
+        if first_error is not None:
+            raise first_error
 
     def describe(self) -> str:
         return f"jms(topic={self.topic.name})"
@@ -122,11 +145,22 @@ class CorbaBackbone(MessagingBackbone):
 
         def consumer_servant(operation: str, args: list) -> None:
             events = args[0] if operation == "push_structured_events" else [args[0]]
+            first_error: Optional[Exception] = None
             for wire in events:
                 event = StructuredEvent.from_wire(wire)
                 self.messages_carried += 1
                 topic = event.filterable_data.get("wsTopic")
-                deliver(parse_xml(event.payload), topic)
+                try:
+                    deliver(parse_xml(event.payload), topic)
+                except Exception as exc:  # noqa: BLE001
+                    # same contract as the JMS drain: finish the batch, then
+                    # surface the first error; count the rest
+                    if first_error is None:
+                        first_error = exc
+                    else:
+                        self._count_swallow("messenger.adapters.corba_push", exc)
+            if first_error is not None:
+                raise first_error
 
         consumer_ref = self.orb.register(consumer_servant)
         proxy = self.channel.new_for_consumers().obtain_structured_push_supplier()

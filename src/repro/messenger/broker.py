@@ -27,7 +27,7 @@ One front-door address accepts traffic in **both** specification families and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.delivery.manager import DeliveryManager
 from repro.delivery.messagebox import MessageBoxRegistry
@@ -96,6 +96,7 @@ class WsMessenger:
         self.debug_linear_match = debug_linear_match
         self.stats = BrokerStats()
         self.backbone = backbone or InMemoryBackbone()
+        self.backbone.network = network
         #: optional crash-recovery journal (see repro.messenger.journal)
         self.journal = journal
         # reliable delivery: a DeliveryPolicy turns the best-effort push into
@@ -148,6 +149,12 @@ class WsMessenger:
             if WsnVersion.V1_3 in self.wsn_producers
             else None
         )
+        #: mesh hook (see repro.mesh.node): consulted on every publish, inside
+        #: the publish span; returning True means the router took the message
+        #: (forwarded it to its owning shard) and local fan-out is skipped
+        self.publish_router: Optional[
+            Callable[[XElem, Optional[str]], bool]
+        ] = None
         # the front door
         self.endpoint = SoapEndpoint(network, address)
         self.endpoint.on_any(self._front_door)
@@ -270,6 +277,8 @@ class WsMessenger:
         instr = self.network.instrumentation
         self.stats.publications += 1
         if not instr.enabled:
+            if self.publish_router is not None and self.publish_router(payload, topic):
+                return
             self.backbone.publish(payload, topic)
             return
         instr.count("broker.publications")
@@ -283,6 +292,8 @@ class WsMessenger:
                 broker=self.address,
                 topic=topic or "",
             )
+            if self.publish_router is not None and self.publish_router(payload, topic):
+                return
             self.backbone.publish(payload, topic)
 
     def _fan_out(self, payload: XElem, topic: Optional[str]) -> None:

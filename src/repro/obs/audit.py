@@ -17,6 +17,18 @@ invariant groups:
 4. **no dangling lineage** — every ledger lineage has a ``published``
    event and at least one span (the trace and the ledger tell one story).
 
+When the run is a broker **mesh** (:mod:`repro.mesh`), pass the cluster's
+``federation_sinks()`` and two more invariant groups apply:
+
+5. **per-sink conservation** — within one lineage, no sink (consumer or
+   federation hop) closes more obligations than were opened toward it: a
+   duplicated delivery is caught even when the global books still balance
+   (one lost + one doubled would otherwise cancel out);
+6. **federation continuity** — a lineage delivered across a federation hop
+   must also carry a ``mediated`` event: the receiving shard re-published
+   it.  A hop that lands but never fans out is a black hole the global
+   conservation sum cannot see (the hop's own obligation closed cleanly).
+
 Run it over the bundled scenarios with ``python -m repro obs-audit``; the
 output is virtual-clock deterministic and diffed in CI against a golden
 snapshot.
@@ -27,7 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.obs.instrument import Instrumentation
-from repro.obs.lineage import OPENING_STATES
+from repro.obs.lineage import CLOSING_STATES, OPENING_STATES
 
 
 @dataclass(frozen=True)
@@ -57,6 +69,11 @@ class AuditResult:
     failed: int = 0
     pending: int = 0
     parked_outstanding: int = 0
+    #: mesh runs only: deliveries that were federation hops (forwarded
+    #: publishes and exchange->ingest link pushes) vs consumer-facing ones
+    federation_delivered: int = 0
+    consumer_delivered: int = 0
+    mesh_audited: bool = False
     findings: list[AuditFinding] = field(default_factory=list)
 
     @property
@@ -64,7 +81,7 @@ class AuditResult:
         return not self.findings
 
     def to_dict(self) -> dict:
-        return {
+        record = {
             "scenario": self.scenario,
             "lineages": self.lineages,
             "spans": self.spans,
@@ -80,6 +97,12 @@ class AuditResult:
             "findings": [f.render() for f in self.findings],
             "passed": self.passed,
         }
+        if self.mesh_audited:
+            record["federation"] = {
+                "federation_delivered": self.federation_delivered,
+                "consumer_delivered": self.consumer_delivered,
+            }
+        return record
 
     def render(self) -> str:
         lines = [
@@ -96,17 +119,34 @@ class AuditResult:
                 " + pending"
             ),
         ]
+        if self.mesh_audited:
+            lines.append(
+                f"  mesh: federation_hops={self.federation_delivered}"
+                f" consumer_deliveries={self.consumer_delivered}"
+                " (per-sink conservation + federation continuity checked)"
+            )
         for finding in self.findings:
             lines.append(f"  {finding.render()}")
         lines.append(f"  {'PASS' if self.passed else 'FAIL'}")
         return "\n".join(lines)
 
 
-def audit(instrumentation: Instrumentation, *, scenario: str = "run") -> AuditResult:
-    """Audit one instrumented run; the result lists every violation."""
+def audit(
+    instrumentation: Instrumentation,
+    *,
+    scenario: str = "run",
+    federation_sinks: "frozenset[str]" = frozenset(),
+) -> AuditResult:
+    """Audit one instrumented run; the result lists every violation.
+
+    ``federation_sinks`` (a mesh cluster's ``federation_sinks()``) switches
+    on the mesh invariants: deliveries to those addresses are classified as
+    federation hops, per-sink books must balance, and every hop-crossing
+    lineage must have been re-published (``mediated``) on the far side.
+    """
     ledger = instrumentation.ledger
     tracer = instrumentation.tracer
-    result = AuditResult(scenario=scenario)
+    result = AuditResult(scenario=scenario, mesh_audited=bool(federation_sinks))
     result.lineages = len(ledger)
     result.spans = len(tracer.spans)
     result.events = sum(len(events) for events in ledger.events.values())
@@ -170,6 +210,49 @@ def audit(instrumentation: Instrumentation, *, scenario: str = "run") -> AuditRe
                 )
             )
 
+        # -- mesh invariants ------------------------------------------------
+        if federation_sinks:
+            opened_at: dict[str, int] = {}
+            closed_at: dict[str, int] = {}
+            mediated = False
+            federation_hops = 0
+            for event in events:
+                if event.state == "mediated":
+                    mediated = True
+                sink = event.detail.get("sink")
+                if sink is None:
+                    continue
+                if event.state in OPENING_STATES:
+                    opened_at[sink] = opened_at.get(sink, 0) + 1
+                elif event.state in CLOSING_STATES:
+                    closed_at[sink] = closed_at.get(sink, 0) + 1
+                    if event.state == "delivered":
+                        if sink in federation_sinks:
+                            result.federation_delivered += 1
+                            federation_hops += 1
+                        else:
+                            result.consumer_delivered += 1
+            for sink, closed in sorted(closed_at.items()):
+                if closed > opened_at.get(sink, 0):
+                    result.findings.append(
+                        AuditFinding(
+                            "per-sink-conservation",
+                            lineage_id,
+                            f"sink {sink} closed {closed} obligations but"
+                            f" only {opened_at.get(sink, 0)} were opened —"
+                            " a delivery was duplicated",
+                        )
+                    )
+            if federation_hops and not mediated:
+                result.findings.append(
+                    AuditFinding(
+                        "federation-continuity",
+                        lineage_id,
+                        f"{federation_hops} federation hop(s) delivered but"
+                        " no shard ever re-published (mediated) the message",
+                    )
+                )
+
         # -- no dangling lineage --------------------------------------------
         if lineage_id not in span_lineages:
             result.findings.append(
@@ -227,8 +310,13 @@ def obs_audit_main(argv: "list[str] | None" = None) -> int:
         network = SimulatedNetwork(VirtualClock())
         instrumentation = Instrumentation.attach(network)
         with contextlib.redirect_stdout(io.StringIO()):
-            runner(network)
-        results.append(audit(instrumentation, scenario=name))
+            outcome = runner(network)
+        # a mesh example hands back its federation sinks, switching on the
+        # cross-shard invariants for its audit
+        sinks = (
+            frozenset(outcome) if isinstance(outcome, (set, frozenset)) else frozenset()
+        )
+        results.append(audit(instrumentation, scenario=name, federation_sinks=sinks))
 
     failed = [r for r in results if not r.passed]
     try:

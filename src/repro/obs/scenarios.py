@@ -24,6 +24,7 @@ EXAMPLE_NAMES: tuple[str, ...] = (
     "grid_monitoring",
     "converged_prototype",
     "reliable_firewall_drain",
+    "mesh_federation",
 )
 
 
@@ -42,7 +43,11 @@ def _load_runner(name: str) -> Callable:
 
 def example_scenarios() -> Iterator[tuple[str, Callable]]:
     """Yield ``(name, runner)`` pairs; ``runner(network)`` runs the example
-    on the given (instrumented) network."""
+    on the given (instrumented) network.
+
+    A runner may return a set of addresses: the example's federation sinks
+    (see :mod:`repro.mesh`), which the auditor passes through to enable the
+    mesh-wide conservation invariants for that scenario."""
     directory = _examples_dir()
     if not directory.is_dir():
         return

@@ -36,6 +36,7 @@ class PullPoint:
         *,
         capacity: int = 1000,
     ) -> None:
+        self.network = network
         self.version = version
         self.capacity = capacity
         self.queue: list[XElem] = []  # stored NotificationMessage elements
@@ -67,8 +68,18 @@ class PullPoint:
             message.append(body.copy())
             wrapper.append(message)
             incoming = [wrapper]
-        room = self.capacity - len(self.queue)
-        self.queue.extend(item.copy() for item in incoming[:room])
+        room = max(self.capacity - len(self.queue), 0)
+        accepted = incoming[:room]
+        if len(accepted) < len(incoming):
+            # a full queue silently eats the overflow (the Notify was already
+            # 202-accepted); the drop must at least be observable
+            self.network.instrumentation.count(
+                "obs.swallowed_errors_total",
+                len(incoming) - len(accepted),
+                site="wsn.pullpoint.capacity_overflow",
+                kind="QueueOverflow",
+            )
+        self.queue.extend(item.copy() for item in accepted)
         return None
 
     def _handle_get_messages(self, envelope: SoapEnvelope, headers: MessageHeaders):

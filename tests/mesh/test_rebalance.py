@@ -1,0 +1,118 @@
+"""Rebalancing under live traffic: join/leave must lose and duplicate nothing.
+
+Each test drives real publishes on the virtual clock around a membership
+change and then asks ``obs-audit``'s :func:`~repro.obs.audit.audit` — with
+the cluster's federation sinks, so the mesh-wide invariants are on — to
+certify conservation before *and* after the cutover.  The moved-key sets
+returned by ``join``/``leave`` are asserted against the consistent-hashing
+guarantee (movement only toward the joiner / away from the leaver).
+"""
+
+from repro.mesh import MeshCluster
+from repro.obs.audit import audit
+from repro.obs.instrument import Instrumentation
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.wsa.headers import reset_message_counter
+from repro.wse import EventSink
+from repro.wsn import NotificationConsumer
+from repro.xmlkit import parse_xml
+
+TOPICS = ("jobs/status", "billing/run", None, "jobs/status")
+
+
+def make_instrumented_mesh(shards):
+    reset_message_counter()
+    network = SimulatedNetwork(VirtualClock())
+    instrumentation = Instrumentation.attach(network)
+    mesh = MeshCluster(network, shards, base_address="http://rebal")
+    return network, instrumentation, mesh
+
+
+def run_traffic(mesh, tag):
+    """One round: every topic published once, entry nodes rotating."""
+    members = [node.name for node in mesh]
+    for index, topic in enumerate(TOPICS):
+        payload = parse_xml(f'<m tag="{tag}" n="{index}"/>')
+        mesh.publish(payload, topic=topic, via=members[index % len(members)])
+    mesh.quiesce()
+
+
+def assert_green(instrumentation, mesh, scenario):
+    result = audit(
+        instrumentation,
+        scenario=scenario,
+        federation_sinks=mesh.federation_sinks(),
+    )
+    assert result.passed, [finding.render() for finding in result.findings]
+    return result
+
+
+def test_join_under_live_traffic_conserves_every_message():
+    network, instrumentation, mesh = make_instrumented_mesh(2)
+    consumer = NotificationConsumer(network, "http://rebal-consumer")
+    mesh.subscribe_wsn(consumer.address, topic="jobs/status", home=0)
+    sink = EventSink(network, "http://rebal-sink")
+    mesh.subscribe_wse(sink.address, home=1)
+
+    run_traffic(mesh, "before")
+    assert_green(instrumentation, mesh, "before-join")
+
+    joiner, moved = mesh.join()
+    # consistent hashing: keys only ever move *to* the joining shard
+    assert all(new == joiner.name for _, new in moved.values())
+    assert len(mesh.nodes) == 3
+
+    run_traffic(mesh, "after")
+    result = assert_green(instrumentation, mesh, "after-join")
+
+    # zero lost, zero duplicated: 2 jobs publishes per round for the WSN
+    # consumer, every publish for the unfiltered WSE sink
+    assert len(consumer.received) == 4
+    assert len(sink.received) == 2 * len(TOPICS)
+    assert result.opened == result.delivered
+    assert result.pending == 0
+
+
+def test_leave_rehomes_subscriptions_and_conserves():
+    network, instrumentation, mesh = make_instrumented_mesh(3)
+    departing = mesh.node(2)
+    consumer = NotificationConsumer(network, "http://rebal-leave-consumer")
+    record = mesh.subscribe_wsn(
+        consumer.address, topic="jobs/status", home=departing.name
+    )
+    sink = EventSink(network, "http://rebal-leave-sink")
+    wse_record = mesh.subscribe_wse(sink.address, home=departing.name)
+
+    run_traffic(mesh, "before")
+    assert_green(instrumentation, mesh, "before-leave")
+    received_before = len(consumer.received)
+
+    moved = mesh.leave(departing.name)
+    # keys only ever move *away from* the leaving shard
+    assert all(old == departing.name for old, _ in moved.values())
+    assert departing.name not in mesh.nodes
+    assert record.home != departing.name
+    assert wse_record.home != departing.name
+
+    run_traffic(mesh, "after")
+    result = assert_green(instrumentation, mesh, "after-leave")
+
+    assert len(consumer.received) == 2 * received_before
+    assert len(sink.received) == 2 * len(TOPICS)
+    assert result.opened == result.delivered
+    assert result.pending == 0
+
+
+def test_join_then_leave_round_trip_keeps_delivering():
+    network, instrumentation, mesh = make_instrumented_mesh(2)
+    consumer = NotificationConsumer(network, "http://rebal-rt-consumer")
+    mesh.subscribe_wsn(consumer.address, topic="jobs/status", home=1)
+
+    run_traffic(mesh, "r1")
+    joiner, _ = mesh.join()
+    run_traffic(mesh, "r2")
+    mesh.leave(joiner.name)
+    run_traffic(mesh, "r3")
+
+    assert len(consumer.received) == 3 * 2  # 2 jobs publishes per round
+    assert_green(instrumentation, mesh, "round-trip")

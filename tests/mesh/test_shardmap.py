@@ -1,0 +1,88 @@
+"""Routing keys and the versioned shard-map registry."""
+
+import pytest
+
+from repro.filters.topics import TopicDialect, TopicExpression
+from repro.mesh.shardmap import (
+    ShardMapRegistry,
+    TOPICLESS_KEY,
+    routing_key_of_topic,
+    routing_keys_of_expression,
+)
+
+KEYS = [f"k{i}" for i in range(100)] + [TOPICLESS_KEY]
+
+
+class TestRoutingKeys:
+    def test_topic_routes_by_its_root(self):
+        assert routing_key_of_topic("jobs") == "jobs"
+        assert routing_key_of_topic("jobs/status/ok") == "jobs"
+        assert routing_key_of_topic("/jobs/status") == "jobs"
+
+    def test_topicless_routes_by_the_reserved_key(self):
+        assert routing_key_of_topic(None) == TOPICLESS_KEY
+        assert routing_key_of_topic("   ") == TOPICLESS_KEY
+
+    def test_no_filter_needs_every_shard(self):
+        assert routing_keys_of_expression(None) is None
+
+    def test_concrete_expression_pins_one_root(self):
+        expr = TopicExpression("jobs/status", TopicDialect.CONCRETE)
+        assert routing_keys_of_expression(expr) == {"jobs"}
+
+    def test_full_union_pins_each_branch_root(self):
+        expr = TopicExpression("jobs//.|billing/run", TopicDialect.FULL)
+        assert routing_keys_of_expression(expr) == {"jobs", "billing"}
+
+    def test_root_wildcard_needs_every_shard(self):
+        assert (
+            routing_keys_of_expression(TopicExpression("*/status", TopicDialect.FULL))
+            is None
+        )
+
+    def test_one_wild_branch_poisons_the_union(self):
+        expr = TopicExpression("jobs/x|*/y", TopicDialect.FULL)
+        assert routing_keys_of_expression(expr) is None
+
+
+class TestRegistry:
+    def test_versions_are_monotonic(self):
+        registry = ShardMapRegistry(["a", "b"], vnodes=8)
+        assert registry.current.version == 1
+        assert registry.join("c").version == 2
+        assert registry.leave("a").version == 3
+        assert registry.version_at(2).members == ("a", "b", "c")
+
+    def test_duplicate_join_and_unknown_leave_rejected(self):
+        registry = ShardMapRegistry(["a"], vnodes=8)
+        with pytest.raises(ValueError):
+            registry.join("a")
+        with pytest.raises(ValueError):
+            registry.leave("zzz")
+
+    def test_join_moves_keys_only_to_the_joiner(self):
+        registry = ShardMapRegistry(["a", "b"], vnodes=8)
+        registry.join("c")
+        moved = registry.moved_keys(KEYS)
+        assert all(new == "c" for _, new in moved.values())
+
+    def test_moved_keys_since_spans_versions(self):
+        registry = ShardMapRegistry(["a", "b"], vnodes=8)
+        registry.join("c")
+        registry.leave("c")
+        # v1 -> v3 is the same membership: nothing moved end to end
+        assert registry.moved_keys(KEYS, since=1) == {}
+        # v2 -> v3 undoes the join: everything that moves leaves "c"
+        assert all(
+            old == "c" for old, _ in registry.moved_keys(KEYS, since=2).values()
+        )
+
+    def test_single_version_has_no_movement(self):
+        assert ShardMapRegistry(["a"], vnodes=8).moved_keys(KEYS) == {}
+
+    def test_maps_are_immutable_snapshots(self):
+        registry = ShardMapRegistry(["a", "b"], vnodes=8)
+        snapshot = registry.fetch()
+        registry.join("c")
+        assert snapshot.members == ("a", "b")
+        assert registry.current.members == ("a", "b", "c")

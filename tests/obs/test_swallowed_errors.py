@@ -129,3 +129,88 @@ def test_uninstrumented_runs_still_skip_silently():
         SimpleNamespace(ok=True, request=b"garbage", address="x")
     )
     assert recorder.interactions == []  # no crash, no counter, no trace
+
+
+def test_pullpoint_overflow_drop_is_counted():
+    from repro.soap.envelope import SoapEnvelope, SoapVersion
+    from repro.wsn.pullpoint import PullPoint
+    from repro.wsn.versions import WsnVersion
+    from repro.xmlkit.element import XElem
+
+    network = SimulatedNetwork(VirtualClock())
+    instrumentation = Instrumentation.attach(network)
+    version = WsnVersion.V1_3
+    pull_point = PullPoint(network, "http://pp-overflow", version, capacity=2)
+    notify = XElem(version.qname("Notify"))
+    for _ in range(5):
+        notify.append(XElem(version.qname("NotificationMessage")))
+    envelope = SoapEnvelope(SoapVersion.V11)
+    envelope.add_body(notify)
+
+    pull_point._handle_notify(envelope, None)
+    assert len(pull_point.queue) == 2  # the queue keeps what fits...
+    # ...and the three dropped messages are on the record
+    assert counter_total(instrumentation, "wsn.pullpoint.capacity_overflow") == 3
+
+
+def test_jms_drain_does_not_strand_messages_behind_a_poisoned_one():
+    import pytest
+
+    from repro.baselines.jms.messages import TextMessage
+    from repro.baselines.jms.provider import JmsProvider
+    from repro.messenger.adapters import JmsBackbone
+    from repro.xmlkit import parse_xml
+
+    network = SimulatedNetwork(VirtualClock())
+    instrumentation = Instrumentation.attach(network)
+    backbone = JmsBackbone(JmsProvider(network.clock))
+    backbone.network = network  # what WsMessenger does when mounting it
+    delivered = []
+
+    def deliver(payload, topic):
+        if payload.name.local == "bad":
+            raise ValueError("poison")
+        delivered.append((payload.name.local, topic))
+
+    backbone.start(deliver)
+    # two poisoned messages are already buffered when the drain runs
+    backbone._producer.send(TextMessage(text="<bad/>"))
+    backbone._producer.send(TextMessage(text="<bad/>"))
+    with pytest.raises(ValueError):
+        backbone.publish(parse_xml("<good/>"), "t")
+
+    assert delivered == [("good", "t")]  # nothing stranded behind the poison
+    # the first error surfaced (raised above); only the second was swallowed
+    assert counter_total(instrumentation, "messenger.adapters.jms_drain") == 1
+
+
+def test_corba_batch_push_does_not_strand_events_behind_a_poisoned_one():
+    import pytest
+
+    from repro.baselines.corba.events import StructuredEvent
+    from repro.messenger.adapters import CorbaBackbone
+
+    network = SimulatedNetwork(VirtualClock())
+    instrumentation = Instrumentation.attach(network)
+    backbone = CorbaBackbone()
+    backbone.network = network
+    delivered = []
+
+    def deliver(payload, topic):
+        if payload.name.local == "bad":
+            raise ValueError("poison")
+        delivered.append(payload.name.local)
+
+    backbone.start(deliver)
+    servant = next(iter(backbone.orb._servants.values()))
+    batch = [
+        StructuredEvent(
+            domain_name="d", type_name="t", filterable_data={}, payload=payload
+        ).to_wire()
+        for payload in ("<bad/>", "<bad/>", "<ok/>")
+    ]
+    with pytest.raises(ValueError):
+        servant("push_structured_events", [batch])
+
+    assert delivered == ["ok"]
+    assert counter_total(instrumentation, "messenger.adapters.corba_push") == 1
