@@ -1,0 +1,273 @@
+"""Benchmark — durability: outbox publish overhead and recovery time.
+
+Two questions the event-sourced store (:mod:`repro.store`) must answer with
+numbers:
+
+1. **What does the transactional outbox cost on the hot path?**  The same
+   workload — 1000 WSN subscribers on one topic, 8 publishes — runs against
+   a plain :class:`WsMessenger` baseline and against store-backed brokers
+   (in-memory log and file-backed log).  The virtual clock is unaffected by
+   the store (appends are broker-local work, not wire traffic), so the cost
+   is *wall* seconds of the publish loop; acceptance is the in-memory
+   backend's overhead <= 15% over the baseline.  A delivery digest over
+   every consumer's full sequence proves the store changed nothing about
+   what was delivered.
+
+2. **What does recovery cost as the log grows?**  Brokers with a fixed
+   20-subscription population publish until their logs reach ~100/400/1600
+   records, then crash; each cell records the wall seconds
+   :func:`repro.store.recover_broker` takes to rebuild and asserts the
+   projection fixpoint (rebuilt state == pre-crash state).
+
+Writes ``BENCH_durability.json``; CI replays the smoke test and checks the
+committed artifact against the schema below.
+"""
+
+import hashlib
+import json
+import time
+from pathlib import Path
+
+from repro.delivery import DeliveryPolicy
+from repro.messenger import WsMessenger
+from repro.store import BrokerStore, FileEventLog, MemoryEventLog, recover_broker
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.util.artifacts import SCHEMA_VERSION, write_artifact
+from repro.wsa.headers import reset_message_counter
+from repro.wsn import NotificationConsumer, WsnSubscriber
+from repro.xmlkit import parse_xml
+from repro.xmlkit.writer import serialize_xml
+
+RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_durability.json"
+
+SEED = 20060813
+SUBSCRIBERS = 1000
+PUBLISHES = 8
+REPEATS = 3  # publish loops are wall-timed; keep each config's best run
+BACKENDS = ["none", "memory", "file"]
+RECOVERY_TARGETS = [100, 400, 1600]
+RECOVERY_SUBSCRIBERS = 20
+
+CONFIG_KEYS = frozenset(
+    {
+        "backend",
+        "deliveries",
+        "delivery_digest",
+        "publish_wall_seconds",
+        "virtual_seconds",
+        "log_records",
+        "overhead_vs_baseline",
+    }
+)
+RECOVERY_KEYS = frozenset(
+    {
+        "log_records",
+        "publishes",
+        "subscriptions",
+        "recovery_wall_seconds",
+        "fixpoint",
+    }
+)
+TOP_KEYS = frozenset(
+    {
+        "benchmark",
+        "seed",
+        "subscribers",
+        "publishes",
+        "configs",
+        "recovery",
+        "acceptance",
+        "schema_version",
+    }
+)
+
+
+def _event(round_index: int):
+    return parse_xml(
+        f'<ev:Tick xmlns:ev="urn:bench-dur"><ev:round>{round_index}</ev:round>'
+        "</ev:Tick>"
+    )
+
+
+def _store_for(backend: str, tmp_dir):
+    if backend == "none":
+        return None
+    if backend == "memory":
+        return BrokerStore(MemoryEventLog())
+    return BrokerStore(FileEventLog(str(Path(tmp_dir) / "bench-broker.log")))
+
+
+def _delivery_digest(consumers) -> str:
+    record = [
+        [(serialize_xml(item.payload), item.topic) for item in consumer.received]
+        for consumer in consumers
+    ]
+    blob = json.dumps(record, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def measure_publish(backend: str, tmp_dir, *, subscribers=SUBSCRIBERS) -> dict:
+    """One configuration: wall-time the publish loop under the given log."""
+    reset_message_counter()
+    network = SimulatedNetwork(VirtualClock())
+    store = _store_for(backend, tmp_dir)
+    broker = WsMessenger(
+        network, "http://bench-dur", delivery=DeliveryPolicy(), store=store
+    )
+    consumers = [
+        NotificationConsumer(network, f"http://bench-dur-c/{i}")
+        for i in range(subscribers)
+    ]
+    subscriber = WsnSubscriber(network)
+    for consumer in consumers:
+        subscriber.subscribe(broker.epr(), consumer.epr(), topic="dur")
+    virtual_start = network.clock.now()
+    wall_start = time.perf_counter()
+    for round_index in range(PUBLISHES):
+        broker.publish(_event(round_index), topic="dur")
+    broker.run_deliveries_until_idle()
+    wall_seconds = time.perf_counter() - wall_start
+    if store is not None:
+        store.log.close()
+    return {
+        "backend": backend,
+        "deliveries": sum(len(c.received) for c in consumers),
+        "delivery_digest": _delivery_digest(consumers),
+        "publish_wall_seconds": round(wall_seconds, 6),
+        "virtual_seconds": round(network.clock.now() - virtual_start, 6),
+        "log_records": len(store.log) if store is not None else 0,
+        "overhead_vs_baseline": None,  # filled in by build_report
+    }
+
+
+def measure_recovery(target_records: int) -> dict:
+    """One recovery cell: crash at ~target log length, wall-time the rebuild."""
+    reset_message_counter()
+    network = SimulatedNetwork(VirtualClock())
+    store = BrokerStore(MemoryEventLog())
+    broker = WsMessenger(
+        network, "http://bench-dur", delivery=DeliveryPolicy(), store=store
+    )
+    consumers = [
+        NotificationConsumer(network, f"http://bench-dur-c/{i}")
+        for i in range(RECOVERY_SUBSCRIBERS)
+    ]
+    subscriber = WsnSubscriber(network)
+    for consumer in consumers:
+        subscriber.subscribe(broker.epr(), consumer.epr(), topic="dur")
+    # each publish appends 1 publish record + one outcome per subscriber
+    publishes = 0
+    while len(store.log) < target_records:
+        broker.publish(_event(publishes), topic="dur")
+        broker.run_deliveries_until_idle()
+        publishes += 1
+    live = store.projection(broker)
+    broker.close()
+    wall_start = time.perf_counter()
+    recovered = recover_broker(network, "http://bench-dur", store.log)
+    wall_seconds = time.perf_counter() - wall_start
+    rebuilt = recovered.store.projection(recovered)
+    recovered.close()
+    return {
+        "log_records": len(store.log),
+        "publishes": publishes,
+        "subscriptions": RECOVERY_SUBSCRIBERS,
+        "recovery_wall_seconds": round(wall_seconds, 6),
+        "fixpoint": rebuilt == live,
+    }
+
+
+def _best_of(backend: str, tmp_dir) -> dict:
+    """Repeat the wall-timed run; the minimum is the least-noise estimate."""
+    runs = [measure_publish(backend, tmp_dir) for _ in range(REPEATS)]
+    return min(runs, key=lambda cell: cell["publish_wall_seconds"])
+
+
+def build_report(tmp_dir) -> dict:
+    configs = [_best_of(backend, tmp_dir) for backend in BACKENDS]
+    by_backend = {cell["backend"]: cell for cell in configs}
+    baseline_wall = by_backend["none"]["publish_wall_seconds"]
+    for cell in configs:
+        cell["overhead_vs_baseline"] = round(
+            cell["publish_wall_seconds"] / baseline_wall - 1.0, 4
+        )
+    recovery = [measure_recovery(target) for target in RECOVERY_TARGETS]
+    acceptance = {
+        "outbox_overhead_memory": by_backend["memory"]["overhead_vs_baseline"],
+        "outbox_overhead_limit": 0.15,
+        "payloads_identical": all(
+            cell["delivery_digest"] == by_backend["none"]["delivery_digest"]
+            for cell in configs
+        ),
+        "recovery_fixpoints": all(cell["fixpoint"] for cell in recovery),
+    }
+    return {
+        "benchmark": "durability",
+        "seed": SEED,
+        "subscribers": SUBSCRIBERS,
+        "publishes": PUBLISHES,
+        "configs": configs,
+        "recovery": recovery,
+        "acceptance": acceptance,
+    }
+
+
+# --- pytest entry points -------------------------------------------------------------
+
+
+def test_smoke_store_is_delivery_invisible(tmp_path):
+    """CI smoke: store-backed brokers deliver byte-identically (small scale)."""
+    baseline = measure_publish("none", tmp_path, subscribers=40)
+    memory = measure_publish("memory", tmp_path, subscribers=40)
+    file_backed = measure_publish("file", tmp_path, subscribers=40)
+    for cell in (baseline, memory, file_backed):
+        assert set(cell) == CONFIG_KEYS
+        assert cell["deliveries"] == 40 * PUBLISHES
+    assert memory["delivery_digest"] == baseline["delivery_digest"]
+    assert file_backed["delivery_digest"] == baseline["delivery_digest"]
+    # the outbox appended one publish record + one outcome per delivery
+    assert memory["log_records"] == file_backed["log_records"] > 0
+
+
+def test_smoke_recovery_fixpoint():
+    """CI smoke: the smallest recovery cell rebuilds to the same projection."""
+    cell = measure_recovery(RECOVERY_TARGETS[0])
+    assert set(cell) == RECOVERY_KEYS
+    assert cell["fixpoint"] is True
+    assert cell["log_records"] >= RECOVERY_TARGETS[0]
+
+
+def test_schema_matches_committed_artifact():
+    """CI smoke: fail on schema drift between the code and the artifact."""
+    committed = json.loads(RESULT_FILE.read_text())
+    assert set(committed) == TOP_KEYS
+    assert committed["schema_version"] == SCHEMA_VERSION
+    assert committed["subscribers"] == SUBSCRIBERS
+    assert [cell["backend"] for cell in committed["configs"]] == BACKENDS
+    for cell in committed["configs"]:
+        assert set(cell) == CONFIG_KEYS
+    assert [cell["log_records"] >= target for cell, target in zip(
+        committed["recovery"], RECOVERY_TARGETS
+    )] == [True] * len(RECOVERY_TARGETS)
+    for cell in committed["recovery"]:
+        assert set(cell) == RECOVERY_KEYS
+    acceptance = committed["acceptance"]
+    assert acceptance["outbox_overhead_memory"] <= acceptance["outbox_overhead_limit"]
+    assert acceptance["payloads_identical"] is True
+    assert acceptance["recovery_fixpoints"] is True
+
+
+def test_write_durability_report(tmp_path):
+    report = build_report(tmp_path)
+    acceptance = report["acceptance"]
+    assert acceptance["outbox_overhead_memory"] <= acceptance["outbox_overhead_limit"]
+    assert acceptance["payloads_identical"] is True
+    assert acceptance["recovery_fixpoints"] is True
+    write_artifact(RESULT_FILE, report)
+    print(f"\nwrote {RESULT_FILE}")
+    print(
+        f"  {SUBSCRIBERS} subscribers, {PUBLISHES} publishes:"
+        f" memory outbox overhead {acceptance['outbox_overhead_memory']:+.1%}"
+        f" (limit {acceptance['outbox_overhead_limit']:.0%});"
+        f" recovery fixpoints: {acceptance['recovery_fixpoints']}"
+    )

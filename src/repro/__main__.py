@@ -14,7 +14,10 @@ column.  Subcommands:
   (see :mod:`repro.conformance`); exit 1 on any failure;
 - ``mesh-demo`` — assemble a sharded, federated broker mesh, drive
   cross-shard traffic through a join/leave rebalance, and audit mesh-wide
-  message conservation (see :mod:`repro.mesh`); exit 1 if any book fails.
+  message conservation (see :mod:`repro.mesh`); exit 1 if any book fails;
+- ``store-demo`` — crash an event-sourced broker mid-workload, rebuild it
+  from its log alone, and verify subscription identity, parked obligations
+  and conservation survive (see :mod:`repro.store`); exit 1 on any failure.
 """
 
 from __future__ import annotations
@@ -40,10 +43,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.mesh.demo import mesh_demo_main
 
         return mesh_demo_main(argv[1:])
+    if argv and argv[0] == "store-demo":
+        from repro.store.demo import store_demo_main
+
+        return store_demo_main(argv[1:])
     if argv:
         print(
             f"unknown subcommand {argv[0]!r}; try: obs-report, obs-audit,"
-            " conformance, mesh-demo",
+            " conformance, mesh-demo, store-demo",
             file=sys.stderr,
         )
         return 2

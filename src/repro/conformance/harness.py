@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.conformance.codec_engine import CodecEngine
+from repro.conformance.durability_engine import DurabilityEngine
 from repro.conformance.framing_engine import FramingEngine
 from repro.conformance.gen import JsonTree
 from repro.conformance.lifecycle_engine import LifecycleEngine
@@ -33,6 +34,7 @@ ENGINES = {
     engine.name: engine
     for engine in (
         CodecEngine(),
+        DurabilityEngine(),
         FramingEngine(),
         LifecycleEngine(),
         MediationEngine(),

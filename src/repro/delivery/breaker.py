@@ -61,7 +61,11 @@ class CircuitBreaker:
             return True
         if self.state is BreakerState.OPEN:
             assert self.opened_at is not None
-            if self.clock.now() - self.opened_at >= self.reset_after:
+            # compare against the exact float retry_at() hands to the wake
+            # scheduler: (opened_at + reset_after) - opened_at can round to
+            # just under reset_after, and a subtraction-based test then spins
+            # the manager on same-instant wakes forever
+            if self.clock.now() >= self.opened_at + self.reset_after:
                 self._move(BreakerState.HALF_OPEN)
                 return True
             return False

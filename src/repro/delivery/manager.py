@@ -41,6 +41,7 @@ from repro.util.rng import SeededRng
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.delivery.messagebox import MessageBoxRegistry
+    from repro.store.core import BrokerStore
 
 from repro.soap.fault import SoapFault
 
@@ -96,6 +97,10 @@ class DeliveryManager:
         self.dlq = DeadLetterQueue()
         self.message_boxes = message_boxes
         self.stats = DeliveryStats()
+        #: durable broker store (set by BrokerStore.attach): stamps items
+        #: with idempotency keys, records outcomes, and routes replayed
+        #: submissions past obligations the log already settled
+        self.store: Optional["BrokerStore"] = None
         self._queues: dict[str, deque[DeliveryTask]] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
         self._wakeups: dict[str, float] = {}
@@ -117,6 +122,8 @@ class DeliveryManager:
         sink's queue is empty (the healthy-network fast path)."""
         instr = self.network.instrumentation
         item_list = list(items or [])
+        if self.store is not None:
+            item_list = self.store.stamp_items(item_list)
         lineage = next(
             (item.lineage for item in item_list if item.lineage is not None), None
         )
@@ -133,6 +140,10 @@ class DeliveryManager:
             on_delivered=on_delivered,
             on_dead=on_dead,
         )
+        if self.store is not None and self.store.replaying:
+            resolution = self.store.resolve_replay(task)
+            if resolution is not None:
+                return self._apply_replay_resolution(task, resolution)
         self.stats.submitted += 1
         instr.count("delivery.submitted", family=family)
         self._record_items(task, "enqueued", sink=sink, family=family)
@@ -149,7 +160,38 @@ class DeliveryManager:
         self.stats.replayed += 1
         self.network.instrumentation.count("delivery.replayed", family=task.family)
         self._record_items(task, "replayed", sink=task.sink)
+        if self.store is not None:
+            self.store.task_replayed(task)
         self._enqueue(task)
+        return task
+
+    def _apply_replay_resolution(
+        self, task: DeliveryTask, resolution: tuple[str, str]
+    ) -> DeliveryTask:
+        """Settle a replayed submission the log already accounts for.
+
+        No lineage events and no manager stats: the pre-crash ledger
+        entries for these obligations still stand — emitting fresh ones
+        would double the books the conservation audit balances."""
+        verdict, reason = resolution
+        store = self.store
+        assert store is not None
+        if verdict == "park":
+            assert self.message_boxes is not None
+            box = self.message_boxes.box_for(task.sink)
+            owed = store.replay_park_items(task)
+            for item in owed:
+                box.park(item)
+            task.status = TaskStatus.PARKED
+            store.stats.reparked += len(owed)
+        elif verdict == "dead":
+            task.status = TaskStatus.DEAD
+            task.last_error = reason
+            self.dlq.add(task, reason, self.clock.now())
+            store.stats.redead += 1
+        else:  # "suppress": every item already delivered or drained
+            task.status = TaskStatus.DELIVERED
+            store.stats.suppressed += 1
         return task
 
     def _record_items(self, task: DeliveryTask, state: str, **detail) -> None:
@@ -229,6 +271,8 @@ class DeliveryManager:
             "delivery.parked", len(task.items), family=task.family
         )
         self._record_items(task, "pending_pull", sink=task.sink, box=box.address)
+        if self.store is not None:
+            self.store.task_parked(task)
 
     def _dead_letter(self, task: DeliveryTask, reason: str) -> None:
         task.status = TaskStatus.DEAD
@@ -238,6 +282,8 @@ class DeliveryManager:
             "delivery.dead_lettered", family=task.family, reason=reason
         )
         self._record_items(task, "dead_lettered", sink=task.sink, reason=reason)
+        if self.store is not None:
+            self.store.task_dead(task, reason)
         if task.on_dead is not None:
             task.on_dead(task, reason)
 
@@ -335,6 +381,8 @@ class DeliveryManager:
                             hops=item.lineage.hop + 1,
                             sink=task.sink,
                         )
+            if self.store is not None:
+                self.store.task_delivered(task)
             if task.on_delivered is not None:
                 task.on_delivered(task)
 

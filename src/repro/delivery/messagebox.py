@@ -21,7 +21,7 @@ dialect of whichever drain arrives — one more instance of the broker's
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.delivery.task import DeliveryItem
 from repro.soap.envelope import SoapEnvelope, SoapVersion
@@ -59,6 +59,10 @@ class MessageBox:
         self.total_parked = 0
         #: messages dropped because the box was full
         self.overflowed = 0
+        #: durable-store hook: called with (box, batch) after every drain
+        self.on_drained: Optional[
+            Callable[["MessageBox", list[DeliveryItem]], None]
+        ] = None
         self.endpoint = SoapEndpoint(network, address)
         self.endpoint.on_action(
             wsn_version.action("GetMessages"), self._handle_get_messages
@@ -95,6 +99,8 @@ class MessageBox:
         )
         batch = self.queue[: limit or len(self.queue)]
         del self.queue[: len(batch)]
+        if batch and self.on_drained is not None:
+            self.on_drained(self, batch)
         return batch
 
     def _record_drained(self, batch: list[DeliveryItem], family: str) -> None:
@@ -184,6 +190,10 @@ class MessageBoxRegistry:
         self.capacity = capacity
         self._boxes: dict[str, MessageBox] = {}
         self._counter = 0
+        #: durable-store hook, copied onto each box as it is minted
+        self.on_drained: Optional[
+            Callable[[MessageBox, list[DeliveryItem]], None]
+        ] = None
 
     def box_for(self, sink: str) -> MessageBox:
         """The sink's box, created (and publicly mounted) on first use."""
@@ -198,6 +208,7 @@ class MessageBoxRegistry:
                 wse_version=self.wse_version,
                 capacity=self.capacity,
             )
+            box.on_drained = self.on_drained
             self._boxes[sink] = box
         return box
 

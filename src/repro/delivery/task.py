@@ -28,11 +28,16 @@ class DeliveryItem:
     created this obligation; it survives queueing, parking and DLQ replay,
     so the eventual delivery (push or pull) still lands in the publish's
     trace tree and ledger.
+
+    ``message_id`` is the durable publish id stamped by the broker store
+    (when one is attached): ``(message_id, sink)`` is the idempotency key
+    that makes crash-replay exactly-once.
     """
 
     payload: XElem
     topic: Optional[str] = None
     lineage: Optional["LineageContext"] = None
+    message_id: Optional[str] = None
 
 
 class TaskStatus:

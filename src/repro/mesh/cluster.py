@@ -26,7 +26,7 @@ is exactly the mesh-wide invariant ``obs-audit`` checks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Union
+from typing import Callable, Iterator, Optional, Union
 
 from repro.delivery.policy import DeliveryPolicy
 from repro.mesh.hashring import DEFAULT_VNODES
@@ -78,6 +78,7 @@ class MeshCluster:
         wsn_versions: Optional[list[WsnVersion]] = None,
         delivery: Optional[DeliveryPolicy] = None,
         delivery_seed: int = 0,
+        store_factory: Optional[Callable[[str], object]] = None,
     ) -> None:
         if shards < 1:
             raise ValueError("a mesh needs at least one shard")
@@ -87,6 +88,8 @@ class MeshCluster:
         self._wsn_versions = wsn_versions
         self._delivery = delivery
         self._delivery_seed = delivery_seed
+        #: node name -> BrokerStore; gives each shard a durable event log
+        self._store_factory = store_factory
         self._node_counter = shards
         self._sub_counter = 0
         names = [f"node-{i}" for i in range(shards)]
@@ -112,6 +115,7 @@ class MeshCluster:
             wsn_versions=self._wsn_versions,
             delivery=self._delivery,
             delivery_seed=self._delivery_seed,
+            store=self._store_factory(name) if self._store_factory else None,
         )
         return node
 

@@ -61,6 +61,7 @@ class MeshNode:
         delivery: Optional[DeliveryPolicy] = None,
         delivery_seed: int = 0,
         topic_namespace: Optional[TopicNamespace] = None,
+        store=None,
     ) -> None:
         self.network = network
         self.name = name
@@ -87,6 +88,7 @@ class MeshNode:
             delivery=delivery,
             delivery_seed=delivery_seed,
             topic_namespace=topic_namespace,
+            store=store,
         )
         self.exchange = NotificationProducer(
             network,
@@ -241,6 +243,17 @@ class MeshNode:
                 peers=self._ring.members(),
             )
         )
+
+    # --- durable handoff --------------------------------------------------------
+
+    def log_segment(self, start: int = 0) -> list[dict]:
+        """Serialized event-log records from ``start`` on (requires a
+        store-backed broker).  A departing shard hands this segment to its
+        successor, which replays it (``repro.store.recovery``) instead of
+        requiring the old owner to drain in-flight work first."""
+        if self.broker.store is None:
+            return []
+        return self.broker.store.log.segment(start)
 
     # --- membership -----------------------------------------------------------
 

@@ -27,7 +27,10 @@ One front-door address accepts traffic in **both** specification families and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.core import BrokerStore
 
 from repro.delivery.manager import DeliveryManager
 from repro.delivery.messagebox import MessageBoxRegistry
@@ -87,6 +90,7 @@ class WsMessenger:
         journal: Optional["SubscriptionJournal"] = None,
         delivery: Optional[DeliveryPolicy] = None,
         delivery_seed: int = 0,
+        store: Optional["BrokerStore"] = None,
         debug_linear_match: bool = False,
     ) -> None:
         self.network = network
@@ -99,6 +103,11 @@ class WsMessenger:
         self.backbone.network = network
         #: optional crash-recovery journal (see repro.messenger.journal)
         self.journal = journal
+        #: optional event-sourced durable core (see repro.store); exactly-
+        #: once outcomes need the delivery pipeline, so a store implies one
+        self.store = store
+        if store is not None and delivery is None:
+            delivery = DeliveryPolicy()
         # reliable delivery: a DeliveryPolicy turns the best-effort push into
         # the store-and-forward pipeline shared by every internal source
         if delivery is not None:
@@ -155,6 +164,17 @@ class WsMessenger:
         self.publish_router: Optional[
             Callable[[XElem, Optional[str]], bool]
         ] = None
+        # capture the identity each granted Subscribe mints — (family, tag,
+        # sub_id, granted absolute expiry) — for the journal and the store
+        self._last_granted: Optional[tuple[str, str, str, Optional[float]]] = None
+        for version, source in self.wse_sources.items():
+            source.store.on_created.append(
+                self._wse_granted_hook(version.name.lower())
+            )
+        for version, producer in self.wsn_producers.items():
+            producer.subscription_listeners.append(
+                self._wsn_granted_hook(version.name.lower())
+            )
         # the front door
         self.endpoint = SoapEndpoint(network, address)
         self.endpoint.on_any(self._front_door)
@@ -162,6 +182,26 @@ class WsMessenger:
         self._ingest_counter = 0
         self._ingest_endpoints: list[object] = []
         self.backbone.start(self._fan_out)
+        if self.store is not None:
+            self.store.attach(self)
+
+    def _wse_granted_hook(self, tag: str):
+        def on_created(subscription) -> None:
+            self._last_granted = ("wse", tag, subscription.id, subscription.expires)
+
+        return on_created
+
+    def _wsn_granted_hook(self, tag: str):
+        def on_event(event: str, subscription) -> None:
+            if event == "created":
+                self._last_granted = (
+                    "wsn",
+                    tag,
+                    subscription.key,
+                    subscription.resource.termination_time,
+                )
+
+        return on_event
 
     def epr(self) -> EndpointReference:
         return EndpointReference(self.address)
@@ -224,9 +264,14 @@ class WsMessenger:
         self.stats.record(spec)
         if spec.operation == "Notify" and spec.family is SpecFamily.WS_NOTIFICATION:
             return self._accept_wsn_publication(envelope, spec)
+        self._last_granted = None
         reply = self._route(envelope, headers, spec)
-        if spec.operation == "Subscribe" and self.journal is not None:
-            self.journal.record(envelope)  # only reached on success (no fault)
+        if spec.operation == "Subscribe":  # only reached on success (no fault)
+            granted, self._last_granted = self._last_granted, None
+            if self.journal is not None:
+                self.journal.record(envelope, granted=granted)
+            if self.store is not None:
+                self.store.record_subscribe(envelope, headers.action, granted)
         return reply
 
     def _route(
@@ -276,10 +321,21 @@ class WsMessenger:
         whose subscription matches — regardless of which spec they used."""
         instr = self.network.instrumentation
         self.stats.publications += 1
+        store = self.store
         if not instr.enabled:
-            if self.publish_router is not None and self.publish_router(payload, topic):
-                return
-            self.backbone.publish(payload, topic)
+            if store is not None:
+                store.record_publish(payload, topic, None)
+            try:
+                if self.publish_router is not None and self.publish_router(
+                    payload, topic
+                ):
+                    if store is not None:
+                        store.record_routed()
+                    return
+                self.backbone.publish(payload, topic)
+            finally:
+                if store is not None:
+                    store.end_publish()
             return
         instr.count("broker.publications")
         # a mediated publish arrives inside a dispatch span that already
@@ -292,9 +348,21 @@ class WsMessenger:
                 broker=self.address,
                 topic=topic or "",
             )
-            if self.publish_router is not None and self.publish_router(payload, topic):
-                return
-            self.backbone.publish(payload, topic)
+            # transactional outbox: the publish record (and the message id
+            # that stamps every delivery item) exists before any fan-out
+            if store is not None:
+                store.record_publish(payload, topic, instr.trace_context())
+            try:
+                if self.publish_router is not None and self.publish_router(
+                    payload, topic
+                ):
+                    if store is not None:
+                        store.record_routed()
+                    return
+                self.backbone.publish(payload, topic)
+            finally:
+                if store is not None:
+                    store.end_publish()
 
     def _fan_out(self, payload: XElem, topic: Optional[str]) -> None:
         instr = self.network.instrumentation

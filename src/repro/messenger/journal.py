@@ -8,15 +8,24 @@ Subscribe request verbatim (wire bytes) and recovery replays them at a fresh
 broker — which re-runs spec detection and re-creates every subscription in
 its original dialect.  No spec-specific state format is needed.
 
-Limitations (documented, inherent to the approach): subscription identifiers
-are re-minted on replay, so clients holding pre-crash manager EPRs must
-re-subscribe to manage their subscriptions; relative ("duration") expirations
-are re-granted from the recovery time.
+Each entry also records the *granted* subscription identifier and absolute
+expiry (captured by the broker at Subscribe time).  When :meth:`replay` is
+given the target broker, it pins those ids via
+``force_next_subscription_id`` — so the manager EPRs clients already hold
+(which embed the id as an echoed header / ResourceID parameter) stay valid
+across the crash — and restores the granted absolute expiry instead of
+re-granting relative durations from recovery time.
+
+Remaining limitation (inherent to wire-replay): in-flight deliveries and
+parked message-box content are not journalled here — the event-sourced
+store (:mod:`repro.store`) subsumes this journal when full durability is
+needed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.soap.codec import serialize_envelope
 from repro.soap.envelope import SoapEnvelope
@@ -29,6 +38,13 @@ from repro.wsa.headers import extract_headers
 class JournalEntry:
     action: str
     wire: bytes
+    #: granted identity ("wse"/"wsn", version tag, sub id) — empty strings
+    #: for entries journalled before the broker captured it
+    family: str = ""
+    tag: str = ""
+    sub_id: str = ""
+    #: granted absolute expiry (virtual-clock seconds); None = never/unknown
+    expires: Optional[float] = None
 
 
 @dataclass
@@ -37,29 +53,54 @@ class SubscriptionJournal:
 
     entries: list[JournalEntry] = field(default_factory=list)
 
-    def record(self, envelope: SoapEnvelope) -> None:
+    def record(
+        self,
+        envelope: SoapEnvelope,
+        *,
+        granted: Optional[tuple[str, str, str, Optional[float]]] = None,
+    ) -> None:
         try:
             action = extract_headers(envelope).action
         except ValueError:
             action = ""
+        family, tag, sub_id, expires = granted or ("", "", "", None)
         self.entries.append(
-            JournalEntry(action, serialize_envelope(envelope).encode("utf-8"))
+            JournalEntry(
+                action,
+                serialize_envelope(envelope).encode("utf-8"),
+                family=family,
+                tag=tag,
+                sub_id=sub_id,
+                expires=expires,
+            )
         )
 
     def __len__(self) -> int:
         return len(self.entries)
 
-    def replay(self, network: SimulatedNetwork, broker_address: str) -> int:
+    def replay(
+        self, network: SimulatedNetwork, broker_address: str, *, broker=None
+    ) -> int:
         """Re-post every journalled Subscribe at a (new) broker.
 
         Returns the number of successfully re-created subscriptions; entries
         whose original consumer endpoint has meanwhile vanished fail their
         first delivery later, exactly as a live subscription would.
+
+        Pass the target ``broker`` (a :class:`~repro.messenger.WsMessenger`)
+        to preserve subscription identifiers and manager EPRs: before each
+        re-post, the granted id is pinned on the owning implementation and
+        the granted absolute expiry is restored afterwards.
         """
         recovered = 0
         # snapshot: the target broker may be journalling into this very list,
         # and replayed Subscribes must not be replayed again
         for entry in list(self.entries):
+            implementation = (
+                self._implementation(broker, entry) if broker is not None else None
+            )
+            if implementation is not None and entry.sub_id:
+                implementation.force_next_subscription_id(entry.sub_id)
             wire = build_request(broker_address, entry.wire, soap_action=entry.action)
             try:
                 response = parse_response(network.send_request(broker_address, wire))
@@ -67,4 +108,30 @@ class SubscriptionJournal:
                 continue
             if response.ok:
                 recovered += 1
+                if implementation is not None and entry.sub_id:
+                    self._restore_expiry(implementation, entry)
         return recovered
+
+    @staticmethod
+    def _implementation(broker, entry: JournalEntry):
+        if entry.family == "wse":
+            for version, source in broker.wse_sources.items():
+                if version.name.lower() == entry.tag:
+                    return source
+        elif entry.family == "wsn":
+            for version, producer in broker.wsn_producers.items():
+                if version.name.lower() == entry.tag:
+                    return producer
+        return None
+
+    @staticmethod
+    def _restore_expiry(implementation, entry: JournalEntry) -> None:
+        if entry.family == "wse":
+            subscription = implementation.store._subscriptions.get(entry.sub_id)
+            if subscription is not None:
+                implementation.store.update_expiry(subscription, entry.expires)
+        else:
+            subscription = implementation._subscriptions.get(entry.sub_id)
+            if subscription is not None:
+                subscription.resource.termination_time = entry.expires
+                implementation.registry.note_termination(subscription.resource)

@@ -1,0 +1,133 @@
+"""``python -m repro store-demo``: crash a broker mid-workload, replay the log.
+
+Self-contained: builds an instrumented, store-backed mediation broker with a
+mixed consumer population (a reachable WSE sink, a WSN consumer, a consumer
+behind an inbound-blocking firewall whose copies park in a message box, and
+a dark consumer whose copies are mid-retry), kills the broker partway
+through the publish stream, rebuilds it from the event log alone, and
+finishes the stream.  The run asserts — and narrates — the store's
+contract:
+
+- subscription identifiers (and so the manager EPRs clients hold) survive;
+- settled deliveries replay as suppressed obligations, never re-sent;
+- parked message-box content is re-parked and still drainable;
+- obligations stranded unsettled by the crash are explicitly failed
+  (``reason="broker_crash"``), so the conservation audit balances.
+
+Exit 1 if any invariant — or the final audit — fails.
+"""
+
+from __future__ import annotations
+
+from repro.delivery import DeliveryPolicy, drain_message_box_wse
+from repro.messenger.broker import WsMessenger
+from repro.obs.audit import audit
+from repro.obs.instrument import Instrumentation
+from repro.store.core import BrokerStore
+from repro.store.log import MemoryEventLog
+from repro.store.recovery import recover_broker
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.wse.sink import EventSink
+from repro.wse.subscriber import WseSubscriber
+from repro.wsn.consumer import NotificationConsumer
+from repro.wsn.subscriber import WsnSubscriber
+from repro.xmlkit import parse_xml
+
+ZONE = "store-demo-zone"
+
+
+def _event(n: int):
+    return parse_xml(f'<d:Tick xmlns:d="urn:store-demo"><d:n>{n}</d:n></d:Tick>')
+
+
+def store_demo_main(argv: "list[str] | None" = None) -> int:
+    from repro.wsa.headers import reset_message_counter
+
+    reset_message_counter()
+    network = SimulatedNetwork(VirtualClock())
+    instrumentation = Instrumentation.attach(network)
+    network.add_zone(ZONE, blocks_inbound=True)
+    store = BrokerStore(MemoryEventLog())
+    policy = DeliveryPolicy(max_attempts=3, base_backoff=5.0, jitter=0.0)
+    broker = WsMessenger(
+        network, "http://store-demo", store=store, delivery=policy
+    )
+
+    print("store-demo: event-sourced broker at http://store-demo")
+    sink = EventSink(network, "http://demo-sink")
+    consumer = NotificationConsumer(network, "http://demo-consumer")
+    inside = EventSink(network, "http://demo-inside", zone=ZONE)
+    dark = NotificationConsumer(network, "http://demo-dark")
+    wse = WseSubscriber(network)
+    wsn = WsnSubscriber(network)
+    sink_handle = wse.subscribe(broker.epr(), notify_to=sink.epr())
+    consumer_handle = wsn.subscribe(broker.epr(), consumer.epr(), topic="demo")
+    WseSubscriber(network, zone=ZONE).subscribe(
+        broker.epr(), notify_to=inside.epr()
+    )
+    wsn.subscribe(broker.epr(), dark.epr(), topic="demo")
+    dark.close()
+    print(
+        f"  subscriptions: {sink_handle.sub_id} (push),"
+        f" {consumer_handle.sub_id} (wsn), one firewalled, one dark"
+    )
+
+    for n in range(1, 4):
+        broker.publish(_event(n), topic="demo")
+    print(
+        f"\npublished 3; delivered: sink={len(sink.received)}"
+        f" consumer={len(consumer.received)}; parked for the firewalled"
+        f" consumer: {len(broker.message_boxes.get('http://demo-inside'))};"
+        f" dark copies mid-retry"
+    )
+
+    log = store.log
+    print(f"\n--- crash: broker gone; the log ({len(log)} records) survives ---")
+    broker.close()
+
+    broker = recover_broker(network, "http://store-demo", log, delivery=policy)
+    stats = broker.store.stats
+    print(
+        f"recovered: {stats.recovered_subscriptions} subscriptions,"
+        f" {stats.suppressed} settled deliveries suppressed,"
+        f" {stats.reparked} obligations re-parked,"
+        f" {stats.crash_failures} stranded obligations failed closed"
+    )
+    failures = 0
+    if broker.subscription_count() != 4:
+        print(f"FAIL: expected 4 subscriptions, have {broker.subscription_count()}")
+        failures += 1
+    if len(sink.received) != 3:
+        print(f"FAIL: sink got {len(sink.received)} deliveries, expected 3")
+        failures += 1
+
+    # the manager EPR minted before the crash still works
+    wse.renew(sink_handle, "PT2H")
+    print(f"  old manager EPR renews {sink_handle.sub_id}: ok")
+
+    for n in range(4, 6):
+        broker.publish(_event(n), topic="demo")
+    broker.run_deliveries_until_idle()
+    box = broker.message_boxes.get("http://demo-inside")
+    drained = drain_message_box_wse(network, box.epr(), zone=ZONE)
+    print(
+        f"\npublished 2 more; sink={len(sink.received)}"
+        f" consumer={len(consumer.received)};"
+        f" firewalled consumer drained {len(drained)} from its box"
+    )
+    if [p.full_text() for p in drained] != ["1", "2", "3", "4", "5"]:
+        print("FAIL: drained sequence wrong or duplicated")
+        failures += 1
+    if len(sink.received) != 5 or len(consumer.received) != 5:
+        print("FAIL: post-recovery deliveries wrong")
+        failures += 1
+
+    result = audit(instrumentation, scenario="store-demo")
+    print(f"\n{result.render()}")
+    return 1 if failures or not result.passed else 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(store_demo_main())

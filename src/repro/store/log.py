@@ -1,0 +1,84 @@
+"""Event-log backends: in-memory (default) and deterministic file-backed.
+
+Both store the serialized (dict) form of the typed records in
+:mod:`repro.store.records` and hand typed records back out.  The file
+backend writes one canonical JSON object per line (sorted keys, no
+whitespace) and flushes after every append, so a log file is stable
+across runs under the virtual clock and a crashed process can be
+rebuilt from whatever made it to disk.
+
+``segment(start)`` returns serialized records — the unit a mesh shard
+hands to its successor instead of draining in-flight work.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.store.records import record_from_dict
+
+
+class MemoryEventLog:
+    """The default backend: an append-only list of serialized records."""
+
+    def __init__(self, entries: Optional[Iterable[Dict[str, Any]]] = None):
+        self._entries: List[Dict[str, Any]] = [dict(e) for e in entries or ()]
+
+    def append(self, record: Any) -> int:
+        """Append one typed record; returns its sequence number."""
+        self._append_entry(record.to_dict())
+        return len(self._entries) - 1
+
+    def _append_entry(self, entry: Dict[str, Any]) -> None:
+        self._entries.append(entry)
+
+    def records(self) -> List[Any]:
+        """A typed snapshot of the whole log (appends during iteration
+        over the result are safe)."""
+        return [record_from_dict(entry) for entry in self._entries]
+
+    def segment(self, start: int = 0) -> List[Dict[str, Any]]:
+        """Serialized records from ``start`` on — the handoff payload."""
+        return [dict(entry) for entry in self._entries[start:]]
+
+    def extend(self, entries: Iterable[Dict[str, Any]]) -> None:
+        """Splice a serialized segment (e.g. a shard handoff) onto the log."""
+        for entry in entries:
+            self._append_entry(dict(entry))
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class FileEventLog(MemoryEventLog):
+    """JSON-lines log file; loads existing records on open, appends with
+    a flush per record so every acknowledged append survives a crash."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        entries: List[Dict[str, Any]] = []
+        if self.path.exists():
+            for line in self.path.read_text(encoding="utf-8").splitlines():
+                if line.strip():
+                    entries.append(json.loads(line))
+        super().__init__(entries)
+        self._handle = None
+
+    def _append_entry(self, entry: Dict[str, Any]) -> None:
+        super()._append_entry(entry)
+        if self._handle is None:
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(
+            json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

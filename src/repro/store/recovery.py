@@ -1,0 +1,243 @@
+"""Crash recovery: rebuild a broker mid-workload from its event log.
+
+:func:`recover_broker` constructs a fresh :class:`WsMessenger` bound to
+the same log and replays every record **in append order** — the
+interleaving of lifecycle and publish records is exactly what makes the
+rebuilt projections (subscription stores, topic indexes, pull queues,
+message boxes, DLQ) converge on the pre-crash state:
+
+* ``subscribe`` records re-post the original wire bytes with the
+  subscription identifier pinned (``force_next_subscription_id``), so the
+  manager EPRs clients hold — which embed the id — stay valid; the
+  *granted absolute expiry* is then forced back, so a replay at a later
+  virtual time never silently extends a lease (and an already-expired
+  subscription replays as expired);
+* ``publish`` records re-run fan-out with ``current_message_id`` pinned,
+  and the delivery manager consults the store's settlement index per
+  task: settled obligations are suppressed, pre-crash parked items are
+  re-parked (same box addresses, since boxes are minted in first-park
+  order), dead tasks are restored to the DLQ with a working send thunk,
+  and only genuinely in-flight obligations are re-attempted;
+* before each publish replays, its pre-crash ledger books are closed:
+  any obligation the crash left dangling (opened, not closed, not
+  parked) is marked ``failed(reason=broker_crash)`` so the mesh-wide
+  conservation audit balances — the re-fan-out then opens a fresh,
+  properly-closed obligation.
+
+Known limits (documented in DESIGN.md): itemless control traffic
+(SubscriptionEnd / TerminationNotification) carries no idempotency key
+and is not replayed; a WSN pause/resume backlog delivered before the
+crash is not re-delivered; manual wrapped-mode ``flush()`` calls between
+publishes are not log events, so their batch boundaries are not
+reproduced.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.propagation import LineageContext
+from repro.store.core import BrokerStore
+from repro.store.records import (
+    PauseRecorded,
+    PublishRecorded,
+    PullDrainRecorded,
+    RemoveRecorded,
+    RenewRecorded,
+    SubscribeRecorded,
+)
+from repro.transport.http import build_request, parse_response
+from repro.xmlkit.parser import parse_xml
+
+
+def recover_broker(network, address, log, **broker_kwargs):
+    """Build a broker at ``address`` whose state is the replay of ``log``.
+
+    Extra keyword arguments go to :class:`~repro.messenger.WsMessenger`
+    verbatim (versions, delivery policy, topic namespace, ...) and must
+    match the crashed broker's configuration.
+    """
+    from repro.messenger.broker import WsMessenger
+
+    store = BrokerStore(log)
+    broker = WsMessenger(network, address, store=store, **broker_kwargs)
+    replay_log(broker)
+    return broker
+
+
+def replay_log(broker) -> None:
+    """Replay the attached store's log into a freshly-built broker."""
+    store = broker.store
+    assert store is not None, "replay_log needs a store-backed broker"
+    store.replaying = True
+    saved_router, broker.publish_router = broker.publish_router, None
+    try:
+        for record in store.log.records():
+            if isinstance(record, SubscribeRecorded):
+                _replay_subscribe(broker, store, record)
+            elif isinstance(record, RenewRecorded):
+                _replay_renew(broker, record)
+            elif isinstance(record, RemoveRecorded):
+                _replay_remove(broker, record)
+            elif isinstance(record, PauseRecorded):
+                _replay_pause(broker, record)
+            elif isinstance(record, PullDrainRecorded):
+                _replay_pull_drain(broker, record)
+            elif isinstance(record, PublishRecorded):
+                _replay_publish(broker, store, record)
+    finally:
+        broker.publish_router = saved_router
+        store.replaying = False
+        store.current_message_id = None
+
+
+def _wse_source(broker, tag: str):
+    for version, source in broker.wse_sources.items():
+        if version.name.lower() == tag:
+            return source
+    return None
+
+
+def _wsn_producer(broker, tag: str):
+    for version, producer in broker.wsn_producers.items():
+        if version.name.lower() == tag:
+            return producer
+    return None
+
+
+def _force_expiry(broker, family: str, tag: str, sub_id: str, expires) -> None:
+    """Pin the *granted* absolute expiry from the record, overriding
+    whatever a duration-based request re-granted relative to replay time."""
+    if family == "wse":
+        source = _wse_source(broker, tag)
+        subscription = (
+            source.store._subscriptions.get(sub_id) if source is not None else None
+        )
+        if subscription is not None:
+            source.store.update_expiry(subscription, expires)
+    else:
+        producer = _wsn_producer(broker, tag)
+        subscription = (
+            producer._subscriptions.get(sub_id) if producer is not None else None
+        )
+        if subscription is not None:
+            subscription.resource.termination_time = expires
+            producer.registry.note_termination(subscription.resource)
+
+
+def _replay_subscribe(broker, store, record: SubscribeRecorded) -> None:
+    implementation = (
+        _wse_source(broker, record.tag)
+        if record.family == "wse"
+        else _wsn_producer(broker, record.tag)
+    )
+    if implementation is None:
+        return  # version not enabled on the recovering broker
+    implementation.force_next_subscription_id(record.sub_id)
+    wire = build_request(
+        broker.address, record.wire.encode("utf-8"), soap_action=record.action
+    )
+    response = parse_response(broker.network.send_request(broker.address, wire))
+    if response.ok:
+        _force_expiry(broker, record.family, record.tag, record.sub_id, record.expires)
+        store.stats.recovered_subscriptions += 1
+
+
+def _replay_renew(broker, record: RenewRecorded) -> None:
+    _force_expiry(broker, record.family, record.tag, record.sub_id, record.expires)
+
+
+def _replay_remove(broker, record: RemoveRecorded) -> None:
+    if record.family == "wse":
+        source = _wse_source(broker, record.tag)
+        if source is not None:
+            source.store.remove(record.sub_id)
+    else:
+        producer = _wsn_producer(broker, record.tag)
+        if producer is not None:
+            # silent drop: no duplicate TerminationNotification on replay
+            producer.forget_subscription(record.sub_id)
+
+
+def _replay_pause(broker, record: PauseRecorded) -> None:
+    producer = _wsn_producer(broker, record.tag)
+    subscription = (
+        producer._subscriptions.get(record.sub_id) if producer is not None else None
+    )
+    if subscription is None:
+        return
+    subscription.paused = record.paused
+    if not record.paused:
+        # the pre-crash resume already delivered this backlog (see module
+        # docstring); replayed publishes after this point re-queue correctly
+        subscription.paused_queue.clear()
+
+
+def _replay_pull_drain(broker, record: PullDrainRecorded) -> None:
+    source = _wse_source(broker, record.tag)
+    subscription = (
+        source.store._subscriptions.get(record.sub_id) if source is not None else None
+    )
+    if subscription is not None:
+        del subscription.queue[: record.count]
+
+
+def _close_books(broker, store, record: PublishRecorded) -> None:
+    """Fail the obligations the crash left dangling for this publish, so
+    the re-fan-out's fresh books balance under the conservation audit."""
+    instr = broker.network.instrumentation
+    if not instr.enabled or record.lineage is None:
+        return
+    context = LineageContext.decode(record.lineage)
+    if context is None:
+        return
+    opened: dict[str, int] = {}
+    closed: dict[str, int] = {}
+    parked: dict[str, int] = {}
+    pulled: dict[str, int] = {}
+    for event in instr.ledger.events_of(context.lineage_id):
+        sink = event.detail.get("sink")
+        if sink is None:
+            continue
+        if event.state in ("enqueued", "replayed"):
+            opened[sink] = opened.get(sink, 0) + 1
+        elif event.state in ("delivered", "dead_lettered", "failed"):
+            closed[sink] = closed.get(sink, 0) + 1
+            if event.state == "delivered" and event.detail.get("via") == "pull":
+                pulled[sink] = pulled.get(sink, 0) + 1
+        elif event.state == "pending_pull":
+            parked[sink] = parked.get(sink, 0) + 1
+    for sink, count in sorted(opened.items()):
+        dangling = count - closed.get(sink, 0) - (
+            parked.get(sink, 0) - pulled.get(sink, 0)
+        )
+        for _ in range(dangling):
+            instr.lineage_event(
+                context.lineage_id, "failed", sink=sink, reason="broker_crash"
+            )
+            store.stats.crash_failures += 1
+
+
+def _replay_publish(broker, store, record: PublishRecorded) -> None:
+    if record.message_id in store._routed:
+        return  # forwarded to its owning shard pre-crash: nothing local
+    _close_books(broker, store, record)
+    payload = parse_xml(record.payload).freeze()
+    store.current_message_id = record.message_id
+    store.stats.replayed_publishes += 1
+    instr = broker.network.instrumentation
+    context = (
+        LineageContext.decode(record.lineage) if record.lineage is not None else None
+    )
+    try:
+        if instr.enabled and context is not None:
+            # resume the original lineage so replayed obligations ledger
+            # under the pre-crash id — the audit sees one continuous story
+            with instr.span(
+                "store.replay_publish", remote=context, topic=record.topic or ""
+            ):
+                broker.publish(payload, topic=record.topic)
+        else:
+            broker.publish(payload, topic=record.topic)
+    finally:
+        store.current_message_id = None

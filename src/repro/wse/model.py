@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Optional
@@ -76,7 +75,7 @@ class SubscriptionStore:
     def __init__(self, clock: VirtualClock, prefix: str = "wse-sub") -> None:
         self.clock = clock
         self._prefix = prefix
-        self._counter = itertools.count(1)
+        self._serial = 0
         self._subscriptions: dict[str, WseSubscription] = {}
         # earliest-expiry heap of (expires, id); entries go stale when a
         # subscription is removed or renewed, and sweep_due skips them
@@ -86,8 +85,17 @@ class SubscriptionStore:
         self.on_created: list[Callable[[WseSubscription], None]] = []
         self.on_removed: list[Callable[[WseSubscription], None]] = []
 
-    def create(self, **kwargs) -> WseSubscription:
-        sub_id = f"{self._prefix}-{next(self._counter)}"
+    def create(self, *, sub_id: Optional[str] = None, **kwargs) -> WseSubscription:
+        if sub_id is None:
+            self._serial += 1
+            sub_id = f"{self._prefix}-{self._serial}"
+        else:
+            # forced id (log replay): never re-mint it for a later create
+            if sub_id in self._subscriptions:
+                raise ValueError(f"subscription id {sub_id!r} already exists")
+            tail = sub_id.rsplit("-", 1)[-1]
+            if sub_id.startswith(f"{self._prefix}-") and tail.isdigit():
+                self._serial = max(self._serial, int(tail))
         subscription = WseSubscription(id=sub_id, **kwargs)
         self._subscriptions[sub_id] = subscription
         self._note_expiry(subscription)

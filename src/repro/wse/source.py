@@ -10,7 +10,7 @@ here, switched by the version profile.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.delivery.outcome import DeliveryFailure, record_failure
 from repro.delivery.task import DeliveryItem
@@ -84,6 +84,13 @@ class EventSource:
         #: match with the original linear scan (differential tests diff the two)
         self.debug_linear_match = debug_linear_match
         self.store = SubscriptionStore(self.clock)
+        #: lifecycle listeners (event, subscription, detail): "renewed" and
+        #: "pulled" — creations/removals already flow via the store's hooks
+        self.lifecycle_listeners: list[
+            Callable[[str, WseSubscription, dict], None]
+        ] = []
+        #: consumed by the next _handle_subscribe (log replay pins the id)
+        self._forced_sub_id: Optional[str] = None
         # topic index over the store, kept fresh via the store's own hooks so
         # direct store manipulation (tests, sweeps) can never leave it stale
         self._topic_index = TopicSubscriptionIndex()
@@ -127,7 +134,18 @@ class EventSource:
 
     # --- subscribe --------------------------------------------------------------
 
+    def force_next_subscription_id(self, sub_id: str) -> None:
+        """Pin the id the next Subscribe mints (log/journal replay)."""
+        self._forced_sub_id = sub_id
+
+    def _fire_lifecycle(self, event: str, subscription: WseSubscription, **detail) -> None:
+        for listener in self.lifecycle_listeners:
+            listener(event, subscription, detail)
+
     def _handle_subscribe(self, envelope: SoapEnvelope, headers: MessageHeaders):
+        # consume the forced id up front so a faulting request cannot leak
+        # it into an unrelated later subscription
+        forced_sub_id, self._forced_sub_id = self._forced_sub_id, None
         request = messages.parse_subscribe(envelope.body_element(), self.version)
         if request.mode is not DeliveryMode.PUSH and not (
             self.version.supports_pull_delivery or request.mode is DeliveryMode.WRAPPED
@@ -148,6 +166,7 @@ class EventSource:
         subscription_filter = self._build_filter(request)
         expires = self._grant_expiry(request.expires_text)
         subscription = self.store.create(
+            sub_id=forced_sub_id,
             version=self.version,
             notify_to=request.notify_to,
             mode=request.mode,
@@ -240,6 +259,7 @@ class EventSource:
         subscription = self._subscription_for(envelope, headers)
         expires_text = messages.expires_from_body(envelope.body_element(), self.version)
         self.store.update_expiry(subscription, self._grant_expiry(expires_text))
+        self._fire_lifecycle("renewed", subscription, expires=subscription.expires)
         body = messages.build_renew_response(
             self.version, self._expires_text(subscription.expires)
         )
@@ -267,6 +287,8 @@ class EventSource:
         limit = int(max_elem.full_text().strip()) if max_elem is not None else len(subscription.queue)
         batch = subscription.queue[: limit or len(subscription.queue)]
         del subscription.queue[: len(batch)]
+        if batch:
+            self._fire_lifecycle("pulled", subscription, count=len(batch))
         body = messages.build_pull_response(self.version, batch)
         return self._reply(headers, self.version.action("PullResponse"), body)
 

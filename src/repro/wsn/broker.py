@@ -64,10 +64,18 @@ class NotificationBroker:
         version: WsnVersion = WsnVersion.V1_3,
         topic_namespace: Optional[TopicNamespace] = None,
         require_registration: bool = False,
+        store=None,
     ) -> None:
         self.network = network
         self.version = version
         self.require_registration = require_registration
+        #: optional event log (repro.store.BrokerStore): publications are
+        #: appended outbox-first, giving this standalone broker a durable
+        #: publish audit trail (full projection recovery lives in
+        #: repro.store.recovery, on the mediation broker)
+        self.store = store
+        if store is not None and store.clock is None:
+            store.clock = network.clock
         # the broker's producer side (Subscribe / GetCurrentMessage / delivery)
         self.producer = NotificationProducer(
             network, address, version=version, topic_namespace=topic_namespace
@@ -130,7 +138,16 @@ class NotificationBroker:
 
     def publish(self, payload: XElem, *, topic: Optional[str] = None) -> int:
         """Broker-side publication (in-process publisher API)."""
-        return self.producer.publish(payload, topic=topic)
+        if self.store is None:
+            return self.producer.publish(payload, topic=topic)
+        # transactional outbox: append before fan-out
+        self.store.record_publish(
+            payload, topic, self.network.instrumentation.trace_context()
+        )
+        try:
+            return self.producer.publish(payload, topic=topic)
+        finally:
+            self.store.end_publish()
 
     # --- publisher registration --------------------------------------------------------
 

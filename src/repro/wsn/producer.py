@@ -107,6 +107,8 @@ class NotificationProducer:
         self.delivery_failures: list[DeliveryFailure] = []
         self.registry = ResourceRegistry(self.clock, key_prefix="wsn-sub")
         self._subscriptions: dict[str, WsnSubscription] = {}
+        #: consumed by the next create_subscription (log replay pins the key)
+        self._forced_sub_id: Optional[str] = None
         self._current_message: dict[str, XElem] = {}  # last message per topic
         self._client = SoapClient(
             network, wsa_version=version.wsa_version, soap_version=SoapVersion.V11
@@ -165,6 +167,21 @@ class NotificationProducer:
         )
         return self._reply(headers, self.version.action("SubscribeResponse"), body)
 
+    def force_next_subscription_id(self, sub_id: str) -> None:
+        """Pin the key the next Subscribe mints (log/journal replay)."""
+        self._forced_sub_id = sub_id
+
+    def forget_subscription(self, sub_id: str) -> None:
+        """Drop a subscription without a TerminationNotification (log
+        replay: the pre-crash removal already announced itself).  The
+        "destroyed" listeners still fire so derived state — topic index,
+        mesh demand — stays consistent."""
+        if self.registry.find(sub_id) is not None:
+            self.registry.destroy(sub_id, reason="unsubscribed")
+        else:
+            self._subscriptions.pop(sub_id, None)
+            self._topic_index.discard(sub_id)
+
     def create_subscription(self, request: WsnSubscribeRequest) -> WsnSubscription:
         """Core Subscribe logic (also called in-process by the broker)."""
         if self.version.requires_topic and request.filter.topic_expression is None:
@@ -173,9 +190,12 @@ class NotificationProducer:
                 f"WS-BaseNotification {self.version.name} requires a TopicExpression",
                 subcode=self.version.qname("TopicExpressionRequired"),
             )
+        # consume the forced key up front so a faulting request cannot leak
+        # it into an unrelated later subscription
+        forced_sub_id, self._forced_sub_id = self._forced_sub_id, None
         subscription_filter = self._build_filter(request.filter)
         expiry = self._grant_termination(request.initial_termination_text)
-        resource = self.registry.create()
+        resource = self.registry.create(key=forced_sub_id)
         resource.termination_time = expiry
         self.registry.note_termination(resource)
         subscription = WsnSubscription(
@@ -317,6 +337,7 @@ class NotificationProducer:
         subscription.resource.termination_time = self._grant_termination(text)
         self.registry.note_termination(subscription.resource)
         self._set_resource_properties(subscription)
+        self._notify_listeners("renewed", subscription)
         termination = subscription.resource.termination_time
         body = messages.build_renew_response(
             self.version,
@@ -371,6 +392,7 @@ class NotificationProducer:
             new_time = parse_datetime(requested.full_text().strip())
         set_termination_time(self.registry, subscription.resource, new_time)
         self._set_resource_properties(subscription)
+        self._notify_listeners("renewed", subscription)
         body = XElem(QName(Namespaces.WSRF_RL, "SetTerminationTimeResponse"))
         body.append(
             text_element(

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
@@ -88,16 +87,27 @@ class ResourceRegistry:
     def __init__(self, clock: VirtualClock, key_prefix: str = "res") -> None:
         self.clock = clock
         self._key_prefix = key_prefix
-        self._counter = itertools.count(1)
+        self._serial = 0
         self._resources: dict[ResourceKey, WsResource] = {}
         # earliest-expiry heap of (termination_time, key); lazy deletion:
         # entries go stale when a resource is destroyed or its termination
         # time changes, and sweep_due skips them
         self._expiry_heap: list[tuple[float, ResourceKey]] = []
 
-    def create(self, *, lifetime: Optional[float] = None) -> WsResource:
-        """Create a resource; ``lifetime`` is seconds from now (soft state)."""
-        key = f"{self._key_prefix}-{next(self._counter)}"
+    def create(
+        self, *, lifetime: Optional[float] = None, key: Optional[ResourceKey] = None
+    ) -> WsResource:
+        """Create a resource; ``lifetime`` is seconds from now (soft state).
+        A forced ``key`` (log replay) also advances the serial past it."""
+        if key is None:
+            self._serial += 1
+            key = f"{self._key_prefix}-{self._serial}"
+        else:
+            if key in self._resources:
+                raise ValueError(f"resource key {key!r} already exists")
+            tail = key.rsplit("-", 1)[-1]
+            if key.startswith(f"{self._key_prefix}-") and tail.isdigit():
+                self._serial = max(self._serial, int(tail))
         resource = WsResource(key)
         if lifetime is not None:
             resource.termination_time = self.clock.now() + lifetime

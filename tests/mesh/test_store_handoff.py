@@ -1,0 +1,109 @@
+"""Durable shard handoff: a departing node ships its event log segment.
+
+With ``store_factory`` every mesh node appends its shard's history to an
+event log.  When a node dies, its successor does not need the old process:
+it replays the shipped log segment (:func:`repro.store.recover_broker`) and
+takes over the shard's front door with the subscription population — and
+identifiers — intact, so peers' forwarded publishes keep landing.
+"""
+
+from repro.mesh import MeshCluster
+from repro.store import BrokerStore, MemoryEventLog, recover_broker
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.wsn import NotificationConsumer
+from repro.xmlkit import parse_xml
+
+
+def make_mesh(network):
+    return MeshCluster(
+        network,
+        3,
+        base_address="http://hand",
+        store_factory=lambda name: BrokerStore(MemoryEventLog()),
+    )
+
+
+def payload(n):
+    return parse_xml(f'<m xmlns="urn:hand"><n>{n}</n></m>')
+
+
+def test_every_node_gets_its_own_log():
+    network = SimulatedNetwork(VirtualClock())
+    mesh = make_mesh(network)
+    logs = {node.name: node.broker.store.log for node in mesh}
+    assert len(logs) == 3
+    assert len({id(log) for log in logs.values()}) == 3
+
+
+def test_forwarded_publish_is_routed_at_origin_and_owned_at_owner():
+    network = SimulatedNetwork(VirtualClock())
+    mesh = make_mesh(network)
+    owner = mesh.owner_node_of_topic("hand/t")
+    origin = next(node for node in mesh if node.name != owner.name)
+    consumer = NotificationConsumer(network, "http://hand-consumer")
+    mesh.subscribe_wsn(consumer.address, topic="hand/t", home=owner.name)
+    mesh.publish(payload(1), topic="hand/t", via=origin.name)
+    assert len(consumer.received) == 1
+    origin_kinds = [entry["kind"] for entry in origin.log_segment()]
+    assert "publish" in origin_kinds
+    # the origin settled its copy as routed: the owner is responsible now
+    routed = [
+        entry
+        for entry in origin.log_segment()
+        if entry["kind"] == "outcome" and entry["outcome"] == "routed"
+    ]
+    assert len(routed) == 1
+    # the owner's log carries the ingested publish and the real delivery
+    owner_outcomes = {
+        entry["outcome"]
+        for entry in owner.log_segment()
+        if entry["kind"] == "outcome"
+    }
+    assert owner_outcomes == {"delivered"}
+
+
+def test_successor_takes_over_the_shard_from_the_log_segment():
+    network = SimulatedNetwork(VirtualClock())
+    mesh = make_mesh(network)
+    owner = mesh.owner_node_of_topic("hand/t")
+    origin = next(node for node in mesh if node.name != owner.name)
+    consumer = NotificationConsumer(network, "http://hand-consumer")
+    mesh.subscribe_wsn(consumer.address, topic="hand/t", home=owner.name)
+    mesh.publish(payload(1), topic="hand/t", via=origin.name)
+    assert len(consumer.received) == 1
+
+    # the owner dies; the segment it shipped is all the successor needs
+    segment = owner.log_segment()
+    owner.close()
+    handoff_log = MemoryEventLog()
+    handoff_log.extend(segment)
+    successor = recover_broker(network, owner.address, handoff_log)
+    assert successor.subscription_count() == 1
+    # pre-crash messages are settled history, not re-deliveries
+    assert len(consumer.received) == 1
+
+    # peers still forward to the same front door; traffic flows again
+    mesh.publish(payload(2), topic="hand/t", via=origin.name)
+    assert len(consumer.received) == 2
+    texts = [item.payload.full_text() for item in consumer.received]
+    assert texts == ["1", "2"]
+
+
+def test_replaying_origin_log_does_not_double_publish():
+    """A routed publish replays as settled: the owner handled it."""
+    network = SimulatedNetwork(VirtualClock())
+    mesh = make_mesh(network)
+    owner = mesh.owner_node_of_topic("hand/t")
+    origin = next(node for node in mesh if node.name != owner.name)
+    consumer = NotificationConsumer(network, "http://hand-consumer")
+    mesh.subscribe_wsn(consumer.address, topic="hand/t", home=owner.name)
+    mesh.publish(payload(1), topic="hand/t", via=origin.name)
+    assert len(consumer.received) == 1
+    # rebuild the *origin* from its own log: its routed publish must not
+    # fan out again anywhere (locally or via a second forward)
+    segment = origin.log_segment()
+    origin.close()
+    log = MemoryEventLog()
+    log.extend(segment)
+    recover_broker(network, origin.address, log)
+    assert len(consumer.received) == 1

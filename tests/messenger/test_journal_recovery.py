@@ -76,6 +76,43 @@ class TestJournal:
         # the dead sink's subscription was reaped at first delivery failure
         assert recovered_broker.subscription_count() == 1
 
+    def test_replay_preserves_ids_and_manager_eprs(self, network):
+        journal = SubscriptionJournal()
+        broker = WsMessenger(network, "http://jr-broker", journal=journal)
+        sink = EventSink(network, "http://jr-sink")
+        consumer = NotificationConsumer(network, "http://jr-consumer")
+        wse_subscriber = WseSubscriber(network)
+        wsn_subscriber = WsnSubscriber(network)
+        wse_handle = wse_subscriber.subscribe(broker.epr(), notify_to=sink.epr())
+        wsn_handle = wsn_subscriber.subscribe(broker.epr(), consumer.epr(), topic="jr")
+        broker.close()
+        recovered = WsMessenger(network, "http://jr-broker")
+        # passing the broker pins each entry's granted id before the re-post
+        assert journal.replay(network, "http://jr-broker", broker=recovered) == 2
+        # the manager EPRs minted before the crash still address these
+        # subscriptions: Renew and Unsubscribe work without re-subscribing
+        wse_subscriber.renew(wse_handle, "PT2H")
+        wsn_subscriber.renew(wsn_handle, "PT2H")
+        wse_subscriber.unsubscribe(wse_handle)
+        wsn_subscriber.unsubscribe(wsn_handle)
+        assert recovered.subscription_count() == 0
+
+    def test_replay_restores_granted_expiry(self, network):
+        journal = SubscriptionJournal()
+        broker = WsMessenger(network, "http://jr-broker", journal=journal)
+        sink = EventSink(network, "http://jr-sink")
+        subscriber = WseSubscriber(network)
+        handle = subscriber.subscribe(broker.epr(), notify_to=sink.epr(), expires="PT1H")
+        network.clock.advance(1200.0)
+        broker.close()
+        recovered = WsMessenger(network, "http://jr-broker")
+        assert journal.replay(network, "http://jr-broker", broker=recovered) == 1
+        # absolute expiry survives: the remaining lifetime shrank by the
+        # 20 minutes that elapsed, instead of being re-granted in full
+        source = recovered.wse_sources[WseVersion.V2004_08]
+        [subscription] = source.store.live()
+        assert subscription.expires == pytest.approx(3600.0, abs=1.0)
+
     def test_replay_against_unreachable_broker(self, network):
         journal = SubscriptionJournal()
         broker = WsMessenger(network, "http://jr-broker", journal=journal)
