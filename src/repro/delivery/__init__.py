@@ -15,11 +15,12 @@ the broker depend on this package (never the reverse), taking a
 :class:`DeliveryManager` by reference.
 """
 
+from repro.delivery.batcher import BatcherStats, DeliveryBatcher
 from repro.delivery.breaker import BreakerState, CircuitBreaker
 from repro.delivery.dlq import DeadLetter, DeadLetterQueue
 from repro.delivery.manager import DeliveryManager, DeliveryStats
 from repro.delivery.outcome import DeliveryFailure, failure_counts, record_failure
-from repro.delivery.policy import BEST_EFFORT, DeliveryPolicy
+from repro.delivery.policy import BEST_EFFORT, BatchingPolicy, DeliveryPolicy
 from repro.delivery.task import DeliveryItem, DeliveryTask, TaskStatus
 from repro.delivery.messagebox import (
     MessageBox,
@@ -29,7 +30,10 @@ from repro.delivery.messagebox import (
 
 __all__ = [
     "BEST_EFFORT",
+    "BatcherStats",
+    "BatchingPolicy",
     "BreakerState",
+    "DeliveryBatcher",
     "CircuitBreaker",
     "DeadLetter",
     "DeadLetterQueue",

@@ -51,6 +51,9 @@ class DeliveryStats:
     """Aggregate pipeline accounting (virtual-clock deterministic)."""
 
     submitted: int = 0
+    #: submissions carrying more than one coalesced notification (delivery
+    #: batching or WSE wrapped batches) — each saved at least one request
+    batched: int = 0
     delivered: int = 0
     attempts: int = 0
     retries: int = 0
@@ -64,6 +67,7 @@ class DeliveryStats:
     def snapshot(self) -> dict:
         return {
             "submitted": self.submitted,
+            "batched": self.batched,
             "delivered": self.delivered,
             "attempts": self.attempts,
             "retries": self.retries,
@@ -145,6 +149,8 @@ class DeliveryManager:
             if resolution is not None:
                 return self._apply_replay_resolution(task, resolution)
         self.stats.submitted += 1
+        if len(item_list) > 1:
+            self.stats.batched += 1
         instr.count("delivery.submitted", family=family)
         self._record_items(task, "enqueued", sink=sink, family=family)
         self._enqueue(task)

@@ -70,3 +70,25 @@ class DeliveryPolicy:
 BEST_EFFORT = DeliveryPolicy(
     max_attempts=1, base_backoff=0.0, jitter=0.0, breaker_failure_threshold=1
 )
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """Per-sink wire coalescing: notifications to the same consumer within
+    the window ride one multi-``NotificationMessage`` Notify request.
+
+    ``window`` is in virtual seconds.  ``window == 0`` coalesces only within
+    a single publish (every matched subscriber of one event, flushed before
+    ``publish`` returns); a positive window additionally holds partial
+    batches on the clock scheduler, trading latency for fewer requests.
+    ``max_batch`` bounds a single wire request regardless of window.
+    """
+
+    window: float = 0.0
+    max_batch: int = 100
+
+    def __post_init__(self) -> None:
+        if self.window < 0:
+            raise ValueError("window cannot be negative")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")

@@ -14,6 +14,7 @@ one of those filter languages is implemented in this package:
 - :mod:`repro.filters.content` -- XPath message-content filters (WSE default
   dialect; WSN MessageContent filter).
 - :mod:`repro.filters.producer` -- WSN ProducerProperties filters.
+- :mod:`repro.filters.compilecache` -- shared compiled-expression caches
 - :mod:`repro.filters.selector` -- the JMS SQL92-subset message selector
   (own lexer/parser/evaluator).
 - :mod:`repro.filters.tcl` -- the CORBA Notification extended Trader

@@ -11,8 +11,9 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.filters.base import Filter, FilterContext, FilterError
+from repro.filters.compilecache import compiled_xpath
 from repro.xmlkit.names import Namespaces
-from repro.xmlkit.xpath import XPath, XPathError
+from repro.xmlkit.xpath import XPathError
 
 
 class MessageContentFilter(Filter):
@@ -22,7 +23,7 @@ class MessageContentFilter(Filter):
 
     def __init__(self, expression: str, namespaces: Optional[dict[str, str]] = None) -> None:
         try:
-            self._xpath = XPath(expression, namespaces)
+            self._xpath = compiled_xpath(expression, namespaces)
         except XPathError as exc:
             raise FilterError(f"invalid XPath filter {expression!r}: {exc}") from exc
         self.expression = expression

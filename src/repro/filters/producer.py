@@ -12,9 +12,10 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.filters.base import Filter, FilterContext, FilterError
+from repro.filters.compilecache import compiled_xpath
 from repro.xmlkit.element import XElem, text_element
 from repro.xmlkit.names import Namespaces, QName
-from repro.xmlkit.xpath import XPath, XPathError
+from repro.xmlkit.xpath import XPathError
 
 _DOC_ROOT = QName(Namespaces.WSRF_RP, "ProducerProperties")
 
@@ -38,7 +39,7 @@ class ProducerPropertiesFilter(Filter):
 
     def __init__(self, expression: str, namespaces: Optional[dict[str, str]] = None) -> None:
         try:
-            self._xpath = XPath(expression, namespaces)
+            self._xpath = compiled_xpath(expression, namespaces)
         except XPathError as exc:
             raise FilterError(f"invalid producer-properties filter {expression!r}: {exc}") from exc
         self.expression = expression

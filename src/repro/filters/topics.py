@@ -364,6 +364,26 @@ def topic_expression_of(filter: Filter) -> Optional[TopicExpression]:
     return None
 
 
+#: compiled topic expressions are immutable after __init__ — identical
+#: (text, dialect) pairs across subscriptions share one instance (the cache
+#: lives here, not in compilecache, to avoid a circular import; stats and
+#: capacity policy are compilecache's)
+_topic_expression_cache = None  # populated lazily below
+
+
+def compiled_topic_expression(text: str, dialect_uri: str) -> TopicExpression:
+    """The shared compiled form of a topic expression."""
+    global _topic_expression_cache
+    if _topic_expression_cache is None:
+        from repro.filters.compilecache import LRUCache
+
+        _topic_expression_cache = LRUCache()
+    return _topic_expression_cache.get_or_build(
+        (text, dialect_uri),
+        lambda: TopicExpression(text, TopicDialect.from_uri(dialect_uri)),
+    )
+
+
 class TopicFilter(Filter):
     """A subscription filter selecting by topic expression."""
 
@@ -373,7 +393,7 @@ class TopicFilter(Filter):
 
     @classmethod
     def parse(cls, text: str, dialect_uri: str) -> "TopicFilter":
-        return cls(TopicExpression(text, TopicDialect.from_uri(dialect_uri)))
+        return cls(compiled_topic_expression(text, dialect_uri))
 
     def matches(self, context: FilterContext) -> bool:
         if context.topic is None:

@@ -34,7 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from repro.delivery.manager import DeliveryManager
 from repro.delivery.messagebox import MessageBoxRegistry
-from repro.delivery.policy import DeliveryPolicy
+from repro.delivery.policy import BatchingPolicy, DeliveryPolicy
 from repro.filters.topics import TopicNamespace
 from repro.messenger.adapters import InMemoryBackbone, MessagingBackbone
 from repro.messenger.detection import DetectedSpec, SpecDetectionError, SpecFamily, detect_spec
@@ -92,12 +92,19 @@ class WsMessenger:
         delivery_seed: int = 0,
         store: Optional["BrokerStore"] = None,
         debug_linear_match: bool = False,
+        batching: Optional[BatchingPolicy] = None,
+        debug_no_templates: bool = False,
     ) -> None:
         self.network = network
         self.address = address
         #: escape hatch: run every internal source/producer on the pre-index
         #: linear matcher (differential tests diff the two fan-out paths)
         self.debug_linear_match = debug_linear_match
+        #: escape hatch: disable envelope byte-templates (tree-serialize every
+        #: Notify); mirrors debug_linear_match for the byte-template layer
+        self.debug_no_templates = debug_no_templates
+        #: optional per-sink coalescing of same-EPR notifications
+        self.batching = batching
         self.stats = BrokerStats()
         self.backbone = backbone or InMemoryBackbone()
         self.backbone.network = network
@@ -139,6 +146,7 @@ class WsMessenger:
                 topic_header=mediation.WSE_TOPIC_HEADER,
                 delivery_manager=self.delivery_manager,
                 debug_linear_match=debug_linear_match,
+                batching=batching,
             )
         self.wsn_producers: dict[WsnVersion, NotificationProducer] = {}
         for version in wsn_versions if wsn_versions is not None else list(WsnVersion):
@@ -151,6 +159,8 @@ class WsMessenger:
                 topic_namespace=topics,
                 delivery_manager=self.delivery_manager,
                 debug_linear_match=debug_linear_match,
+                batching=batching,
+                debug_no_templates=debug_no_templates,
             )
         # pull points for firewalled WSN 1.3 consumers
         self.pullpoint_factory = (
@@ -409,9 +419,12 @@ class WsMessenger:
             producer.publish(payload, topic=topic)
 
     def flush(self) -> None:
-        """Flush wrapped-mode batches in the internal WSE sources."""
+        """Flush wrapped-mode batches in the internal WSE sources and any
+        pending per-sink Notify batches in the WSN producers."""
         for source in self.wse_sources.values():
             source.flush()
+        for producer in self.wsn_producers.values():
+            producer.flush_batches()
 
     # --- introspection ---------------------------------------------------------------
 

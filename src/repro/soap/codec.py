@@ -12,8 +12,10 @@ class SoapCodecError(ValueError):
     """The payload is XML but not a well-formed SOAP envelope."""
 
 
-def serialize_envelope(envelope: SoapEnvelope, *, indent: bool = False) -> str:
-    """Render an envelope to XML text."""
+def envelope_root(envelope: SoapEnvelope) -> XElem:
+    """Build the wire tree for an envelope (the envelope byte-template cache
+    serializes this same tree, so template output stays byte-identical to
+    :func:`serialize_envelope`)."""
     version = envelope.version
     root = XElem(version.qname("Envelope"))
     if envelope.headers:
@@ -33,7 +35,12 @@ def serialize_envelope(envelope: SoapEnvelope, *, indent: bool = False) -> str:
     for payload in envelope.body:
         body.append(payload)
     root.append(body)
-    return serialize_xml(root, xml_declaration=True, indent=indent)
+    return root
+
+
+def serialize_envelope(envelope: SoapEnvelope, *, indent: bool = False) -> str:
+    """Render an envelope to XML text."""
+    return serialize_xml(envelope_root(envelope), xml_declaration=True, indent=indent)
 
 
 def parse_envelope(text: str | bytes) -> SoapEnvelope:

@@ -195,6 +195,27 @@ class SoapClient:
             raise SoapFault.from_element(reply.body_element(), reply.version)
         return reply if expect_reply else None
 
+    def send_rendered(
+        self, target_address: str, action: str, text: str
+    ) -> Optional[SoapEnvelope]:
+        """Send pre-rendered envelope text (the byte-template fast path).
+
+        The caller has already rendered addressing, lineage and body into
+        ``text``, so unlike :meth:`call` nothing is injected here; only the
+        HTTP framing and the reply unwrap run.  Callers must not use this
+        when an :attr:`envelope_filter` is installed — the filter operates on
+        envelope trees, which a rendered send never builds.
+        """
+        wire = build_request(target_address, text.encode("utf-8"), soap_action=action)
+        raw = self.network.send_request(target_address, wire, from_zone=self.zone)
+        response = parse_response(raw)
+        if not response.body:
+            return None
+        reply = parse_envelope(response.body)
+        if reply.is_fault():
+            raise SoapFault.from_element(reply.body_element(), reply.version)
+        return reply
+
     def send_envelope(self, target_address: str, envelope: SoapEnvelope) -> Optional[SoapEnvelope]:
         """Send a pre-built envelope (used by the mediation layer)."""
         if self.envelope_filter is not None:

@@ -13,7 +13,7 @@ import json
 from pathlib import Path
 
 #: shared across every ``BENCH_*.json`` — bump on incompatible layout changes
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def stamp(document: dict) -> dict:

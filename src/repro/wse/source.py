@@ -13,7 +13,9 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.delivery.outcome import DeliveryFailure, record_failure
+from repro.delivery.policy import BatchingPolicy
 from repro.delivery.task import DeliveryItem
+from repro.transport.clock import ClockScheduler
 from repro.filters.base import AcceptAllFilter, Filter, FilterContext, FilterError
 from repro.filters.content import MessageContentFilter
 from repro.filters.topics import TopicSubscriptionIndex, topic_expression_of
@@ -60,6 +62,7 @@ class EventSource:
         delivery_retries: int = 0,
         delivery_manager: Optional["DeliveryManager"] = None,
         debug_linear_match: bool = False,
+        batching: Optional[BatchingPolicy] = None,
     ) -> None:
         self.network = network
         self.version = version
@@ -78,6 +81,18 @@ class EventSource:
         #: when set, push delivery routes through the reliable store-and-
         #: forward pipeline instead of the immediate best-effort attempt
         self.delivery_manager = delivery_manager
+        #: wrapped-mode batching policy: ``max_batch`` replaces the size
+        #: trigger, a positive ``window`` flushes partial batches on the
+        #: virtual clock instead of waiting for explicit ``flush()``
+        self.batching = batching
+        self._wrapped_deadlines: dict[str, float] = {}
+        self._batch_scheduler: Optional[ClockScheduler] = None
+        if batching is not None and batching.window > 0:
+            self._batch_scheduler = (
+                delivery_manager.scheduler
+                if delivery_manager is not None
+                else ClockScheduler(network.clock)
+            )
         #: every failed outbound send, recorded (see repro.delivery.outcome)
         self.delivery_failures: list[DeliveryFailure] = []
         #: escape hatch: bypass the topic index / frozen-payload fast path and
@@ -383,11 +398,36 @@ class EventSource:
                         lineage.lineage_id, "queued",
                         subscription=subscription.id, mode="wrapped",
                     )
-                if len(subscription.queue) >= self.wrapped_batch_size:
+                self._note_wrapped_queued(subscription)
+                if len(subscription.queue) >= self._wrapped_trigger():
                     self._flush_wrapped(subscription)
             else:
                 self._push(subscription, frozen, action, topic)
         return delivered
+
+    def _wrapped_trigger(self) -> int:
+        """Queue length that forces a wrapped flush (batching policy wins)."""
+        return self.batching.max_batch if self.batching is not None else self.wrapped_batch_size
+
+    def _note_wrapped_queued(self, subscription: WseSubscription) -> None:
+        """First message into an empty wrapped queue starts its window."""
+        if self._batch_scheduler is None or len(subscription.queue) != 1:
+            return
+        assert self.batching is not None
+        when = self.clock.now() + self.batching.window
+        self._wrapped_deadlines[subscription.id] = when
+        self._batch_scheduler.call_at(
+            when, lambda: self._on_wrapped_deadline(subscription.id, when)
+        )
+
+    def _on_wrapped_deadline(self, sub_id: str, when: float) -> None:
+        if self._wrapped_deadlines.get(sub_id) != when:
+            return  # flushed by size or explicit flush(); stale timer
+        subscription = self.store.get(sub_id)
+        if subscription is not None and subscription.queue:
+            self._flush_wrapped(subscription)
+        else:
+            self._wrapped_deadlines.pop(sub_id, None)
 
     def _fan_out_linear(
         self, payload: XElem, action: str, topic: Optional[str]
@@ -565,6 +605,7 @@ class EventSource:
         )
 
     def _flush_wrapped(self, subscription: WseSubscription) -> None:
+        self._wrapped_deadlines.pop(subscription.id, None)
         batch, subscription.queue = subscription.queue, []
         wrapper = messages.build_wrapped_notification(self.version, batch)
         items = [

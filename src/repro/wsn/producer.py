@@ -13,7 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.delivery.batcher import DeliveryBatcher
 from repro.delivery.outcome import DeliveryFailure, record_failure
+from repro.delivery.policy import BatchingPolicy
 from repro.delivery.task import DeliveryItem
 from repro.filters.base import AcceptAllFilter, AndFilter, Filter, FilterContext, FilterError
 from repro.filters.content import MessageContentFilter
@@ -24,14 +26,16 @@ from repro.soap.fault import FaultCode, SoapFault
 from repro.transport.endpoint import SoapClient, SoapEndpoint
 from repro.transport.network import NetworkError, SimulatedNetwork
 from repro.wsa.epr import EndpointReference
-from repro.wsa.headers import MessageHeaders, apply_headers
+from repro.wsa.headers import MessageHeaders, apply_headers, fresh_message_id
 from repro.wsn import messages
 from repro.wsn.messages import NotificationMessage, WsnFilterSpec, WsnSubscribeRequest
+from repro.wsn.templates import NotifyTemplateCache, sink_signature
 from repro.wsn.versions import WsnVersion
 from repro.wsrf.lifetime import set_termination_time
 from repro.wsrf.properties import get_resource_property
-from repro.wsrf.resource import ResourceRegistry, ResourceUnknownFault, WsResource
+from repro.wsrf.resource import RESOURCE_ID, ResourceRegistry, ResourceUnknownFault, WsResource
 from repro.xmlkit.element import XElem, text_element
+from repro.xmlkit.writer import frozen_namespace_order
 from repro.xmlkit.names import Namespaces, QName
 from repro.util.xstime import format_datetime, parse_datetime, parse_expires
 
@@ -83,6 +87,8 @@ class NotificationProducer:
         enable_wsrf: Optional[bool] = None,
         delivery_manager: Optional["DeliveryManager"] = None,
         debug_linear_match: bool = False,
+        batching: Optional[BatchingPolicy] = None,
+        debug_no_templates: bool = False,
     ) -> None:
         self.network = network
         self.version = version
@@ -130,6 +136,24 @@ class NotificationProducer:
         self.manager_address = manager_address or f"{address}/subscriptions"
         self.manager_endpoint = SoapEndpoint(network, self.manager_address)
         self._register_manager_handlers(self.manager_endpoint)
+        #: escape hatch mirroring ``debug_linear_match``: disable the envelope
+        #: byte-template cache so every send walks the full tree (differential
+        #: tests diff the two paths byte-for-byte)
+        self.debug_no_templates = debug_no_templates
+        self.templates = NotifyTemplateCache(version, address, self.manager_address)
+        #: per-sink wire coalescing (None = one request per notification);
+        #: shares the delivery manager's scheduler so window expiry rides the
+        #: same run_due/run_until_idle pump as retries
+        self.batcher: Optional[DeliveryBatcher] = None
+        if batching is not None:
+            self.batcher = DeliveryBatcher(
+                self.clock,
+                batching,
+                self._flush_batch,
+                scheduler=delivery_manager.scheduler if delivery_manager else None,
+                instrumentation=network.instrumentation,
+                family="wsn",
+            )
 
     @property
     def address(self) -> str:
@@ -181,6 +205,7 @@ class NotificationProducer:
         else:
             self._subscriptions.pop(sub_id, None)
             self._topic_index.discard(sub_id)
+            self.templates.note_removed(sub_id)
 
     def create_subscription(self, request: WsnSubscribeRequest) -> WsnSubscription:
         """Core Subscribe logic (also called in-process by the broker)."""
@@ -554,8 +579,23 @@ class NotificationProducer:
                             lineage.lineage_id, "queued",
                             subscription=subscription.key, mode="paused",
                         )
+            elif self.batcher is not None and not subscription.use_raw:
+                # same sink + same shape coalesce into one wire request; the
+                # group key mirrors the byte-template cache key so every
+                # flushed batch renders through a single compiled envelope
+                lineage = instr.trace_context() if instr.enabled else None
+                self.batcher.add(
+                    (
+                        sink_signature(subscription.consumer),
+                        topic,
+                        frozen_namespace_order(frozen),
+                    ),
+                    (subscription, message, lineage),
+                )
             else:
                 self._deliver(subscription, [message])
+        if self.batcher is not None:
+            self.batcher.flush_publish()
         return matched
 
     def _match_and_deliver_linear(self, payload: XElem, topic: Optional[str]) -> int:
@@ -705,6 +745,97 @@ class NotificationProducer:
                     kind=type(destroy_exc).__name__,
                 )
 
+    def flush_batches(self) -> None:
+        """Force out every partially-filled batch (broker ``flush()``)."""
+        if self.batcher is not None:
+            self.batcher.flush_all()
+
+    def _flush_batch(
+        self,
+        key,
+        entries: list[tuple[WsnSubscription, NotificationMessage, object]],
+    ) -> None:
+        """Deliver one coalesced batch: same sink, same shape, one request.
+
+        Mirrors :meth:`_deliver` exactly — manager path submits one task
+        whose items carry each notification's own lineage; the direct path
+        opens and closes every obligation synchronously and ends all batched
+        subscriptions on failure, just as a per-subscriber push would have.
+        """
+        instr = self.network.instrumentation
+        consumer = entries[0][0].consumer
+        sink = consumer.address
+        wrapped = [(sub.key, item) for sub, item, _ in entries]
+
+        def attempt() -> None:
+            if not instr.enabled:
+                self._send_wrapped(consumer, wrapped)
+            else:
+                with instr.span(
+                    "notify", family="wsn", to=sink, raw="false",
+                    batch=str(len(wrapped)),
+                ):
+                    self._send_wrapped(consumer, wrapped)
+                instr.count(
+                    "notifications.delivered", len(wrapped),
+                    family="wsn", version=self._version_tag,
+                )
+
+        if self.delivery_manager is not None:
+            self.delivery_manager.submit(
+                sink,
+                attempt,
+                items=[
+                    DeliveryItem(
+                        item.payload if item.payload.frozen else item.payload.copy(),
+                        item.topic,
+                        lineage=lineage,
+                    )
+                    for _, item, lineage in entries
+                ],
+                family="wsn",
+                describe=f"notify batch[{len(entries)}] {sink}",
+            )
+            return
+        lineages = [lineage for _, _, lineage in entries if lineage is not None]
+        for lineage in lineages:
+            instr.lineage_event(lineage.lineage_id, "enqueued", sink=sink, family="wsn")
+            instr.lineage_event(lineage.lineage_id, "attempted", n=1, sink=sink)
+        try:
+            attempt()
+            for lineage in lineages:
+                instr.lineage_delivered(
+                    lineage.lineage_id, family="wsn", hops=lineage.hop + 1, sink=sink
+                )
+        except (NetworkError, SoapFault) as exc:
+            if instr.enabled:
+                instr.count(
+                    "notifications.failed", len(entries),
+                    family="wsn", version=self._version_tag,
+                )
+            for lineage in lineages:
+                instr.lineage_event(
+                    lineage.lineage_id, "failed", sink=sink, reason=type(exc).__name__
+                )
+            record_failure(
+                self.delivery_failures,
+                instr,
+                at=self.clock.now(),
+                family="wsn",
+                stage="notify",
+                sink=sink,
+                error=exc,
+            )
+            for subscription in {sub.key: sub for sub, _, _ in entries}.values():
+                try:
+                    self.registry.destroy(subscription.key, reason="delivery failure")
+                except ResourceUnknownFault as destroy_exc:
+                    instr.count(
+                        "obs.swallowed_errors_total",
+                        site="wsn.producer.destroy_after_failure",
+                        kind=type(destroy_exc).__name__,
+                    )
+
     def _send_notifications(
         self, subscription: WsnSubscription, notifications: list[NotificationMessage]
     ) -> None:
@@ -717,19 +848,114 @@ class NotificationProducer:
                     expect_reply=False,
                 )
         else:
-            body = messages.build_notify(self.version, notifications)
-            self._client.call(
+            self._send_wrapped(
                 subscription.consumer,
-                self.version.action("Notify"),
-                [body],
-                expect_reply=False,
+                [(subscription.key, item) for item in notifications],
             )
+
+    def _send_wrapped(
+        self,
+        consumer: EndpointReference,
+        entries: list[tuple[str, NotificationMessage]],
+    ) -> None:
+        """One wrapped Notify request carrying ``entries`` (sub key, message).
+
+        Fast path: render through the envelope byte-template cache — no tree
+        build, no tree walk.  Fallback (``debug_no_templates``, unfrozen
+        payload, mixed shapes, sentinel collision, envelope filter): the
+        original ``build_notify`` + ``call`` path, byte-identical output.
+        """
+        action = self.version.action("Notify")
+        text = self._render_notify(consumer, entries)
+        if text is not None:
+            self._client.send_rendered(consumer.address, action, text)
+            return
+        body = messages.build_notify(self.version, [item for _, item in entries])
+        self._client.call(consumer, action, [body], expect_reply=False)
+
+    def _render_notify(
+        self,
+        consumer: EndpointReference,
+        entries: list[tuple[str, NotificationMessage]],
+    ) -> Optional[str]:
+        """Rendered envelope text for ``entries``, or ``None`` for the tree
+        path.  Runs at attempt time, so the message id is minted and the
+        lineage header resolved exactly where the tree path would do it."""
+        if self.debug_no_templates or self._client.envelope_filter is not None:
+            return None
+        instr = self.network.instrumentation
+        first = entries[0][1]
+        topic = first.topic
+        dialect = first.topic_dialect
+        payload0 = first.payload
+        if not payload0.frozen:
+            return None
+        shape = frozen_namespace_order(payload0)
+        for sub_key, item in entries:
+            if (
+                item.topic != topic
+                or item.topic_dialect != dialect
+                or not item.payload.frozen
+                or (item.payload is not payload0
+                    and frozen_namespace_order(item.payload) != shape)
+                or not self._references_match(sub_key, item)
+            ):
+                if instr.enabled:
+                    instr.count("fanout.template_misses", family="wsn")
+                return None
+        context = instr.trace_context() if instr.enabled else None
+        compiled, outcome = self.templates.lookup(
+            consumer,
+            topic,
+            dialect,
+            payload0,
+            has_lineage=context is not None,
+            sub_keys=[sub_key for sub_key, _ in entries],
+        )
+        if instr.enabled:
+            if outcome == "hit":
+                instr.count("fanout.template_hits", family="wsn")
+            else:
+                instr.count("fanout.template_misses", family="wsn")
+        if compiled is None:
+            return None
+        message_id = fresh_message_id()
+        lineage_text = context.step().encode() if context is not None else ""
+        return compiled.render(
+            message_id,
+            lineage_text,
+            [(sub_key, item.payload) for sub_key, item in entries],
+        )
+
+    def _references_match(self, sub_key: str, item: NotificationMessage) -> bool:
+        """Whether the message's EPRs are exactly the shapes the template
+        bakes in (our own ``epr_for`` + producer EPR); anything else — e.g. a
+        re-published message carrying foreign references — takes the tree
+        path rather than silently rewriting its references."""
+        sref = item.subscription_reference
+        pref = item.producer_reference
+        if sref is None or pref is None:
+            return False
+        if pref.address != self.address or pref.reference_parameters or pref.reference_properties:
+            return False
+        if sref.address != self.manager_address or sref.reference_properties:
+            return False
+        if len(sref.reference_parameters) != 1:
+            return False
+        param = sref.reference_parameters[0]
+        return (
+            param.name == RESOURCE_ID
+            and not param.attrs
+            and len(param.children) == 1
+            and param.children[0] == sub_key
+        )
 
     # --- termination -----------------------------------------------------------------------
 
     def _on_subscription_terminated(self, resource: WsResource, reason: str) -> None:
         subscription = self._subscriptions.pop(resource.key, None)
         self._topic_index.discard(resource.key)
+        self.templates.note_removed(resource.key)
         if subscription is None:
             return
         self._notify_listeners("destroyed", subscription)

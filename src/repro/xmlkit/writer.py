@@ -52,7 +52,7 @@ def _escape_attr(value: str) -> str:
 class WriterStats:
     """Serialization accounting for the fan-out benchmarks (single-threaded)."""
 
-    __slots__ = ("frozen_serializations", "frozen_splices")
+    __slots__ = ("frozen_serializations", "frozen_splices", "tree_serializations")
 
     def __init__(self) -> None:
         self.reset()
@@ -60,11 +60,16 @@ class WriterStats:
     def reset(self) -> None:
         self.frozen_serializations = 0
         self.frozen_splices = 0
+        #: full top-level tree walks (:func:`serialize_xml` calls) — the
+        #: envelope byte-template cache exists to drive this to zero on the
+        #: steady-state fan-out path
+        self.tree_serializations = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
             "frozen_serializations": self.frozen_serializations,
             "frozen_splices": self.frozen_splices,
+            "tree_serializations": self.tree_serializations,
         }
 
 
@@ -104,6 +109,7 @@ def serialize_xml(root: XElem, *, xml_declaration: bool = False, indent: bool = 
     two-pass walk), which keeps notification payload serialization compact
     and stable regardless of tree construction order.
     """
+    WRITER_STATS.tree_serializations += 1
     allocator = _PrefixAllocator()
     _collect_namespaces(root, allocator)
     parts: list[str] = []
@@ -113,6 +119,62 @@ def serialize_xml(root: XElem, *, xml_declaration: bool = False, indent: bool = 
             parts.append("\n")
     _write(root, allocator, parts, declare_namespaces=True, indent=0 if indent else None)
     return "".join(parts)
+
+
+def serialize_with_allocator(root: XElem) -> tuple[str, _PrefixAllocator]:
+    """Serialize like :func:`serialize_xml` (declaration, no indent) but also
+    return the prefix allocator, so a caller can compile byte-templates whose
+    splice slots must be rendered under the exact same prefix assignment."""
+    WRITER_STATS.tree_serializations += 1
+    allocator = _PrefixAllocator()
+    _collect_namespaces(root, allocator)
+    parts: list[str] = ['<?xml version="1.0" encoding="utf-8"?>']
+    _write(root, allocator, parts, declare_namespaces=True, indent=None)
+    return "".join(parts), allocator
+
+
+def serialize_subtree(elem: XElem, allocator: _PrefixAllocator) -> str:
+    """Serialize one subtree under an existing prefix assignment, without
+    namespace declarations — the exact text :func:`serialize_xml` would embed
+    for this subtree inside a document whose root declared ``allocator``'s
+    prefixes."""
+    parts: list[str] = []
+    _write(elem, allocator, parts, declare_namespaces=False, indent=None)
+    return "".join(parts)
+
+
+def frozen_splice_text(elem: XElem, mapping: tuple[str, ...]) -> str:
+    """The spliced text of a frozen subtree under a known prefix assignment.
+
+    ``mapping`` pairs positionally with the subtree's frozen namespace order
+    (:func:`frozen_namespace_order`).  This is the render-time half of the
+    envelope byte-template cache: the template remembers the payload slot's
+    prefix mapping once, and every later payload with the same namespace
+    shape splices straight from (or refills) its own serialization cache.
+    """
+    state = elem._fcache
+    if state is None:
+        raise ValueError("frozen_splice_text requires a frozen element")
+    if state[1] == mapping and state[2] is not None:
+        WRITER_STATS.frozen_splices += 1
+        return state[2]
+    allocator = _PrefixAllocator()
+    for uri, prefix in zip(_frozen_namespace_order(elem), mapping):
+        allocator._by_uri[uri] = prefix
+        allocator._used.add(prefix)
+    sub: list[str] = []
+    _write(elem, allocator, sub, declare_namespaces=False, indent=None, splice=False)
+    text = "".join(sub)
+    state[1] = mapping
+    state[2] = text
+    WRITER_STATS.frozen_serializations += 1
+    return text
+
+
+def frozen_namespace_order(elem: XElem) -> tuple[str, ...]:
+    """Public accessor for a frozen subtree's memoized namespace order (the
+    template cache keys notification shapes on it)."""
+    return _frozen_namespace_order(elem)
 
 
 def _namespace_order(elem: XElem) -> list[str]:

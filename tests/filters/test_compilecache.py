@@ -1,0 +1,97 @@
+"""Tests for the compiled-filter caches (repro.filters.compilecache)."""
+
+import pytest
+
+from repro.filters.base import FilterContext, FilterError
+from repro.filters.compilecache import (
+    FILTER_COMPILE_STATS,
+    LRUCache,
+    clear_caches,
+    compiled_xpath,
+)
+from repro.filters.content import MessageContentFilter
+from repro.filters.topics import TopicFilter
+from repro.xmlkit import parse_xml
+from repro.xmlkit.names import Namespaces
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    FILTER_COMPILE_STATS.reset()
+    yield
+    clear_caches()
+    FILTER_COMPILE_STATS.reset()
+
+
+class TestXPathCache:
+    def test_identical_expressions_share_one_instance(self):
+        first = compiled_xpath("//a/b", {"p": "urn:x"})
+        second = compiled_xpath("//a/b", {"p": "urn:x"})
+        assert first is second
+        assert FILTER_COMPILE_STATS.snapshot() == {"hits": 1, "misses": 1}
+
+    def test_namespace_order_does_not_split_entries(self):
+        a = compiled_xpath("//p:a", {"p": "urn:1", "q": "urn:2"})
+        b = compiled_xpath("//p:a", {"q": "urn:2", "p": "urn:1"})
+        assert a is b
+
+    def test_different_namespaces_are_different_entries(self):
+        a = compiled_xpath("//p:a", {"p": "urn:1"})
+        b = compiled_xpath("//p:a", {"p": "urn:2"})
+        assert a is not b
+
+    def test_failed_compilations_are_not_cached(self):
+        for _ in range(2):
+            with pytest.raises(Exception):
+                compiled_xpath("///")
+        assert FILTER_COMPILE_STATS.misses == 0
+
+    def test_shared_instance_still_filters_correctly(self):
+        payload = parse_xml('<e:a xmlns:e="urn:f"><e:b>1</e:b></e:a>')
+        filters = [
+            MessageContentFilter("//e:b", {"e": "urn:f"}) for _ in range(3)
+        ]
+        assert all(
+            f.matches(FilterContext(payload, topic=None)) for f in filters
+        )
+        assert FILTER_COMPILE_STATS.misses == 1
+        assert FILTER_COMPILE_STATS.hits == 2
+
+    def test_bad_expression_still_raises_filter_error(self):
+        with pytest.raises(FilterError):
+            MessageContentFilter("///")
+
+
+class TestTopicExpressionCache:
+    def test_parse_shares_compiled_expressions(self):
+        first = TopicFilter.parse("news//.", Namespaces.DIALECT_TOPIC_FULL)
+        second = TopicFilter.parse("news//.", Namespaces.DIALECT_TOPIC_FULL)
+        assert first.expression is second.expression
+
+    def test_same_text_different_dialect_is_a_different_entry(self):
+        simple = TopicFilter.parse("news", Namespaces.DIALECT_TOPIC_SIMPLE)
+        concrete = TopicFilter.parse("news", Namespaces.DIALECT_TOPIC_CONCRETE)
+        assert simple.expression is not concrete.expression
+
+    def test_shared_expression_matches_correctly(self):
+        f = TopicFilter.parse("news/*", Namespaces.DIALECT_TOPIC_FULL)
+        g = TopicFilter.parse("news/*", Namespaces.DIALECT_TOPIC_FULL)
+        context = FilterContext(parse_xml("<x/>"), topic="news/sports")
+        assert f.matches(context) and g.matches(context)
+
+    def test_invalid_expression_still_raises(self):
+        with pytest.raises(FilterError):
+            TopicFilter.parse("a|b", Namespaces.DIALECT_TOPIC_CONCRETE)
+
+
+class TestLRUCache:
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(capacity=2)
+        cache.get_or_build(("a",), lambda: "A")
+        cache.get_or_build(("b",), lambda: "B")
+        cache.get_or_build(("a",), lambda: "A2")  # refresh a
+        cache.get_or_build(("c",), lambda: "C")  # evicts b (LRU)
+        assert len(cache) == 2
+        assert cache.get_or_build(("a",), lambda: "A3") == "A"  # still cached
+        assert cache.get_or_build(("b",), lambda: "B2") == "B2"  # rebuilt

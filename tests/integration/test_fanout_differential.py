@@ -2,11 +2,12 @@
 
 The same seeded scenario — randomized topic sets, mixed WSN dialects and
 versions, WSE subscriptions with and without content filters, publications,
-renews and unsubscribes — is run twice against a WS-Messenger broker: once on
-the pre-index linear matcher (``debug_linear_match=True``) and once on the
-topic-indexed / frozen-payload fast path.  The two runs must produce the
-exact same (consumer, message) delivery sets AND byte-identical raw wire
-traffic, frame for frame.
+renews and unsubscribes — is run against a WS-Messenger broker on each fan-out
+path: the pre-index linear matcher (``debug_linear_match=True``), the
+topic-indexed / frozen-payload fast path with byte-templates disabled
+(``debug_no_templates=True``), and the full envelope byte-template path.
+Every pair of runs must produce the exact same (consumer, message) delivery
+sets AND byte-identical raw wire traffic, frame for frame.
 """
 
 import random
@@ -69,14 +70,19 @@ class RunResult:
     matched_counts: list[int] = field(default_factory=list)
 
 
-def _run_scenario(*, linear: bool) -> RunResult:
+def _run_scenario(*, linear: bool, no_templates: bool = False) -> RunResult:
     reset_message_counter()
     result = RunResult()
     network = SimulatedNetwork(VirtualClock())
     network.wire_observers.append(
         lambda obs: result.wire.append((obs.address, bytes(obs.request)))
     )
-    broker = WsMessenger(network, "http://diff-broker", debug_linear_match=linear)
+    broker = WsMessenger(
+        network,
+        "http://diff-broker",
+        debug_linear_match=linear,
+        debug_no_templates=no_templates,
+    )
     rng = random.Random(SEED)
 
     wsn_consumers: list[NotificationConsumer] = []
@@ -162,6 +168,14 @@ class TestFanoutDifferential:
         for i, (want, got) in enumerate(zip(linear.wire, indexed.wire)):
             assert got[0] == want[0], f"frame {i}: address diverged"
             assert got[1] == want[1], f"frame {i}: request bytes diverged"
+
+    def test_templated_path_is_byte_identical_to_tree_path(self):
+        # the envelope byte-template cache must be invisible on the wire:
+        # rendering cached segments == serializing the equivalent tree
+        tree = _run_scenario(linear=False, no_templates=True)
+        templated = _run_scenario(linear=False)
+        assert templated.received == tree.received
+        assert templated.wire == tree.wire
 
     def test_linear_run_is_self_reproducible(self):
         # guards the harness itself: the scenario must be deterministic

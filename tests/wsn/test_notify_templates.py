@@ -1,0 +1,138 @@
+"""Cache-invalidation tests for the Notify envelope byte-templates.
+
+The byte-template cache must never serve a stale envelope: templates are
+dropped when the last subscription referencing their sink goes away —
+unsubscribe, lease-expiry sweep — and wiped wholesale after a crash-recovery
+replay.  An EPR change keys a different cache slot by construction (the sink
+signature is recomputed per send), which the resubscribe test verifies on
+the wire.
+"""
+
+import pytest
+
+from repro.messenger import WsMessenger
+from repro.store import BrokerStore, MemoryEventLog, recover_broker
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.wsn import (
+    NotificationConsumer,
+    NotificationProducer,
+    WsnSubscriber,
+    WsnVersion,
+)
+from repro.xmlkit import parse_xml
+from repro.xmlkit.element import text_element
+from repro.xmlkit.names import QName
+
+
+def event(n=1):
+    return parse_xml(f'<e:V xmlns:e="urn:tmpl"><e:n>{n}</e:n></e:V>')
+
+
+@pytest.fixture
+def network():
+    return SimulatedNetwork(VirtualClock())
+
+
+@pytest.fixture
+def stack(network):
+    producer = NotificationProducer(network, "http://tmpl-producer")
+    consumer = NotificationConsumer(network, "http://tmpl-consumer")
+    subscriber = WsnSubscriber(network)
+    return producer, consumer, subscriber
+
+
+class TestEviction:
+    def test_publish_compiles_then_reuses_one_template(self, stack):
+        producer, consumer, subscriber = stack
+        subscriber.subscribe(producer.epr(), consumer.epr(), topic="t")
+        assert len(producer.templates) == 0
+        producer.publish(event(1), topic="t")
+        producer.publish(event(2), topic="t")
+        assert len(producer.templates) == 1
+        assert len(consumer.received) == 2
+
+    def test_unsubscribe_drops_the_sink_templates(self, stack):
+        producer, consumer, subscriber = stack
+        handle = subscriber.subscribe(producer.epr(), consumer.epr(), topic="t")
+        producer.publish(event(), topic="t")
+        assert len(producer.templates) == 1
+        subscriber.unsubscribe(handle)
+        assert len(producer.templates) == 0
+
+    def test_shared_sink_survives_until_last_reference(self, stack):
+        producer, consumer, subscriber = stack
+        first = subscriber.subscribe(producer.epr(), consumer.epr(), topic="t")
+        second = subscriber.subscribe(producer.epr(), consumer.epr(), topic="t")
+        producer.publish(event(), topic="t")
+        assert len(producer.templates) == 1
+        subscriber.unsubscribe(first)
+        # the other subscription still points at this sink: keep its templates
+        assert len(producer.templates) == 1
+        subscriber.unsubscribe(second)
+        assert len(producer.templates) == 0
+
+    def test_lease_expiry_sweep_drops_the_sink_templates(self, network, stack):
+        producer, consumer, subscriber = stack
+        subscriber.subscribe(
+            producer.epr(), consumer.epr(), topic="t", initial_termination="PT1H"
+        )
+        producer.publish(event(1), topic="t")
+        assert len(producer.templates) == 1
+        network.clock.advance(3601.0)
+        # the next publish sweeps due leases before matching
+        assert producer.publish(event(2), topic="t") == 0
+        assert len(producer.templates) == 0
+        assert len(consumer.received) == 1
+
+
+class TestEprChange:
+    def test_resubscribed_epr_renders_through_a_fresh_template(self, network, stack):
+        producer, consumer, subscriber = stack
+        frames = []
+        network.wire_observers.append(
+            lambda obs: frames.append(bytes(obs.request))
+        )
+        tag = QName("urn:x-test", "Tag")
+        handle = subscriber.subscribe(
+            producer.epr(),
+            consumer.epr().with_parameter(text_element(tag, "old-identity")),
+            topic="t",
+        )
+        producer.publish(event(1), topic="t")
+        assert any(b"old-identity" in frame for frame in frames)
+        subscriber.unsubscribe(handle)
+        del frames[:]
+        subscriber.subscribe(
+            producer.epr(),
+            consumer.epr().with_parameter(text_element(tag, "new-identity")),
+            topic="t",
+        )
+        producer.publish(event(2), topic="t")
+        notify_frames = [f for f in frames if b"Notify" in f]
+        assert notify_frames, "second publish reached the wire"
+        # the stale sink's template cannot leak into the new EPR's envelopes
+        assert all(b"old-identity" not in frame for frame in notify_frames)
+        assert any(b"new-identity" in frame for frame in notify_frames)
+        assert len(consumer.received) == 2
+
+
+class TestRecoveryReplay:
+    def test_replay_leaves_the_template_caches_empty(self, network):
+        log = MemoryEventLog()
+        broker = WsMessenger(network, "http://tmpl-broker", store=BrokerStore(log))
+        consumer = NotificationConsumer(network, "http://tmpl-consumer")
+        WsnSubscriber(network).subscribe(broker.epr(), consumer.epr(), topic="t")
+        broker.publish(event(1), topic="t")
+        broker.run_deliveries_until_idle()
+        assert any(len(p.templates) for p in broker.wsn_producers.values())
+        broker.close()
+
+        recovered = recover_broker(network, "http://tmpl-broker", log)
+        recovered.run_deliveries_until_idle()
+        # replayed publishes compiled templates mid-replay; all dropped so
+        # post-recovery traffic recompiles against the converged stores
+        assert all(len(p.templates) == 0 for p in recovered.wsn_producers.values())
+        received_before = len(consumer.received)
+        recovered.publish(event(2), topic="t")
+        recovered.run_deliveries_until_idle()
+        assert len(consumer.received) == received_before + 1
