@@ -9,6 +9,13 @@ column.  Subcommands:
 - ``obs-audit`` — re-run the demo and every bundled example under
   instrumentation and check the message-conservation invariants
   (see :mod:`repro.obs.audit`); exit 1 if any book fails to balance;
+- ``obs-health [--json]`` — run a scripted minute of degraded traffic
+  (store-backed broker + two-shard mesh) with gauges sampled on the
+  virtual clock, and report the anomaly probes: queue growth, breaker
+  flaps, stale batch timers, conservation drift (see
+  :mod:`repro.obs.health`);
+- ``obs-top [--timings]`` — same scenario, rendered as a ``top``-style
+  snapshot: flight-recorder tail, non-zero backlogs, phase counts;
 - ``conformance --seed N --cases M`` — deterministic wire-fidelity fuzzing
   of the codec, framing, lifecycle, mediation, and mesh layers
   (see :mod:`repro.conformance`); exit 1 on any failure;
@@ -35,6 +42,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.audit import obs_audit_main
 
         return obs_audit_main(argv[1:])
+    if argv and argv[0] == "obs-health":
+        from repro.obs.health import obs_health_main
+
+        return obs_health_main(argv[1:])
+    if argv and argv[0] == "obs-top":
+        from repro.obs.health import obs_top_main
+
+        return obs_top_main(argv[1:])
     if argv and argv[0] == "conformance":
         from repro.conformance.cli import conformance_main
 
@@ -50,7 +65,7 @@ def main(argv: list[str] | None = None) -> int:
     if argv:
         print(
             f"unknown subcommand {argv[0]!r}; try: obs-report, obs-audit,"
-            " conformance, mesh-demo, store-demo",
+            " obs-health, obs-top, conformance, mesh-demo, store-demo",
             file=sys.stderr,
         )
         return 2

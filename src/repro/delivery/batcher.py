@@ -103,6 +103,12 @@ class DeliveryBatcher:
             self.stats.largest_batch = n
         if self._instr is not None:
             self._instr.count("delivery.batched_total", n, family=self._family)
+            flight = self._instr.flight
+            if flight.enabled:
+                flight.record(
+                    "batch_flush", family=self._family, size=n,
+                    still_pending=len(self._pending),
+                )
         self._flush_group(key, entries)
 
     def flush_publish(self) -> None:
@@ -119,3 +125,16 @@ class DeliveryBatcher:
     def pending(self) -> int:
         """Entries currently held back waiting for size or window."""
         return sum(len(group) for group in self._pending.values())
+
+    def stale_deadlines(self) -> int:
+        """Groups whose window deadline has passed but still hold entries.
+
+        A non-zero value after the scheduler pump has drained everything due
+        means a window timer was lost or never pumped — the ``obs-health``
+        stale-batch-timer anomaly."""
+        now = self.clock.now()
+        return sum(
+            1
+            for key, when in self._deadlines.items()
+            if when < now and key in self._pending
+        )

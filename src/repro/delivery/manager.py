@@ -35,6 +35,7 @@ from repro.delivery.breaker import BreakerState, CircuitBreaker
 from repro.delivery.dlq import DeadLetterQueue
 from repro.delivery.policy import DeliveryPolicy
 from repro.delivery.task import DeliveryItem, DeliveryTask, TaskStatus
+from repro.obs.instrument import BoundCounters
 from repro.transport.clock import ClockScheduler
 from repro.transport.network import FirewallBlocked, NetworkError, SimulatedNetwork
 from repro.util.rng import SeededRng
@@ -108,6 +109,10 @@ class DeliveryManager:
         self._queues: dict[str, deque[DeliveryTask]] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
         self._wakeups: dict[str, float] = {}
+        #: pre-bound per-family counters/histograms for the attempt loop
+        self._bound_counters = BoundCounters()
+        self._lag_instr = None
+        self._lag_histograms: dict[str, object] = {}
 
     # --- intake ------------------------------------------------------------
 
@@ -151,7 +156,14 @@ class DeliveryManager:
         self.stats.submitted += 1
         if len(item_list) > 1:
             self.stats.batched += 1
-        instr.count("delivery.submitted", family=family)
+        submitted_counter = self._bound_counters.probe(
+            instr, "submitted:" + family
+        )
+        if submitted_counter is None:
+            submitted_counter = self._bound_counters.get(
+                instr, "submitted:" + family, "delivery.submitted", family=family
+            )
+        submitted_counter.inc()
         self._record_items(task, "enqueued", sink=sink, family=family)
         self._enqueue(task)
         return task
@@ -263,6 +275,19 @@ class DeliveryManager:
         del self._wakeups[sink]
         self._drain_sink(sink)
 
+    def _breaker_moved(self, instr, sink: str, before, after) -> None:
+        """Record one breaker state transition (metric + flight record)."""
+        if after is before or not instr.enabled:
+            return
+        instr.count(
+            "delivery.breaker_transitions", sink=sink, state=after.value
+        )
+        flight = instr.flight
+        if flight.enabled:
+            flight.record(
+                "breaker", sink=sink, previous=before.value, state=after.value
+            )
+
     def _parkable(self, task: DeliveryTask) -> bool:
         return self.message_boxes is not None and bool(task.items)
 
@@ -273,9 +298,14 @@ class DeliveryManager:
             box.park(item)
         task.status = TaskStatus.PARKED
         self.stats.parked += len(task.items)
-        self.network.instrumentation.count(
-            "delivery.parked", len(task.items), family=task.family
-        )
+        instr = self.network.instrumentation
+        instr.count("delivery.parked", len(task.items), family=task.family)
+        flight = instr.flight
+        if flight.enabled:
+            flight.record(
+                "delivery", sink=task.sink, family=task.family,
+                outcome="parked", items=len(task.items),
+            )
         self._record_items(task, "pending_pull", sink=task.sink, box=box.address)
         if self.store is not None:
             self.store.task_parked(task)
@@ -284,9 +314,14 @@ class DeliveryManager:
         task.status = TaskStatus.DEAD
         self.dlq.add(task, reason, self.clock.now())
         self.stats.dead_lettered += 1
-        self.network.instrumentation.count(
-            "delivery.dead_lettered", family=task.family, reason=reason
-        )
+        instr = self.network.instrumentation
+        instr.count("delivery.dead_lettered", family=task.family, reason=reason)
+        flight = instr.flight
+        if flight.enabled:
+            flight.record(
+                "delivery", sink=task.sink, family=task.family,
+                outcome="dead_lettered", reason=reason,
+            )
         self._record_items(task, "dead_lettered", sink=task.sink, reason=reason)
         if self.store is not None:
             self.store.task_dead(task, reason)
@@ -310,7 +345,10 @@ class DeliveryManager:
                 self._dead_letter(task, "ttl_expired")
                 continue
             breaker = self._breaker_for(sink)
-            if not breaker.allows():
+            state_before = breaker.state
+            allowed = breaker.allows()
+            self._breaker_moved(instr, sink, state_before, breaker.state)
+            if not allowed:
                 # known-firewalled sinks store-and-forward straight away
                 if self.message_boxes is not None and self.message_boxes.get(
                     sink
@@ -324,10 +362,20 @@ class DeliveryManager:
                 return
             task.attempts += 1
             self.stats.attempts += 1
-            instr.count("delivery.attempts", family=task.family)
+            bound = self._bound_counters
+            attempts_counter = bound.probe(instr, "attempts:" + task.family)
+            if attempts_counter is None:
+                attempts_counter = bound.get(
+                    instr, "attempts:" + task.family, "delivery.attempts",
+                    family=task.family,
+                )
+            attempts_counter.inc()
             if task.attempts > 1:
                 self.stats.retries += 1
-                instr.count("delivery.retries", family=task.family)
+                bound.get(
+                    instr, "retries:" + task.family, "delivery.retries",
+                    family=task.family,
+                ).inc()
             self._record_items(task, "attempted", n=task.attempts, sink=sink)
             try:
                 # resume the message's trace: a scheduler-fired retry has an
@@ -344,7 +392,9 @@ class DeliveryManager:
                     task.send()
             except (NetworkError, SoapFault) as exc:
                 task.last_error = f"{type(exc).__name__}: {exc}"
+                state_before = breaker.state
                 breaker.record_failure()
+                self._breaker_moved(instr, sink, state_before, breaker.state)
                 self.stats.failed_attempts += 1
                 instr.count(
                     "delivery.failed_total",
@@ -352,6 +402,13 @@ class DeliveryManager:
                     stage="attempt",
                     kind=type(exc).__name__,
                 )
+                flight = instr.flight
+                if flight.enabled:
+                    flight.record(
+                        "delivery", sink=sink, family=task.family,
+                        outcome="failed_attempt", attempt=task.attempts,
+                        error=type(exc).__name__,
+                    )
                 if isinstance(exc, FirewallBlocked) and self._parkable(task):
                     queue.popleft()
                     self._park(task)
@@ -366,18 +423,41 @@ class DeliveryManager:
                 )
                 return
             # success (the send itself advanced the clock by the RTT)
+            state_before = breaker.state
             breaker.record_success()
+            self._breaker_moved(instr, sink, state_before, breaker.state)
             delivered_at = self.clock.now()
             task.status = TaskStatus.DELIVERED
             task.delivered_at = delivered_at
             queue.popleft()
             self.stats.delivered += 1
-            instr.count("delivery.delivered", family=task.family)
-            instr.observe(
-                "delivery.queue_lag_seconds",
-                delivered_at - task.enqueued_at,
-                family=task.family,
+            delivered_counter = self._bound_counters.probe(
+                instr, "delivered:" + task.family
             )
+            if delivered_counter is None:
+                delivered_counter = self._bound_counters.get(
+                    instr, "delivered:" + task.family, "delivery.delivered",
+                    family=task.family,
+                )
+            delivered_counter.inc()
+            if instr is not self._lag_instr:
+                self._lag_instr = instr
+                self._lag_histograms = {}
+            lag_histogram = self._lag_histograms.get(task.family)
+            if lag_histogram is None:
+                lag_histogram = self._lag_histograms[task.family] = (
+                    instr.histogram_handle(
+                        "delivery.queue_lag_seconds", family=task.family
+                    )
+                )
+            lag_histogram.observe(delivered_at - task.enqueued_at)
+            flight = instr.flight
+            if flight.enabled:
+                flight.record(
+                    "delivery", sink=task.sink, family=task.family,
+                    outcome="delivered", attempt=task.attempts,
+                    items=len(task.items),
+                )
             if instr.enabled:
                 for item in task.items:
                     if item.lineage is not None:

@@ -295,7 +295,9 @@ class MeshCluster:
         self._note_federation_sinks()
         for existing in self.nodes.values():
             existing.refresh_map()
-        return node, self.registry.moved_keys(keys)
+        moved = self.registry.moved_keys(keys)
+        self._record_rebalance("join", name, moved)
+        return node, moved
 
     def leave(self, which: Union[int, str]) -> dict[str, tuple[str, str]]:
         """Remove a shard: quiesce, re-own its keys, re-home its subscriptions."""
@@ -319,7 +321,30 @@ class MeshCluster:
             self._retract_from(departing, record)
             self._place(record, self._rehome_target(record))
         departing.close()
-        return self.registry.moved_keys(keys)
+        moved = self.registry.moved_keys(keys)
+        self._record_rebalance("leave", departing.name, moved)
+        return moved
+
+    def _record_rebalance(
+        self, change: str, name: str, moved: dict[str, tuple[str, str]]
+    ) -> None:
+        """Membership changes are rare and load-bearing: count the moved
+        keys and drop a flight record so ``obs-top`` shows the rebalance."""
+        instr = self.network.instrumentation
+        if not instr.enabled:
+            return
+        instr.count("mesh.rebalances", change=change, node=name)
+        if moved:
+            instr.count("mesh.moved_keys", len(moved), change=change)
+        flight = instr.flight
+        if flight.enabled:
+            flight.record(
+                "rebalance",
+                change=change,
+                node=name,
+                moved_keys=len(moved),
+                members=len(self.nodes),
+            )
 
     def _retract_from(self, departing: MeshNode, record: MeshSubscription) -> None:
         # unsubscribing at the departing node keeps its ledger clean (no

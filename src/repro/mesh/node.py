@@ -131,11 +131,29 @@ class MeshNode:
             return False
         owner = self.owner_of_topic(topic)
         instr = self.network.instrumentation
+        phases = instr.phases
+        timer = phases.begin() if phases is not None else 0
         if owner == self.name:
             instr.count("mesh.owned_publishes", node=self.name)
+            flight = instr.flight
+            if flight.enabled:
+                flight.record(
+                    "route", node=self.name, topic=topic or "", owner=owner,
+                    via="owned",
+                )
+            if phases is not None:
+                phases.end("route", timer)
             if self.exchange.has_subscriptions():
                 self.exchange.publish(payload, topic=topic)
             return False
+        flight = instr.flight
+        if flight.enabled:
+            flight.record(
+                "route", node=self.name, topic=topic or "", owner=owner,
+                via="forwarded",
+            )
+        if phases is not None:
+            phases.end("route", timer)
         self._forward(payload, topic, owner)
         return True
 

@@ -39,6 +39,7 @@ from repro.filters.topics import TopicNamespace
 from repro.messenger.adapters import InMemoryBackbone, MessagingBackbone
 from repro.messenger.detection import DetectedSpec, SpecDetectionError, SpecFamily, detect_spec
 from repro.messenger.journal import SubscriptionJournal
+from repro.obs.instrument import BoundCounters
 from repro.messenger import mediation
 from repro.soap.envelope import SoapEnvelope
 from repro.soap.fault import FaultCode, SoapFault
@@ -106,6 +107,8 @@ class WsMessenger:
         #: optional per-sink coalescing of same-EPR notifications
         self.batching = batching
         self.stats = BrokerStats()
+        #: pre-bound front-door/fan-out counters (identity-keyed cache)
+        self._bound_counters = BoundCounters()
         self.backbone = backbone or InMemoryBackbone()
         self.backbone.network = network
         #: optional crash-recovery journal (see repro.messenger.journal)
@@ -266,11 +269,16 @@ class WsMessenger:
                 span.set("family", _family_tag(spec))
                 span.set("version", spec.version.name.lower())
                 span.set("operation", spec.operation)
-            instr.count(
-                "broker.requests",
-                family=_family_tag(spec),
-                version=spec.version.name.lower(),
-            )
+            family = _family_tag(spec)
+            version = spec.version.name.lower()
+            request_key = family + ":" + version
+            request_counter = self._bound_counters.probe(instr, request_key)
+            if request_counter is None:
+                request_counter = self._bound_counters.get(
+                    instr, request_key, "broker.requests",
+                    family=family, version=version,
+                )
+            request_counter.inc()
         self.stats.record(spec)
         if spec.operation == "Notify" and spec.family is SpecFamily.WS_NOTIFICATION:
             return self._accept_wsn_publication(envelope, spec)
@@ -347,17 +355,34 @@ class WsMessenger:
                 if store is not None:
                     store.end_publish()
             return
-        instr.count("broker.publications")
+        publications_counter = self._bound_counters.probe(instr, "publications")
+        if publications_counter is None:
+            publications_counter = self._bound_counters.get(
+                instr, "publications", "broker.publications"
+            )
+        publications_counter.inc()
         # a mediated publish arrives inside a dispatch span that already
         # carries the origin's lineage; a locally-originated one mints here
         originating = instr.trace_context() is None
+        phases = instr.phases
+        timer = phases.begin() if phases is not None else 0
         with instr.span("broker.publish", mint=True, topic=topic or "") as span:
-            instr.lineage_event(
+            # direct ledger write: mint=True guarantees span.lineage
+            instr._ledger_record(
                 span.lineage,
                 "published" if originating else "mediated",
                 broker=self.address,
                 topic=topic or "",
             )
+            flight = instr.flight
+            if flight.enabled:
+                flight.record(
+                    "publish",
+                    broker=self.address,
+                    topic=topic or "",
+                    lineage=span.lineage,
+                    origin="local" if originating else "mediated",
+                )
             # transactional outbox: the publish record (and the message id
             # that stamps every delivery item) exists before any fan-out
             if store is not None:
@@ -373,6 +398,8 @@ class WsMessenger:
             finally:
                 if store is not None:
                     store.end_publish()
+                if phases is not None:
+                    phases.end("publish", timer)
 
     def _fan_out(self, payload: XElem, topic: Optional[str]) -> None:
         instr = self.network.instrumentation
@@ -392,11 +419,21 @@ class WsMessenger:
         if not payload.frozen:
             payload = payload.copy().freeze()
             if instr.enabled:
-                instr.count("fanout.payload_copies", family="broker")
+                self._bound_counters.get(
+                    instr, "payload_copies", "fanout.payload_copies",
+                    family="broker",
+                ).inc()
+        skips_counter = (
+            self._bound_counters.get(
+                instr, "index_skips", "fanout.index_skips", family="broker"
+            )
+            if instr.enabled
+            else None
+        )
         for source in self.wse_sources.values():
             if not source.store.has_subscriptions():
-                if instr.enabled:
-                    instr.count("fanout.index_skips", family="broker")
+                if skips_counter is not None:
+                    skips_counter.inc()
                 continue
             source.publish(payload, topic=topic)
         for producer in self.wsn_producers.values():
@@ -405,8 +442,8 @@ class WsMessenger:
             if not producer.has_subscriptions():
                 # still validate the topic and refresh GetCurrentMessage
                 producer.note_publication(payload, topic)
-                if instr.enabled:
-                    instr.count("fanout.index_skips", family="broker")
+                if skips_counter is not None:
+                    skips_counter.inc()
                 continue
             producer.publish(payload, topic=topic)
 

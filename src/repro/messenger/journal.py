@@ -104,7 +104,14 @@ class SubscriptionJournal:
             wire = build_request(broker_address, entry.wire, soap_action=entry.action)
             try:
                 response = parse_response(network.send_request(broker_address, wire))
-            except NetworkError:
+            except NetworkError as exc:
+                # a dead broker front door mid-replay: skip the entry, but
+                # leave the skip visible to the report layer
+                network.instrumentation.count(
+                    "obs.swallowed_errors_total",
+                    site="messenger.journal.replay",
+                    kind=type(exc).__name__,
+                )
                 continue
             if response.ok:
                 recovered += 1

@@ -25,6 +25,16 @@ On top of those, message lineage connects the story *across* hops:
 - :mod:`repro.obs.audit` — the conservation auditor behind
   ``python -m repro obs-audit``.
 
+Continuous health telemetry rides alongside:
+
+- :mod:`repro.obs.flight` — a bounded ring-buffer flight recorder of
+  typed hot-path records (dormant by default, armed per run);
+- :mod:`repro.obs.probes` — :class:`GaugeProbes` backlog sweeps on the
+  virtual scheduler and the opt-in :class:`PhaseTimers` wall-clock
+  phase totals;
+- :mod:`repro.obs.health` — the scripted degraded-traffic scenario and
+  anomaly probes behind ``python -m repro obs-health`` / ``obs-top``.
+
 Everything hangs off one :class:`~repro.obs.instrument.Instrumentation`
 handle installed on a :class:`~repro.transport.network.SimulatedNetwork`;
 the default is a null object (:data:`NULL_INSTRUMENTATION`) so
@@ -33,6 +43,7 @@ uninstrumented runs pay near-zero cost.
 
 from repro.obs.capture import CapturedFrame, WireCapture
 from repro.obs.exporters import build_report, render_json_report, render_text_report
+from repro.obs.flight import FLIGHT_KINDS, NULL_FLIGHT, FlightRecord, FlightRecorder
 from repro.obs.instrument import (
     NULL_INSTRUMENTATION,
     Instrumentation,
@@ -40,6 +51,7 @@ from repro.obs.instrument import (
 )
 from repro.obs.lineage import LineageEvent, LineageLedger
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.probes import PHASES, GaugeProbes, PhaseTimers
 from repro.obs.propagation import LINEAGE_HEADER, LineageContext
 from repro.obs.slo import slo_summary
 from repro.obs.tracing import Span, Tracer
@@ -47,7 +59,11 @@ from repro.obs.tracing import Span, Tracer
 __all__ = [
     "CapturedFrame",
     "Counter",
+    "FLIGHT_KINDS",
+    "FlightRecord",
+    "FlightRecorder",
     "Gauge",
+    "GaugeProbes",
     "Histogram",
     "Instrumentation",
     "LINEAGE_HEADER",
@@ -55,8 +71,11 @@ __all__ = [
     "LineageEvent",
     "LineageLedger",
     "MetricsRegistry",
+    "NULL_FLIGHT",
     "NULL_INSTRUMENTATION",
     "NullInstrumentation",
+    "PHASES",
+    "PhaseTimers",
     "Span",
     "Tracer",
     "WireCapture",

@@ -10,23 +10,43 @@ or died as ``lost`` / ``firewall_blocked`` / ``unreachable``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 
-@dataclass(frozen=True)
 class CapturedFrame:
-    """One recorded exchange (sizes only; payload bytes are not retained)."""
+    """One recorded exchange (sizes only; payload bytes are not retained).
 
-    index: int
-    address: str
-    from_zone: str
-    to_zone: Optional[str]
-    request_size: int
-    response_size: Optional[int]
-    outcome: str
-    started: float
-    finished: float
+    A plain ``__slots__`` record: one frame is allocated per wire exchange,
+    so the frozen-dataclass ``object.__setattr__`` construction path showed
+    up in the instrumentation-overhead benchmark.
+    """
+
+    __slots__ = (
+        "index", "address", "from_zone", "to_zone",
+        "request_size", "response_size", "outcome", "started", "finished",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        address: str,
+        from_zone: str,
+        to_zone: Optional[str],
+        request_size: int,
+        response_size: Optional[int],
+        outcome: str,
+        started: float,
+        finished: float,
+    ) -> None:
+        self.index = index
+        self.address = address
+        self.from_zone = from_zone
+        self.to_zone = to_zone
+        self.request_size = request_size
+        self.response_size = response_size
+        self.outcome = outcome
+        self.started = started
+        self.finished = finished
 
     @property
     def latency(self) -> float:
@@ -63,17 +83,15 @@ class WireCapture:
     def record(self, observation) -> None:
         """Wire-observer callback (receives a network ``WireObservation``)."""
         frame = CapturedFrame(
-            index=self._next_index,
-            address=observation.address,
-            from_zone=observation.from_zone,
-            to_zone=observation.to_zone,
-            request_size=len(observation.request),
-            response_size=(
-                len(observation.response) if observation.response is not None else None
-            ),
-            outcome=observation.outcome,
-            started=observation.started,
-            finished=observation.finished,
+            self._next_index,
+            observation.address,
+            observation.from_zone,
+            observation.to_zone,
+            len(observation.request),
+            len(observation.response) if observation.response is not None else None,
+            observation.outcome,
+            observation.started,
+            observation.finished,
         )
         self._next_index += 1
         self.frames.append(frame)

@@ -41,6 +41,45 @@ def _fanout_summary(counters: dict[str, int]) -> dict[str, int]:
     return _counter_family_summary(counters, "fanout.")
 
 
+def caches_snapshot() -> dict:
+    """The process-global fast-path cache stats (PR 8's machinery), in one
+    deterministic dict: notify byte-templates, the frozen-subtree writer
+    and the compiled-filter caches."""
+    from repro.filters.compilecache import FILTER_COMPILE_STATS
+    from repro.xmlkit.template import TEMPLATE_STATS
+    from repro.xmlkit.writer import WRITER_STATS
+
+    return {
+        "templates": {
+            "hits": TEMPLATE_STATS.hits,
+            "misses": TEMPLATE_STATS.misses,
+            "fallbacks": TEMPLATE_STATS.fallbacks,
+        },
+        "writer": {
+            "frozen_serializations": WRITER_STATS.frozen_serializations,
+            "frozen_splices": WRITER_STATS.frozen_splices,
+            "tree_serializations": WRITER_STATS.tree_serializations,
+        },
+        "filter_compiles": FILTER_COMPILE_STATS.snapshot(),
+    }
+
+
+def reset_cache_stats() -> None:
+    """Zero the process-global cache stats (scenario entry points call this
+    so cache sections are a function of the scenario alone).  The compiled-
+    filter *cache content* is dropped too — otherwise a second scenario run
+    in the same process hits where the first missed and the report stops
+    being deterministic."""
+    from repro.filters.compilecache import FILTER_COMPILE_STATS, clear_caches
+    from repro.xmlkit.template import TEMPLATE_STATS
+    from repro.xmlkit.writer import WRITER_STATS
+
+    TEMPLATE_STATS.reset()
+    WRITER_STATS.reset()
+    clear_caches()
+    FILTER_COMPILE_STATS.reset()
+
+
 def build_report(instrumentation: Instrumentation, *, title: str = "obs report") -> dict:
     """The canonical report document (deterministically ordered)."""
     snapshot = instrumentation.snapshot()
@@ -60,6 +99,12 @@ def build_report(instrumentation: Instrumentation, *, title: str = "obs report")
     fanout = _fanout_summary(snapshot["metrics"]["counters"])
     if fanout:
         summary["fanout"] = fanout
+    mesh = _counter_family_summary(snapshot["metrics"]["counters"], "mesh.")
+    if mesh:
+        summary["mesh"] = mesh
+    store = _counter_family_summary(snapshot["metrics"]["counters"], "store.")
+    if store:
+        summary["store"] = store
     lineage = snapshot["lineage"]
     if lineage:
         totals = instrumentation.ledger.totals()
@@ -73,7 +118,12 @@ def build_report(instrumentation: Instrumentation, *, title: str = "obs report")
         "spans": spans,
         "wire": snapshot["wire"],
         "lineage": lineage,
+        "caches": caches_snapshot(),
     }
+    if "flight" in snapshot:
+        report["flight"] = snapshot["flight"]
+    if "phases" in snapshot:
+        report["phases"] = snapshot["phases"]
     if latency:
         report["delivery_latency"] = latency
     return report
@@ -104,6 +154,12 @@ def render_text_report(
             "fan-out: "
             + ", ".join(f"{k}={v}" for k, v in summary["fanout"].items())
         )
+    for family in ("mesh", "store"):
+        if family in summary:
+            lines.append(
+                f"{family}: "
+                + ", ".join(f"{k}={v}" for k, v in summary[family].items())
+            )
     lines.append("")
 
     lines.append("Metrics")
@@ -124,6 +180,31 @@ def render_text_report(
     if not (counters or gauges or report["metrics"]["histograms"]):
         lines.append("  (none)")
     lines.append("")
+
+    if "phases" in report:
+        lines.append("Phase timers")
+        lines.append("------------")
+        counts = report["phases"]["counts"]
+        lines.append(
+            "  " + " -> ".join(f"{phase}={counts[phase]}" for phase in counts)
+        )
+        lines.append("")
+
+    if "flight" in report:
+        flight = report["flight"]
+        lines.append("Flight recorder")
+        lines.append("---------------")
+        lines.append(
+            f"  {flight['recorded']} recorded, {flight['dropped']} dropped"
+            f" (ring capacity {flight['capacity']}); by kind: "
+            + (
+                ", ".join(f"{k}={v}" for k, v in flight["by_kind"].items())
+                or "none"
+            )
+        )
+        for record in instrumentation.flight.tail(12):
+            lines.append(f"  {record.render()}")
+        lines.append("")
 
     lines.append("Spans")
     lines.append("-----")
@@ -167,6 +248,23 @@ def render_text_report(
                     f" p99={stats['p99']:g}"
                 )
         lines.append("")
+
+    lines.append("Caches")
+    lines.append("------")
+    caches = report["caches"]
+    lines.append(
+        "  templates: "
+        + ", ".join(f"{k}={v}" for k, v in caches["templates"].items())
+    )
+    lines.append(
+        "  writer:    "
+        + ", ".join(f"{k}={v}" for k, v in caches["writer"].items())
+    )
+    lines.append(
+        "  filters:   "
+        + ", ".join(f"{k}={v}" for k, v in sorted(caches["filter_compiles"].items()))
+    )
+    lines.append("")
 
     lines.append("Wire")
     lines.append("----")

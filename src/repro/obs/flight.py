@@ -1,0 +1,186 @@
+"""Flight recorder: a bounded ring buffer of typed broker events.
+
+Reports and benchmark artifacts answer "what happened overall"; the flight
+recorder answers "what happened *just now*" — the last N interesting events
+on the virtual clock, cheap enough to leave armed in every long-running
+scenario and free when dormant.  It is the continuous-telemetry counterpart
+of the span store: spans keep everything and cost accordingly, the recorder
+keeps a fixed window and never grows.
+
+Record kinds (the closed vocabulary; guards against typo'd call sites):
+
+========== ==========================================================
+kind        emitted when
+========== ==========================================================
+publish     a broker accepts a publication
+route       a mesh node routes a publish (owned or forwarded)
+serialize   a Notify body is rendered (template hit or tree fallback)
+batch_flush a per-sink delivery batch flushes (size/window/manual)
+delivery    a delivery obligation closes (delivered/parked/dead/failed)
+breaker     a circuit breaker changes state
+rebalance   mesh membership changes move key ownership
+log_append  the durable store appends an event-log record
+sample      a gauge probe sweep ran
+anomaly     a health probe flagged a condition
+========== ==========================================================
+
+Dormant mode is the default: a disarmed recorder (or the shared
+:data:`NULL_FLIGHT`) has ``enabled = False`` and call sites are written as
+
+    flight = instr.flight
+    if flight.enabled:
+        flight.record("publish", topic=topic)
+
+so a dormant run pays one attribute load and a falsy branch — no tuple, no
+kwargs dict, no allocation at all (asserted by a tracemalloc test).
+
+The ring is preallocated: ``record`` writes slots in place modulo capacity,
+so a wrapped recorder allocates only the per-record field dicts, never
+grows the buffer, and :meth:`tail` / :meth:`snapshot` rebuild insertion
+order from the write cursor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: every record kind the recorder accepts
+FLIGHT_KINDS = frozenset(
+    {
+        "publish",
+        "route",
+        "serialize",
+        "batch_flush",
+        "delivery",
+        "breaker",
+        "rebalance",
+        "log_append",
+        "sample",
+        "anomaly",
+    }
+)
+
+#: default ring capacity when arming without an explicit one
+DEFAULT_CAPACITY = 256
+
+
+class FlightRecord:
+    """One recorded event: sequence number, virtual time, kind, fields."""
+
+    __slots__ = ("seq", "at", "kind", "fields")
+
+    def __init__(self, seq: int, at: float, kind: str, fields: dict) -> None:
+        self.seq = seq
+        self.at = at
+        self.kind = kind
+        self.fields = fields
+
+    def to_dict(self) -> dict:
+        record = {"seq": self.seq, "at": round(self.at, 9), "kind": self.kind}
+        record.update({k: self.fields[k] for k in sorted(self.fields)})
+        return record
+
+    def render(self) -> str:
+        """One deterministic text line (obs-top's tail format)."""
+        fields = " ".join(f"{k}={self.fields[k]}" for k in sorted(self.fields))
+        return f"[{self.at:9.4f}s #{self.seq:05d}] {self.kind:<11s} {fields}".rstrip()
+
+    def __repr__(self) -> str:
+        return f"FlightRecord(#{self.seq} {self.kind!r} @{self.at})"
+
+
+class NullFlightRecorder:
+    """The dormant stand-in: same surface, every operation inert."""
+
+    enabled = False
+    capacity = 0
+
+    __slots__ = ()
+
+    def record(self, kind: str, **fields) -> None:
+        pass
+
+    def tail(self, count: int = 16) -> list:
+        return []
+
+    def snapshot(self) -> dict:
+        return {"enabled": False, "capacity": 0, "recorded": 0, "records": []}
+
+    def reset(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: shared dormant instance; ``Instrumentation.flight`` starts out as this
+NULL_FLIGHT = NullFlightRecorder()
+
+
+class FlightRecorder:
+    """An armed recorder: fixed-capacity ring on one virtual clock."""
+
+    enabled = True
+
+    __slots__ = ("_clock", "capacity", "_ring", "_next_seq")
+
+    def __init__(self, clock, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self._clock = clock
+        self.capacity = capacity
+        # preallocated ring: record() overwrites in place, never appends
+        self._ring: list[Optional[FlightRecord]] = [None] * capacity
+        self._next_seq = 0
+
+    def record(self, kind: str, **fields) -> None:
+        """Write one record, overwriting the oldest once the ring is full."""
+        if kind not in FLIGHT_KINDS:
+            raise ValueError(f"unknown flight record kind: {kind!r}")
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        self._ring[seq % self.capacity] = FlightRecord(
+            seq, self._clock.now(), kind, fields
+        )
+
+    # --- reading -----------------------------------------------------------
+
+    def records(self) -> list[FlightRecord]:
+        """Retained records, oldest first."""
+        if self._next_seq <= self.capacity:
+            return [r for r in self._ring[: self._next_seq] if r is not None]
+        cursor = self._next_seq % self.capacity
+        out = self._ring[cursor:] + self._ring[:cursor]
+        return [r for r in out if r is not None]
+
+    def tail(self, count: int = 16) -> list[FlightRecord]:
+        """The newest ``count`` records, oldest of them first."""
+        return self.records()[-count:]
+
+    @property
+    def dropped(self) -> int:
+        """Records overwritten because the ring wrapped."""
+        return max(0, self._next_seq - self.capacity)
+
+    def by_kind(self) -> dict[str, int]:
+        tally: dict[str, int] = {}
+        for record in self.records():
+            tally[record.kind] = tally.get(record.kind, 0) + 1
+        return {k: tally[k] for k in sorted(tally)}
+
+    def snapshot(self) -> dict:
+        return {
+            "enabled": True,
+            "capacity": self.capacity,
+            "recorded": self._next_seq,
+            "dropped": self.dropped,
+            "by_kind": self.by_kind(),
+            "records": [record.to_dict() for record in self.records()],
+        }
+
+    def reset(self) -> None:
+        self._ring = [None] * self.capacity
+        self._next_seq = 0
+
+    def __len__(self) -> int:
+        return min(self._next_seq, self.capacity)

@@ -7,10 +7,26 @@ tracer + wire capture on the network's virtual clock) or the module-level
 no-op, so uninstrumented runs pay only an attribute read and an empty
 context-manager enter/exit on the hottest paths.
 
+The live handle is built for continuous use, not just one-shot reports, so
+its hot surface is deliberately cheap (see ``BENCH_observability.json``):
+
+* ``count``/``gauge`` hash a small structural tuple — label strings are
+  only rendered at snapshot time (lazy label formatting);
+* per-notification call sites can pre-bind a :class:`Counter` handle once
+  (:meth:`counter_handle`) and pay a single attribute increment per event;
+  the null handle hands out an inert shared counter, so binding code needs
+  no ``enabled`` branches;
+* spans are their own context managers (no ``contextlib`` generator), and
+  :class:`~repro.obs.tracing.Tracer` retention can be sampled for
+  always-on runs;
+* the flight recorder (:attr:`flight`) and phase timers (:attr:`phases`)
+  are dormant by default — one attribute load and a falsy check.
+
 Usage::
 
     network = SimulatedNetwork(VirtualClock())
     instr = Instrumentation.attach(network)     # flips the network live
+    instr.enable_flight()                        # optional: ring recorder
     ... run a scenario ...
     print(render_text_report(instr))            # repro.obs.exporters
 """
@@ -20,12 +36,20 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.obs.capture import WireCapture
+from repro.obs.flight import NULL_FLIGHT, DEFAULT_CAPACITY, FlightRecorder
 from repro.obs.lineage import LineageLedger
-from repro.obs.metrics import MetricsRegistry
-from repro.obs.slo import observe_delivery_latency
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+)
 from repro.obs.tracing import Tracer
 
 if TYPE_CHECKING:  # avoid a runtime cycle with repro.transport.network
+    from repro.obs.probes import PhaseTimers
     from repro.obs.propagation import LineageContext
     from repro.transport.network import SimulatedNetwork
 
@@ -51,10 +75,54 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+class BoundCounters:
+    """A per-component cache of pre-bound counters, keyed on the *identity*
+    of the network's instrumentation handle.
+
+    Components that count per notification hold one of these and call
+    :meth:`get` with a short site-local key; the first call per (handle,
+    key) resolves the counter through the registry, every later call is an
+    identity check plus one dict probe.  Swapping the network's
+    instrumentation (attach/uninstall, or a fresh handle between benchmark
+    phases) invalidates the cache automatically.  Works against the null
+    handle too — it binds inert counters, so call sites stay branch-free.
+    """
+
+    __slots__ = ("_instr", "_by_key")
+
+    def __init__(self) -> None:
+        self._instr = None
+        self._by_key: dict[str, Counter] = {}
+
+    def get(self, instr, key: str, name: str, **labels: str) -> Counter:
+        if instr is not self._instr:
+            self._instr = instr
+            self._by_key = {}
+        counter = self._by_key.get(key)
+        if counter is None:
+            counter = self._by_key[key] = instr.counter_handle(name, **labels)
+        return counter
+
+    def probe(self, instr, key: str) -> Optional[Counter]:
+        """Steady-state half of :meth:`get`: no label kwargs are built.
+
+        Returns ``None`` on the first call per (handle, key) — the caller
+        then binds once via :meth:`get`, which does build the labels."""
+        if instr is not self._instr:
+            self._instr = instr
+            self._by_key = {}
+            return None
+        return self._by_key.get(key)
+
+
 class NullInstrumentation:
     """The default: the same surface as :class:`Instrumentation`, inert."""
 
     enabled = False
+    #: dormant flight recorder (``enabled`` False, records nothing)
+    flight = NULL_FLIGHT
+    #: phase timers are off (call sites check ``is not None``)
+    phases = None
 
     def span(self, name: str, *, remote=None, mint: bool = False, **attrs: str) -> _NullSpan:
         return _NULL_SPAN
@@ -67,6 +135,16 @@ class NullInstrumentation:
 
     def observe(self, name: str, value: float, **labels: str) -> None:
         pass
+
+    def counter_handle(self, name: str, **labels: str):
+        """An inert pre-bound counter — binding sites need no branches."""
+        return NULL_COUNTER
+
+    def gauge_handle(self, name: str, **labels: str):
+        return NULL_GAUGE
+
+    def histogram_handle(self, name: str, **labels: str):
+        return NULL_HISTOGRAM
 
     def record_wire(self, observation) -> None:
         pass
@@ -92,19 +170,48 @@ class Instrumentation:
 
     enabled = True
 
-    def __init__(self, clock, *, max_frames: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        clock,
+        *,
+        max_frames: Optional[int] = None,
+        span_sample_every: int = 1,
+    ) -> None:
         self.clock = clock
         self.metrics = MetricsRegistry()
-        self.tracer = Tracer(clock)
+        self.tracer = Tracer(clock, sample_every=span_sample_every)
         self.capture = WireCapture(max_frames=max_frames)
         self.ledger = LineageLedger(clock)
+        # instance-attribute fast path: span() and trace_context() are pure
+        # delegations, so bind the tracer methods directly and skip a frame
+        # on the two hottest obs entry points
+        self.span = self.tracer.span
+        self.trace_context = self.tracer.continuation
+        self._ledger_record = self.ledger.record
+        #: flight recorder: dormant until :meth:`enable_flight`
+        self.flight = NULL_FLIGHT
+        #: phase timers: off until :meth:`enable_phase_timers`
+        self.phases: Optional["PhaseTimers"] = None
+        # hot-path aliases: count()/gauge() write through these directly
+        self._counters = self.metrics._counters
+        self._gauges = self.metrics._gauges
+        # pre-bound latency histograms, one per (family, hops) pair
+        self._latency_histograms: dict[tuple[str, int], object] = {}
 
     @classmethod
     def attach(
-        cls, network: "SimulatedNetwork", *, max_frames: Optional[int] = None
+        cls,
+        network: "SimulatedNetwork",
+        *,
+        max_frames: Optional[int] = None,
+        span_sample_every: int = 1,
     ) -> "Instrumentation":
         """Create on the network's clock and install in one step."""
-        return cls(network.clock, max_frames=max_frames).install(network)
+        return cls(
+            network.clock,
+            max_frames=max_frames,
+            span_sample_every=span_sample_every,
+        ).install(network)
 
     def install(self, network: "SimulatedNetwork") -> "Instrumentation":
         """Point the network (and everything holding it) at this handle."""
@@ -116,6 +223,22 @@ class Instrumentation:
         network.instrumentation = NULL_INSTRUMENTATION
         if self.capture.record in network.wire_observers:
             network.wire_observers.remove(self.capture.record)
+
+    # --- continuous-telemetry attachments -----------------------------------
+
+    def enable_flight(self, capacity: int = DEFAULT_CAPACITY) -> FlightRecorder:
+        """Arm the flight recorder (idempotent for a matching capacity)."""
+        if not (self.flight.enabled and self.flight.capacity == capacity):
+            self.flight = FlightRecorder(self.clock, capacity)
+        return self.flight
+
+    def enable_phase_timers(self) -> "PhaseTimers":
+        """Arm the publish→route→serialize→deliver wall-clock timers."""
+        if self.phases is None:
+            from repro.obs.probes import PhaseTimers
+
+            self.phases = PhaseTimers()
+        return self.phases
 
     # --- the hot-path surface ---------------------------------------------
 
@@ -130,13 +253,37 @@ class Instrumentation:
         return self.tracer.span(name, remote=remote, mint=mint, **attrs)
 
     def count(self, name: str, value: int = 1, **labels: str) -> None:
-        self.metrics.counter(name, **labels).inc(value)
+        # inlined registry access: one tuple, one dict probe, no strings
+        key = (name, tuple(sorted(labels.items()))) if labels else (name, ())
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = Counter()
+        counter.value += value
 
     def gauge(self, name: str, value: float, **labels: str) -> None:
-        self.metrics.gauge(name, **labels).set(value)
+        key = (name, tuple(sorted(labels.items()))) if labels else (name, ())
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            gauge = self._gauges[key] = Gauge()
+        gauge.value = float(value)
 
     def observe(self, name: str, value: float, **labels: str) -> None:
         self.metrics.histogram(name, **labels).observe(value)
+
+    def counter_handle(self, name: str, **labels: str) -> Counter:
+        """A pre-bound counter for per-notification sites.
+
+        The returned handle stays valid across :meth:`reset` (reset zeroes
+        in place).  Binding sites cache it keyed on the instrumentation
+        *identity*, so swapping the network's handle rebinds naturally.
+        """
+        return self.metrics.counter(name, **labels)
+
+    def gauge_handle(self, name: str, **labels: str) -> Gauge:
+        return self.metrics.gauge(name, **labels)
+
+    def histogram_handle(self, name: str, **labels: str):
+        return self.metrics.histogram(name, **labels)
 
     def record_wire(self, observation) -> None:
         self.capture.record(observation)
@@ -156,7 +303,7 @@ class Instrumentation:
         """Record one ledger transition; a ``None`` lineage id is ignored
         (untraced traffic, e.g. management calls)."""
         if lineage_id is not None:
-            self.ledger.record(lineage_id, state, **detail)
+            self._ledger_record(lineage_id, state, **detail)
 
     def lineage_delivered(
         self,
@@ -176,24 +323,36 @@ class Instrumentation:
             lineage_id, "delivered", sink=sink, via=via, hops=hops
         )
         if published is not None:
-            observe_delivery_latency(
-                self.metrics,
-                self.clock.now() - published,
-                family=family,
-                hops=hops,
-            )
+            histogram = self._latency_histograms.get((family, hops))
+            if histogram is None:
+                from repro.obs.slo import DELIVERY_LATENCY_METRIC, SLO_BUCKETS
+
+                histogram = self._latency_histograms[(family, hops)] = (
+                    self.metrics.histogram(
+                        DELIVERY_LATENCY_METRIC,
+                        buckets=SLO_BUCKETS,
+                        family=family,
+                        hops=str(hops),
+                    )
+                )
+            histogram.observe(self.clock.now() - published)
 
     # --- lifecycle ---------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Deterministic state of all three layers (see also exporters)."""
-        return {
+        """Deterministic state of all layers (see also exporters)."""
+        snap = {
             "clock": round(self.clock.now(), 9),
             "metrics": self.metrics.snapshot(),
             "spans": [span.to_dict() for span in self.tracer.spans],
             "wire": self.capture.snapshot(),
             "lineage": self.ledger.snapshot(),
         }
+        if self.flight.enabled:
+            snap["flight"] = self.flight.snapshot()
+        if self.phases is not None:
+            snap["phases"] = self.phases.snapshot(include_wall=False)
+        return snap
 
     def reset(self) -> None:
         """Zero everything between benchmark phases."""
@@ -201,3 +360,6 @@ class Instrumentation:
         self.tracer.reset()
         self.capture.reset()
         self.ledger.reset()
+        self.flight.reset()
+        if self.phases is not None:
+            self.phases.reset()

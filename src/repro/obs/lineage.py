@@ -25,7 +25,7 @@ does not carry per-item lineage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: states that open a delivery obligation for (lineage, sink)
 OPENING_STATES = frozenset({"enqueued", "replayed"})
@@ -46,13 +46,23 @@ KNOWN_STATES = frozenset(
 )
 
 
-@dataclass(frozen=True)
 class LineageEvent:
-    """One state transition, stamped on the virtual clock."""
+    """One state transition, stamped on the virtual clock.
 
-    at: float
-    state: str
-    detail: dict = field(default_factory=dict)
+    A ``__slots__`` record: several events are appended per notification
+    (enqueued / attempted / delivered, per sink), so construction cost is
+    part of the instrumented hot path.
+    """
+
+    __slots__ = ("at", "state", "detail")
+
+    def __init__(self, at: float, state: str, detail: dict) -> None:
+        self.at = at
+        self.state = state
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return f"LineageEvent(at={self.at!r}, state={self.state!r}, detail={self.detail!r})"
 
     def to_dict(self) -> dict:
         record = {"at": round(self.at, 9), "state": self.state}
@@ -103,14 +113,22 @@ class LineageLedger:
 
     def __init__(self, clock) -> None:
         self._clock = clock
+        self._now = clock.now  # pre-bound: read once per recorded event
         self.events: dict[str, list[LineageEvent]] = {}
+        # publish-time index: read once per delivered obligation for the
+        # latency SLO, so keep it O(1) instead of scanning the event list
+        self._published_at: dict[str, float] = {}
 
     def record(self, lineage_id: str, state: str, **detail) -> None:
         if state not in KNOWN_STATES:
             raise ValueError(f"unknown lineage state: {state!r}")
-        self.events.setdefault(lineage_id, []).append(
-            LineageEvent(self._clock.now(), state, detail)
-        )
+        event = LineageEvent(self._now(), state, detail)
+        events = self.events.get(lineage_id)
+        if events is None:
+            events = self.events[lineage_id] = []
+        events.append(event)
+        if state == "published" and lineage_id not in self._published_at:
+            self._published_at[lineage_id] = event.at
 
     def lineages(self) -> list[str]:
         return sorted(self.events)
@@ -119,10 +137,7 @@ class LineageLedger:
         return list(self.events.get(lineage_id, ()))
 
     def published_at(self, lineage_id: str) -> float | None:
-        for event in self.events.get(lineage_id, ()):
-            if event.state == "published":
-                return event.at
-        return None
+        return self._published_at.get(lineage_id)
 
     def account_of(self, lineage_id: str) -> LineageAccount:
         account = LineageAccount()
@@ -168,6 +183,7 @@ class LineageLedger:
 
     def reset(self) -> None:
         self.events = {}
+        self._published_at = {}
 
     def __len__(self) -> int:
         return len(self.events)

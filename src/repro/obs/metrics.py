@@ -3,7 +3,17 @@
 A :class:`MetricsRegistry` hands out instruments keyed by ``(name, labels)``;
 asking twice for the same key returns the same instrument, so hot paths can
 simply call ``registry.counter("broker.requests", family="wse").inc()``.
-Snapshots are plain dicts with deterministically ordered keys, and
+
+Instruments are stored under a **structural key** — ``(name, sorted label
+items)`` — and the human-readable ``name{k=v,...}`` string is only rendered
+when a snapshot or aggregation asks for it (lazy label formatting).  The hot
+path therefore never builds strings; it hashes a small tuple, and call sites
+that run per-notification can go one step further and hold the
+:class:`Counter` itself (a *pre-bound handle*, see
+:meth:`Instrumentation.counter_handle`), paying one attribute increment per
+event.
+
+Snapshots are plain dicts with deterministically ordered rendered keys, and
 :meth:`MetricsRegistry.reset` zeroes every instrument between benchmark
 phases without invalidating references already handed out.
 """
@@ -11,7 +21,7 @@ phases without invalidating references already handed out.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Optional
+from typing import Iterator, Optional
 
 #: default histogram buckets, in virtual seconds (upper bounds; +Inf implied)
 DEFAULT_BUCKETS: tuple[float, ...] = (
@@ -30,12 +40,31 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
     5.0,
 )
 
+#: structural registry key: (name, tuple(sorted(labels.items())))
+MetricKey = tuple
+
 
 def metric_key(name: str, labels: dict[str, str]) -> str:
     """Render ``name{k=v,...}`` with labels sorted — the canonical key."""
     if not labels:
         return name
     inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def structural_key(name: str, labels: dict[str, str]) -> MetricKey:
+    """The hot-path registry key: no string building, just a small tuple."""
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted(labels.items())))
+
+
+def render_key(key: MetricKey) -> str:
+    """Render a structural key into the canonical ``name{k=v,...}`` form."""
+    name, items = key
+    if not items:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in items)
     return f"{name}{{{inner}}}"
 
 
@@ -113,25 +142,57 @@ class Histogram:
         }
 
 
+class _NullCounter(Counter):
+    """Pre-bound handle handed out by ``NullInstrumentation``: inert."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+#: shared inert instruments (safe to share: every operation is a no-op)
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
 class MetricsRegistry:
     """All instruments of one instrumented run, keyed deterministically."""
 
     def __init__(self) -> None:
-        self._counters: dict[str, Counter] = {}
-        self._gauges: dict[str, Gauge] = {}
-        self._histograms: dict[str, Histogram] = {}
+        self._counters: dict[MetricKey, Counter] = {}
+        self._gauges: dict[MetricKey, Gauge] = {}
+        self._histograms: dict[MetricKey, Histogram] = {}
 
     # --- instrument access -------------------------------------------------
 
     def counter(self, name: str, **labels: str) -> Counter:
-        key = metric_key(name, labels)
+        key = (name, tuple(sorted(labels.items()))) if labels else (name, ())
         instrument = self._counters.get(key)
         if instrument is None:
             instrument = self._counters[key] = Counter()
         return instrument
 
     def gauge(self, name: str, **labels: str) -> Gauge:
-        key = metric_key(name, labels)
+        key = (name, tuple(sorted(labels.items()))) if labels else (name, ())
         instrument = self._gauges.get(key)
         if instrument is None:
             instrument = self._gauges[key] = Gauge()
@@ -144,7 +205,7 @@ class MetricsRegistry:
         buckets: tuple[float, ...] = DEFAULT_BUCKETS,
         **labels: str,
     ) -> Histogram:
-        key = metric_key(name, labels)
+        key = (name, tuple(sorted(labels.items()))) if labels else (name, ())
         instrument = self._histograms.get(key)
         if instrument is None:
             instrument = self._histograms[key] = Histogram(buckets)
@@ -153,22 +214,46 @@ class MetricsRegistry:
     # --- aggregation -------------------------------------------------------
 
     def counter_values(self, name: str) -> dict[str, int]:
-        """All counter series of one metric name, keyed by full key."""
-        prefix = name + "{"
-        return {
-            key: c.value
-            for key, c in sorted(self._counters.items())
-            if key == name or key.startswith(prefix)
+        """All counter series of one metric name, keyed by rendered key."""
+        values = {
+            render_key(key): c.value
+            for key, c in self._counters.items()
+            if key[0] == name
         }
+        return {k: values[k] for k in sorted(values)}
+
+    def gauge_values(self, name: str) -> dict[str, float]:
+        """All gauge series of one metric name, keyed by rendered key."""
+        values = {
+            render_key(key): g.value
+            for key, g in self._gauges.items()
+            if key[0] == name
+        }
+        return {k: values[k] for k in sorted(values)}
+
+    def histogram_series(
+        self, name: str
+    ) -> Iterator[tuple[dict[str, str], Histogram]]:
+        """Every ``(labels, histogram)`` recorded under ``name``, in
+        deterministic label order."""
+        for key in sorted(k for k in self._histograms if k[0] == name):
+            yield dict(key[1]), self._histograms[key]
 
     def snapshot(self) -> dict:
-        """A plain, deterministic dict of every instrument's state."""
+        """A plain, deterministic dict of every instrument's state.
+
+        Keys are rendered here — and only here — so the hot path never pays
+        for label formatting (lazy label formatting).
+        """
+        counters = {render_key(k): c.value for k, c in self._counters.items()}
+        gauges = {render_key(k): g.value for k, g in self._gauges.items()}
+        histograms = {
+            render_key(k): h.snapshot() for k, h in self._histograms.items()
+        }
         return {
-            "counters": {k: c.value for k, c in sorted(self._counters.items())},
-            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
-            "histograms": {
-                k: h.snapshot() for k, h in sorted(self._histograms.items())
-            },
+            "counters": {k: counters[k] for k in sorted(counters)},
+            "gauges": {k: gauges[k] for k in sorted(gauges)},
+            "histograms": {k: histograms[k] for k in sorted(histograms)},
         }
 
     def reset(self) -> None:

@@ -9,7 +9,11 @@ on the virtual clock, so the output is byte-identical across invocations.
 
 from __future__ import annotations
 
-from repro.obs.exporters import render_json_report, render_text_report
+from repro.obs.exporters import (
+    render_json_report,
+    render_text_report,
+    reset_cache_stats,
+)
 from repro.obs.instrument import Instrumentation
 
 DEMO_TOPIC = "obs/demo"
@@ -34,6 +38,7 @@ def run_demo_scenario() -> Instrumentation:
     from repro.xmlkit import parse_xml
 
     reset_message_counter()
+    reset_cache_stats()
     network = SimulatedNetwork(VirtualClock())
     instrumentation = Instrumentation.attach(network)
 

@@ -89,16 +89,10 @@ def bucket_percentile(
 
 def _latency_series(metrics: MetricsRegistry) -> list[tuple[str, int, Histogram]]:
     """Every (family, hops, histogram) recorded under the latency metric."""
-    prefix = DELIVERY_LATENCY_METRIC + "{"
-    series = []
-    for key, histogram in sorted(metrics._histograms.items()):
-        if not key.startswith(prefix):
-            continue
-        labels = dict(
-            part.split("=", 1) for part in key[len(prefix) : -1].split(",")
-        )
-        series.append((labels["family"], int(labels["hops"]), histogram))
-    return series
+    return [
+        (labels["family"], int(labels["hops"]), histogram)
+        for labels, histogram in metrics.histogram_series(DELIVERY_LATENCY_METRIC)
+    ]
 
 
 def _merged_summary(group: list[Histogram]) -> dict:

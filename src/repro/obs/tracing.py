@@ -23,19 +23,26 @@ the root publish.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from typing import TYPE_CHECKING, Iterator, Optional
+from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.propagation import LineageContext
 
 
 class Span:
-    """One timed operation: name, attributes, start/end, parent linkage."""
+    """One timed operation: name, attributes, start/end, parent linkage.
+
+    A span is its own context manager — :meth:`Tracer.span` resolves
+    parentage, pushes the span and returns it, and ``__exit__`` pops the
+    tracer stack and stamps the end time.  That keeps the per-span cost to
+    one object allocation plus two list operations (the previous
+    ``contextlib`` generator added a helper object, a generator frame and
+    two extra calls per span — measurable at notification rates).
+    """
 
     __slots__ = (
         "span_id", "parent_id", "name", "attrs", "start", "end",
-        "status", "error", "lineage", "hop",
+        "status", "error", "lineage", "hop", "_tracer", "_context",
     )
 
     def __init__(
@@ -45,7 +52,6 @@ class Span:
         name: str,
         attrs: dict[str, str],
         start: float,
-        *,
         lineage: Optional[str] = None,
         hop: int = 0,
     ) -> None:
@@ -61,6 +67,23 @@ class Span:
         self.lineage = lineage
         #: wire hops crossed between the root publish and this span
         self.hop = hop
+        #: owning tracer while the span is live on a stack (None otherwise)
+        self._tracer: Optional["Tracer"] = None
+        #: memoized continuation context (lineage/span_id/hop never change)
+        self._context: Optional["LineageContext"] = None
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self.fail(f"{exc_type.__name__}: {exc}")
+        tracer = self._tracer
+        if tracer is not None:
+            self.end = tracer._now()
+            tracer._stack.pop()
+            self._tracer = None
+        return False
 
     def set(self, key: str, value: str) -> None:
         """Attach an attribute discovered mid-span (e.g. the detected spec)."""
@@ -96,14 +119,26 @@ class Span:
 
 
 class Tracer:
-    """Produces spans and stores every finished one in memory."""
+    """Produces spans and stores every finished one in memory.
 
-    def __init__(self, clock) -> None:
+    ``sample_every`` trades span *retention* for memory and time: with a
+    value N > 1 only every Nth span is kept in :attr:`spans` (the first of
+    each stride survives, so small scenarios still trace).  The live stack —
+    and with it lineage inheritance, parent ids and wire propagation — is
+    always maintained, so sampling never changes wire bytes or ledger
+    accounting, only which span records remain for the report.
+    """
+
+    def __init__(self, clock, *, sample_every: int = 1) -> None:
         self._clock = clock
+        self._now = clock.now  # pre-bound: read 2x per span
         self.spans: list[Span] = []
         self._stack: list[Span] = []
         self._next_id = 1
         self._next_lineage = 1
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.sample_every = sample_every
 
     def mint_lineage(self) -> str:
         """A fresh, deterministic lineage id (one per root publish)."""
@@ -111,7 +146,6 @@ class Tracer:
         self._next_lineage += 1
         return lineage
 
-    @contextmanager
     def span(
         self,
         name: str,
@@ -119,8 +153,9 @@ class Tracer:
         remote: Optional["LineageContext"] = None,
         mint: bool = False,
         **attrs: str,
-    ) -> Iterator[Span]:
-        """Open a span under the current stack top.
+    ) -> Span:
+        """Open a span under the current stack top (use as ``with tracer.
+        span(...) as span:`` — the span pushes here and pops on exit).
 
         ``remote`` re-establishes a wire-carried context: when the live
         stack does not already carry that lineage (a retry, a drain, a
@@ -129,10 +164,16 @@ class Tracer:
         ``mint`` marks a root-publish site: if no lineage is inherited, a
         fresh one is minted there (hop 0).
         """
-        top = self._stack[-1] if self._stack else None
-        parent = top.span_id if top else None
-        lineage = top.lineage if top else None
-        hop = top.hop if top else 0
+        stack = self._stack
+        if stack:
+            top = stack[-1]
+            parent = top.span_id
+            lineage = top.lineage
+            hop = top.hop
+        else:
+            parent = None
+            lineage = None
+            hop = 0
         if remote is not None:
             if lineage is None or lineage != remote.lineage_id:
                 # the stack is not carrying this message's chain: link across
@@ -143,36 +184,56 @@ class Tracer:
             # but this dispatch is one wire hop further along
             hop = remote.hop
         if mint and lineage is None:
-            lineage = self.mint_lineage()
+            # inlined mint_lineage(): this runs once per root publish
+            lineage = f"lin-{self._next_lineage:08d}"
+            self._next_lineage += 1
             hop = 0
-        record = Span(
-            self._next_id, parent, name, dict(attrs), self._clock.now(),
-            lineage=lineage, hop=hop,
-        )
-        self._next_id += 1
-        self.spans.append(record)
-        self._stack.append(record)
-        try:
-            yield record
-        except BaseException as exc:
-            record.fail(f"{type(exc).__name__}: {exc}")
-            raise
-        finally:
-            record.end = self._clock.now()
-            self._stack.pop()
+        span_id = self._next_id
+        self._next_id = span_id + 1
+        # inlined Span() construction: this is the only allocation site, and
+        # skipping the __init__ frame is measurable at notification rates
+        record = Span.__new__(Span)
+        record.span_id = span_id
+        record.parent_id = parent
+        record.name = name
+        record.attrs = attrs
+        record.start = self._now()
+        record.end = None
+        record.status = "ok"
+        record.error = None
+        record.lineage = lineage
+        record.hop = hop
+        record._tracer = self
+        record._context = None
+        if self.sample_every == 1 or span_id % self.sample_every == 1:
+            self.spans.append(record)
+        stack.append(record)
+        return record
 
     def current(self) -> Optional[Span]:
         return self._stack[-1] if self._stack else None
 
     def continuation(self) -> Optional["LineageContext"]:
         """The current span's context, for same-process resumption (same
-        hop).  ``None`` when no traced span is active."""
-        top = self._stack[-1] if self._stack else None
-        if top is None or top.lineage is None:
-            return None
-        from repro.obs.propagation import LineageContext
+        hop).  ``None`` when no traced span is active.
 
-        return LineageContext(top.lineage, top.span_id, top.hop)
+        Memoized per span: a span's lineage/id/hop never change, and hot
+        paths ask several times per notification (client inject, task
+        stamping, ledger events)."""
+        stack = self._stack
+        if not stack:
+            return None
+        top = stack[-1]
+        if top.lineage is None:
+            return None
+        context = top._context
+        if context is None:
+            from repro.obs.propagation import LineageContext
+
+            context = top._context = LineageContext(
+                top.lineage, top.span_id, top.hop
+            )
+        return context
 
     def children_of(self, span: Span) -> list[Span]:
         return [s for s in self.spans if s.parent_id == span.span_id]

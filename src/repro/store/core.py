@@ -120,6 +120,18 @@ class BrokerStore:
         self.log.append(record)
         self.stats.appends += 1
         self._index(record)
+        broker = self.broker
+        if broker is not None:
+            instr = broker.network.instrumentation
+            if instr.enabled:
+                instr.count("store.log_appends", kind=type(record).__name__)
+                flight = instr.flight
+                if flight.enabled:
+                    flight.record(
+                        "log_append",
+                        entry=type(record).__name__,
+                        length=len(self.log),
+                    )
 
     # --- wiring ------------------------------------------------------------
 

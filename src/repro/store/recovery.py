@@ -146,6 +146,15 @@ def _replay_subscribe(broker, store, record: SubscribeRecorded) -> None:
     if response.ok:
         _force_expiry(broker, record.family, record.tag, record.sub_id, record.expires)
         store.stats.recovered_subscriptions += 1
+    else:
+        # the logged Subscribe no longer takes (e.g. a consumer EPR whose
+        # zone vanished): count the dropped recovery instead of moving on
+        # as if the subscription had been restored
+        broker.network.instrumentation.count(
+            "obs.swallowed_errors_total",
+            site="store.recovery.replay_subscribe",
+            status=str(response.status),
+        )
 
 
 def _replay_renew(broker, record: RenewRecorded) -> None:

@@ -11,11 +11,13 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.obs.propagation import extract as extract_lineage, inject as inject_lineage
+from repro.obs.instrument import BoundCounters
+from repro.obs.propagation import LineageContext, extract as extract_lineage
 from repro.soap.codec import parse_envelope, serialize_envelope
 from repro.soap.envelope import SoapEnvelope, SoapVersion
 from repro.soap.fault import FaultCode, SoapFault
 from repro.transport.http import (
+    LINEAGE_HTTP_HEADER,
     HttpFramingError,
     build_request,
     build_response,
@@ -49,6 +51,10 @@ class SoapEndpoint:
         self.soap_version = soap_version
         self._handlers: dict[str, ActionHandler] = {}
         self._fallback: Optional[ActionHandler] = None
+        #: pre-bound endpoint.requests counters, one per status (see
+        #: repro.obs.instrument.BoundCounters) — this endpoint counts per
+        #: dispatched request, so it never rebuilds metric keys
+        self._request_counters = BoundCounters()
         network.register(address, self._handle_wire, zone=zone)
 
     def epr(self) -> EndpointReference:
@@ -69,19 +75,28 @@ class SoapEndpoint:
 
     # --- wire handling ----------------------------------------------------
 
+    def _count_request(self, instr, status: str) -> None:
+        counter = self._request_counters.probe(instr, status)
+        if counter is None:
+            counter = self._request_counters.get(
+                instr, status, "endpoint.requests",
+                address=self.address, status=status,
+            )
+        counter.inc()
+
     def _handle_wire(self, wire: bytes) -> bytes:
         instr = self.network.instrumentation
         try:
             request = parse_request(wire)
         except HttpFramingError as exc:
             fault = SoapFault(FaultCode.SENDER, f"malformed HTTP framing: {exc}")
-            instr.count("endpoint.requests", address=self.address, status="framing_error")
+            self._count_request(instr, "framing_error")
             return build_response(400, self._fault_bytes(fault, SoapVersion.V11))
         try:
             envelope = parse_envelope(request.body)
         except ValueError as exc:
             fault = SoapFault(FaultCode.SENDER, f"unparseable envelope: {exc}")
-            instr.count("endpoint.requests", address=self.address, status="parse_error")
+            self._count_request(instr, "parse_error")
             return build_response(400, self._fault_bytes(fault, SoapVersion.V11))
         try:
             headers = extract_headers(envelope)
@@ -90,15 +105,22 @@ class SoapEndpoint:
         if not instr.enabled:
             return self._dispatch(envelope, headers)
         # re-establish the wire-carried trace context (None when absent or
-        # malformed: the dispatch then roots a fresh tree, exactly as before)
-        lineage = extract_lineage(envelope)
+        # malformed: the dispatch then roots a fresh tree, exactly as
+        # before).  Instrumented senders put it in the HTTP head; envelopes
+        # from other carriers (stored replays, alternative bindings) may
+        # still bear the lin:Lineage SOAP header, so fall back to that.
+        lineage_text = request.headers.get(LINEAGE_HTTP_HEADER)
+        if lineage_text is not None:
+            lineage = LineageContext.decode(lineage_text)
+        else:
+            lineage = extract_lineage(envelope)
         with instr.span(
             "dispatch", remote=lineage, address=self.address, action=headers.action
         ) as span:
             handler = self._handlers.get(headers.action, self._fallback)
             if handler is None:
                 span.fail(f"no handler for {headers.action!r}")
-                instr.count("endpoint.requests", address=self.address, status="no_handler")
+                self._count_request(instr, "no_handler")
                 fault = SoapFault(
                     FaultCode.SENDER, f"no handler for action {headers.action!r}"
                 )
@@ -107,9 +129,9 @@ class SoapEndpoint:
                 reply = handler(envelope, headers)
             except SoapFault as fault:
                 span.fail(f"fault: {fault.reason}")
-                instr.count("endpoint.requests", address=self.address, status="fault")
+                self._count_request(instr, "fault")
                 return build_response(500, self._fault_bytes(fault, envelope.version))
-            instr.count("endpoint.requests", address=self.address, status="ok")
+            self._count_request(instr, "ok")
             if reply is None:
                 return build_response(202)
             return build_response(200, serialize_envelope(reply).encode("utf-8"))
@@ -179,12 +201,11 @@ class SoapClient:
         if self.envelope_filter is not None:
             self.envelope_filter(envelope)
         context = self.network.instrumentation.trace_context()
-        if context is not None:
-            inject_lineage(envelope, context)
         wire = build_request(
             target.address,
             serialize_envelope(envelope).encode("utf-8"),
             soap_action=action,
+            lineage=None if context is None else context.wire_text(),
         )
         raw = self.network.send_request(target.address, wire, from_zone=self.zone)
         response = parse_response(raw)
@@ -196,17 +217,21 @@ class SoapClient:
         return reply if expect_reply else None
 
     def send_rendered(
-        self, target_address: str, action: str, text: str
+        self, target_address: str, action: str, text: str,
+        *, lineage: Optional[str] = None,
     ) -> Optional[SoapEnvelope]:
         """Send pre-rendered envelope text (the byte-template fast path).
 
-        The caller has already rendered addressing, lineage and body into
-        ``text``, so unlike :meth:`call` nothing is injected here; only the
-        HTTP framing and the reply unwrap run.  Callers must not use this
-        when an :attr:`envelope_filter` is installed — the filter operates on
+        The caller has already rendered addressing and body into ``text``,
+        so unlike :meth:`call` nothing touches the envelope here; lineage
+        (when tracing) rides the HTTP head and only the framing and the
+        reply unwrap run.  Callers must not use this when an
+        :attr:`envelope_filter` is installed — the filter operates on
         envelope trees, which a rendered send never builds.
         """
-        wire = build_request(target_address, text.encode("utf-8"), soap_action=action)
+        wire = build_request(
+            target_address, text.encode("utf-8"), soap_action=action, lineage=lineage
+        )
         raw = self.network.send_request(target_address, wire, from_zone=self.zone)
         response = parse_response(raw)
         if not response.body:
@@ -221,13 +246,12 @@ class SoapClient:
         if self.envelope_filter is not None:
             self.envelope_filter(envelope)
         context = self.network.instrumentation.trace_context()
-        if context is not None:
-            inject_lineage(envelope, context)
         headers = extract_headers(envelope)
         wire = build_request(
             target_address,
             serialize_envelope(envelope).encode("utf-8"),
             soap_action=headers.action,
+            lineage=None if context is None else context.wire_text(),
         )
         raw = self.network.send_request(target_address, wire, from_zone=self.zone)
         response = parse_response(raw)

@@ -20,6 +20,12 @@ from urllib.parse import urlparse
 
 _CRLF = "\r\n"
 
+#: trace-context request header (see :mod:`repro.obs.propagation`).
+#: Instrumented sends carry lineage here — in the HTTP head, the way W3C
+#: ``traceparent`` rides — so the SOAP envelope bytes stay identical with
+#: and without instrumentation.
+LINEAGE_HTTP_HEADER = "X-Lineage"
+
 
 class HttpFramingError(ValueError):
     """Malformed HTTP framing on the simulated wire."""
@@ -55,9 +61,19 @@ def _require_token(value: str, what: str) -> str:
 
 
 def build_request(
-    url: str, body: bytes, *, soap_action: str = "", content_type: str = "text/xml; charset=utf-8"
+    url: str,
+    body: bytes,
+    *,
+    soap_action: str = "",
+    content_type: str = "text/xml; charset=utf-8",
+    lineage: str | None = None,
 ) -> bytes:
-    """Frame a SOAP POST to ``url``."""
+    """Frame a SOAP POST to ``url``.
+
+    ``lineage`` is the optional trace-context value; when given it is
+    emitted as an ``X-Lineage`` header so instrumented sends never alter
+    the envelope bytes themselves.
+    """
     if any(ch <= " " for ch in url):
         # controls and SP must be rejected before urlparse sees them: a SP in
         # the request-target would mis-split the request line on parse, and
@@ -73,9 +89,12 @@ def build_request(
         f"Content-Type: {_require_token(content_type, 'Content-Type')}",
         f"Content-Length: {len(body)}",
         f'SOAPAction: "{_require_token(soap_action, "SOAPAction")}"',
-        "",
-        "",
     ]
+    if lineage is not None:
+        headers.append(
+            f"{LINEAGE_HTTP_HEADER}: {_require_token(lineage, LINEAGE_HTTP_HEADER)}"
+        )
+    headers += ["", ""]
     return _CRLF.join(headers).encode("ascii") + body
 
 

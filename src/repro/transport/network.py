@@ -75,7 +75,6 @@ class NetworkStats:
         self.unreachable = self.firewall_blocked = self.lost = 0
 
 
-@dataclass(frozen=True)
 class WireObservation:
     """One completed ``send_request`` attempt, outcome included.
 
@@ -83,19 +82,38 @@ class WireObservation:
     after the exchange resolves — successfully or not — so observability
     layers (``repro.obs.capture``) see responses and failures without
     monkey-patching the transport.
+
+    A plain ``__slots__`` record (one per exchange): the frozen-dataclass
+    construction path was measurable in the instrumentation-overhead bench.
     """
 
-    address: str
-    from_zone: str
-    #: the target's zone, or None when the address was unreachable
-    to_zone: Optional[str]
-    request: bytes
-    #: response bytes on success, None on any failure outcome
-    response: Optional[bytes]
-    #: "ok", "unreachable", "firewall_blocked", "lost" or "error"
-    outcome: str
-    started: float
-    finished: float
+    __slots__ = (
+        "address", "from_zone", "to_zone", "request", "response",
+        "outcome", "started", "finished",
+    )
+
+    def __init__(
+        self,
+        address: str,
+        from_zone: str,
+        to_zone: Optional[str],
+        request: bytes,
+        response: Optional[bytes],
+        outcome: str,
+        started: float,
+        finished: float,
+    ) -> None:
+        self.address = address
+        self.from_zone = from_zone
+        #: the target's zone, or None when the address was unreachable
+        self.to_zone = to_zone
+        self.request = request
+        #: response bytes on success, None on any failure outcome
+        self.response = response
+        #: "ok", "unreachable", "firewall_blocked", "lost" or "error"
+        self.outcome = outcome
+        self.started = started
+        self.finished = finished
 
     @property
     def latency(self) -> float:
@@ -145,6 +163,10 @@ class SimulatedNetwork:
         self.wire_observers: list[Callable[[WireObservation], None]] = []
         #: observability handle (see repro.obs); the null object by default
         self.instrumentation = NULL_INSTRUMENTATION
+        # pre-bound net.* instruments, invalidated when the handle changes
+        self._net_instr = None
+        self._net_counters: dict[str, object] = {}
+        self._net_rtt = None
 
     # --- topology ----------------------------------------------------------
 
@@ -191,6 +213,8 @@ class SimulatedNetwork:
         started = self.clock.now()
         response: Optional[bytes] = None
         outcome = "error"
+        phases = instr.phases
+        timer = phases.begin() if phases is not None else 0
         with instr.span("deliver", address=target_address, from_zone=from_zone):
             try:
                 response = self._transfer(target_address, payload, from_zone)
@@ -206,20 +230,31 @@ class SimulatedNetwork:
                 outcome = "lost"
                 raise
             finally:
+                if phases is not None:
+                    phases.end("deliver", timer)
                 finished = self.clock.now()
-                instr.count("net.requests", outcome=outcome)
-                instr.observe("net.rtt_seconds", finished - started)
+                if instr is not self._net_instr:
+                    self._net_instr = instr
+                    self._net_counters = {}
+                    self._net_rtt = instr.histogram_handle("net.rtt_seconds")
+                counter = self._net_counters.get(outcome)
+                if counter is None:
+                    counter = self._net_counters[outcome] = instr.counter_handle(
+                        "net.requests", outcome=outcome
+                    )
+                counter.inc()
+                self._net_rtt.observe(finished - started)
                 if self.wire_observers:
                     registration = self._registrations.get(target_address)
                     observation = WireObservation(
-                        address=target_address,
-                        from_zone=from_zone,
-                        to_zone=registration.zone if registration else None,
-                        request=payload,
-                        response=response,
-                        outcome=outcome,
-                        started=started,
-                        finished=finished,
+                        target_address,
+                        from_zone,
+                        registration.zone if registration else None,
+                        payload,
+                        response,
+                        outcome,
+                        started,
+                        finished,
                     )
                     for hook in self.wire_observers:
                         hook(observation)

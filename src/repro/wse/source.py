@@ -17,6 +17,7 @@ from repro.delivery.policy import BatchingPolicy
 from repro.delivery.task import DeliveryItem
 from repro.transport.clock import ClockScheduler
 from repro.filters.base import AcceptAllFilter, Filter, FilterContext, FilterError
+from repro.obs.instrument import BoundCounters
 from repro.filters.content import MessageContentFilter
 from repro.filters.topics import TopicSubscriptionIndex, topic_expression_of
 from repro.soap.envelope import SoapEnvelope, SoapVersion
@@ -67,6 +68,8 @@ class EventSource:
         self.network = network
         self.version = version
         self._version_tag = version.name.lower()  # metric/span label form
+        #: pre-bound fan-out counters (see repro.obs.instrument.BoundCounters)
+        self._bound_counters = BoundCounters()
         self.clock = network.clock
         self.default_lifetime = default_lifetime
         self.max_lifetime = max_lifetime
@@ -339,13 +342,18 @@ class EventSource:
             "wse.publish", mint=True, source=self.address, version=self._version_tag
         ) as span:
             if originating:
-                instr.lineage_event(
+                # direct ledger write: mint=True guarantees span.lineage
+                instr._ledger_record(
                     span.lineage, "published", source=self.address, family="wse"
                 )
             delivered = self._fan_out_event(payload, action, topic)
-        instr.count(
-            "notifications.matched", delivered, family="wse", version=self._version_tag
-        )
+        matched_counter = self._bound_counters.probe(instr, "matched")
+        if matched_counter is None:
+            matched_counter = self._bound_counters.get(
+                instr, "matched", "notifications.matched",
+                family="wse", version=self._version_tag,
+            )
+        matched_counter.inc(delivered)
         return delivered
 
     def _fan_out_event(
@@ -361,24 +369,42 @@ class EventSource:
         else:
             frozen = payload.copy().freeze()
             if instr.enabled:
-                instr.count("fanout.payload_copies", family="wse")
+                self._bound_counters.get(
+                    instr, "payload_copies", "fanout.payload_copies", family="wse"
+                ).inc()
         context = FilterContext(
             frozen, topic=topic, producer_properties=self.producer_properties
         )
         candidates = self._topic_index.candidates(topic)
         lineage = instr.trace_context() if instr.enabled else None
         if instr.enabled:
-            instr.count("fanout.index_hits", len(candidates), family="wse")
+            bound = self._bound_counters
+            hits_counter = bound.probe(instr, "index_hits")
+            if hits_counter is None:
+                hits_counter = bound.get(
+                    instr, "index_hits", "fanout.index_hits", family="wse"
+                )
+            hits_counter.inc(len(candidates))
             skipped = len(self.store._subscriptions) - len(candidates)
             if skipped > 0:
-                instr.count("fanout.index_skips", skipped, family="wse")
+                bound.get(
+                    instr, "index_skips", "fanout.index_skips", family="wse"
+                ).inc(skipped)
+            # hottest site: one increment per candidate, via one handle
+            evals_counter = bound.probe(instr, "filter_evals")
+            if evals_counter is None:
+                evals_counter = bound.get(
+                    instr, "filter_evals", "fanout.filter_evals", family="wse"
+                )
+        else:
+            evals_counter = None
         delivered = 0
         for key in candidates:
             subscription = self.store.get(key)
             if subscription is None:
                 continue
-            if instr.enabled:
-                instr.count("fanout.filter_evals", family="wse")
+            if evals_counter is not None:
+                evals_counter.inc()
             if not subscription.accepts(context):
                 continue
             delivered += 1
@@ -419,6 +445,21 @@ class EventSource:
         self._batch_scheduler.call_at(
             when, lambda: self._on_wrapped_deadline(subscription.id, when)
         )
+
+    def stale_wrapped_deadlines(self) -> int:
+        """Wrapped queues whose window deadline passed without a flush.
+
+        Non-zero after the scheduler has drained everything due means a
+        window timer was lost or never pumped — the ``obs-health``
+        stale-batch-timer anomaly (the WSE analog of
+        :meth:`repro.delivery.batcher.DeliveryBatcher.stale_deadlines`)."""
+        now = self.clock.now()
+        stale = 0
+        for sub_id, when in self._wrapped_deadlines.items():
+            subscription = self.store.get(sub_id)
+            if when < now and subscription is not None and subscription.queue:
+                stale += 1
+        return stale
 
     def _on_wrapped_deadline(self, sub_id: str, when: float) -> None:
         if self._wrapped_deadlines.get(sub_id) != when:
@@ -537,22 +578,28 @@ class EventSource:
         lineage = instr.trace_context() if instr.enabled else None
         if lineage is not None:
             # direct path: the obligation opens and closes synchronously
-            instr.lineage_event(
+            # (ledger written directly — the lineage id is known non-None)
+            instr._ledger_record(
                 lineage.lineage_id, "enqueued", sink=sink, family="wse"
             )
         for remaining in range(self.delivery_retries, -1, -1):
             if lineage is not None:
-                instr.lineage_event(
+                instr._ledger_record(
                     lineage.lineage_id, "attempted",
                     n=self.delivery_retries - remaining + 1, sink=sink,
                 )
             try:
                 attempt()
                 if instr.enabled:
-                    instr.count(
-                        "notifications.delivered", family="wse",
-                        version=self._version_tag,
+                    delivered_counter = self._bound_counters.probe(
+                        instr, "delivered"
                     )
+                    if delivered_counter is None:
+                        delivered_counter = self._bound_counters.get(
+                            instr, "delivered", "notifications.delivered",
+                            family="wse", version=self._version_tag,
+                        )
+                    delivered_counter.inc()
                 if lineage is not None:
                     instr.lineage_delivered(
                         lineage.lineage_id,
@@ -590,9 +637,10 @@ class EventSource:
     ) -> None:
         instr = self.network.instrumentation
         if instr.enabled:
-            instr.count(
-                "notifications.failed", family="wse", version=self._version_tag
-            )
+            self._bound_counters.get(
+                instr, "failed", "notifications.failed",
+                family="wse", version=self._version_tag,
+            ).inc()
         sink = subscription.notify_to.address if subscription.notify_to else ""
         record_failure(
             self.delivery_failures,

@@ -18,6 +18,7 @@ from repro.delivery.outcome import DeliveryFailure, record_failure
 from repro.delivery.policy import BatchingPolicy
 from repro.delivery.task import DeliveryItem
 from repro.filters.base import AcceptAllFilter, AndFilter, Filter, FilterContext, FilterError
+from repro.obs.instrument import BoundCounters
 from repro.filters.content import MessageContentFilter
 from repro.filters.producer import ProducerPropertiesFilter
 from repro.filters.topics import TopicFilter, TopicNamespace, topic_expression_of
@@ -93,6 +94,8 @@ class NotificationProducer:
         self.network = network
         self.version = version
         self._version_tag = version.name.lower()  # metric/span label form
+        #: pre-bound fan-out counters (see repro.obs.instrument.BoundCounters)
+        self._bound_counters = BoundCounters()
         self.clock = network.clock
         self.default_lifetime = default_lifetime
         self.topics = topic_namespace or TopicNamespace()
@@ -513,13 +516,19 @@ class NotificationProducer:
             topic=topic or "",
         ) as span:
             if originating:
-                instr.lineage_event(
+                # direct ledger write: mint=True guarantees span.lineage, so
+                # the lineage_event() None-guard and kwargs repack are skipped
+                instr._ledger_record(
                     span.lineage, "published", producer=self.address, family="wsn"
                 )
             matched = self._match_and_deliver(payload, topic)
-        instr.count(
-            "notifications.matched", matched, family="wsn", version=self._version_tag
-        )
+        matched_counter = self._bound_counters.probe(instr, "matched")
+        if matched_counter is None:
+            matched_counter = self._bound_counters.get(
+                instr, "matched", "notifications.matched",
+                family="wsn", version=self._version_tag,
+            )
+        matched_counter.inc(matched)
         return matched
 
     def _match_and_deliver(self, payload: XElem, topic: Optional[str]) -> int:
@@ -537,7 +546,9 @@ class NotificationProducer:
         else:
             frozen = payload.copy().freeze()
             if instr.enabled:
-                instr.count("fanout.payload_copies", family="wsn")
+                self._bound_counters.get(
+                    instr, "payload_copies", "fanout.payload_copies", family="wsn"
+                ).inc()
         if topic is not None:
             self._current_message[topic] = frozen
         self.registry.sweep_due()
@@ -546,17 +557,33 @@ class NotificationProducer:
         )
         candidates = self._topic_index.candidates(topic)
         if instr.enabled:
-            instr.count("fanout.index_hits", len(candidates), family="wsn")
+            bound = self._bound_counters
+            hits_counter = bound.probe(instr, "index_hits")
+            if hits_counter is None:
+                hits_counter = bound.get(
+                    instr, "index_hits", "fanout.index_hits", family="wsn"
+                )
+            hits_counter.inc(len(candidates))
             skipped = len(self._subscriptions) - len(candidates)
             if skipped > 0:
-                instr.count("fanout.index_skips", skipped, family="wsn")
+                bound.get(
+                    instr, "index_skips", "fanout.index_skips", family="wsn"
+                ).inc(skipped)
+            # hottest site: one increment per candidate, via one handle
+            evals_counter = bound.probe(instr, "filter_evals")
+            if evals_counter is None:
+                evals_counter = bound.get(
+                    instr, "filter_evals", "fanout.filter_evals", family="wsn"
+                )
+        else:
+            evals_counter = None
         matched = 0
         for key in candidates:
             subscription = self._subscriptions.get(key)
             if subscription is None or not subscription.resource.alive(self.clock.now()):
                 continue
-            if instr.enabled:
-                instr.count("fanout.filter_evals", family="wsn")
+            if evals_counter is not None:
+                evals_counter.inc()
             if not subscription.filter.matches(context):
                 continue
             matched += 1
@@ -668,12 +695,18 @@ class NotificationProducer:
             else:
                 with instr.span(
                     "notify", family="wsn", to=subscription.consumer.address,
-                    raw=str(subscription.use_raw).lower(),
+                    raw="true" if subscription.use_raw else "false",
                 ):
                     self._send_notifications(subscription, notifications)
-                instr.count(
-                    "notifications.delivered", family="wsn", version=self._version_tag
+                delivered_counter = self._bound_counters.probe(
+                    instr, "delivered"
                 )
+                if delivered_counter is None:
+                    delivered_counter = self._bound_counters.get(
+                        instr, "delivered", "notifications.delivered",
+                        family="wsn", version=self._version_tag,
+                    )
+                delivered_counter.inc()
 
         if self.delivery_manager is not None:
             # reliable path: the pipeline owns retries, dead-lettering and the
@@ -698,11 +731,11 @@ class NotificationProducer:
         sink = subscription.consumer.address
         if lineage is not None:
             # direct path: the obligation opens and closes synchronously
+            # (ledger written directly — the lineage id is known non-None)
+            record = instr._ledger_record
             for _ in notifications:
-                instr.lineage_event(
-                    lineage.lineage_id, "enqueued", sink=sink, family="wsn"
-                )
-                instr.lineage_event(lineage.lineage_id, "attempted", n=1, sink=sink)
+                record(lineage.lineage_id, "enqueued", sink=sink, family="wsn")
+                record(lineage.lineage_id, "attempted", n=1, sink=sink)
         try:
             attempt()
             if lineage is not None:
@@ -717,9 +750,10 @@ class NotificationProducer:
             # failed consumer: destroy the subscription (soft state would
             # collect it anyway; this mirrors WSE's DeliveryFailure ending)
             if instr.enabled:
-                instr.count(
-                    "notifications.failed", family="wsn", version=self._version_tag
-                )
+                self._bound_counters.get(
+                    instr, "failed", "notifications.failed",
+                    family="wsn", version=self._version_tag,
+                ).inc()
             if lineage is not None:
                 for _ in notifications:
                     instr.lineage_event(
@@ -776,10 +810,10 @@ class NotificationProducer:
                     batch=str(len(wrapped)),
                 ):
                     self._send_wrapped(consumer, wrapped)
-                instr.count(
-                    "notifications.delivered", len(wrapped),
+                self._bound_counters.get(
+                    instr, "delivered", "notifications.delivered",
                     family="wsn", version=self._version_tag,
-                )
+                ).inc(len(wrapped))
 
         if self.delivery_manager is not None:
             self.delivery_manager.submit(
@@ -798,9 +832,11 @@ class NotificationProducer:
             )
             return
         lineages = [lineage for _, _, lineage in entries if lineage is not None]
-        for lineage in lineages:
-            instr.lineage_event(lineage.lineage_id, "enqueued", sink=sink, family="wsn")
-            instr.lineage_event(lineage.lineage_id, "attempted", n=1, sink=sink)
+        if lineages:
+            record = instr._ledger_record
+            for lineage in lineages:
+                record(lineage.lineage_id, "enqueued", sink=sink, family="wsn")
+                record(lineage.lineage_id, "attempted", n=1, sink=sink)
         try:
             attempt()
             for lineage in lineages:
@@ -809,10 +845,10 @@ class NotificationProducer:
                 )
         except (NetworkError, SoapFault) as exc:
             if instr.enabled:
-                instr.count(
-                    "notifications.failed", len(entries),
+                self._bound_counters.get(
+                    instr, "failed", "notifications.failed",
                     family="wsn", version=self._version_tag,
-                )
+                ).inc(len(entries))
             for lineage in lineages:
                 instr.lineage_event(
                     lineage.lineage_id, "failed", sink=sink, reason=type(exc).__name__
@@ -868,7 +904,14 @@ class NotificationProducer:
         action = self.version.action("Notify")
         text = self._render_notify(consumer, entries)
         if text is not None:
-            self._client.send_rendered(consumer.address, action, text)
+            instr = self.network.instrumentation
+            context = instr.trace_context() if instr.enabled else None
+            self._client.send_rendered(
+                consumer.address,
+                action,
+                text,
+                lineage=None if context is None else context.wire_text(),
+            )
             return
         body = messages.build_notify(self.version, [item for _, item in entries])
         self._client.call(consumer, action, [body], expect_reply=False)
@@ -879,8 +922,10 @@ class NotificationProducer:
         entries: list[tuple[str, NotificationMessage]],
     ) -> Optional[str]:
         """Rendered envelope text for ``entries``, or ``None`` for the tree
-        path.  Runs at attempt time, so the message id is minted and the
-        lineage header resolved exactly where the tree path would do it."""
+        path.  Runs at attempt time, so the message id is minted exactly
+        where the tree path would mint it.  Lineage never appears here:
+        trace context rides the HTTP head (see ``_send_wrapped``), so the
+        rendered bytes match the uninstrumented envelope exactly."""
         if self.debug_no_templates or self._client.envelope_filter is not None:
             return None
         instr = self.network.instrumentation
@@ -901,31 +946,53 @@ class NotificationProducer:
                 or not self._references_match(sub_key, item)
             ):
                 if instr.enabled:
-                    instr.count("fanout.template_misses", family="wsn")
+                    self._bound_counters.get(
+                        instr, "template_misses", "fanout.template_misses",
+                        family="wsn",
+                    ).inc()
                 return None
-        context = instr.trace_context() if instr.enabled else None
         compiled, outcome = self.templates.lookup(
             consumer,
             topic,
             dialect,
             payload0,
-            has_lineage=context is not None,
             sub_keys=[sub_key for sub_key, _ in entries],
         )
         if instr.enabled:
             if outcome == "hit":
-                instr.count("fanout.template_hits", family="wsn")
+                self._bound_counters.get(
+                    instr, "template_hits", "fanout.template_hits", family="wsn"
+                ).inc()
             else:
-                instr.count("fanout.template_misses", family="wsn")
+                self._bound_counters.get(
+                    instr, "template_misses", "fanout.template_misses",
+                    family="wsn",
+                ).inc()
+            flight = instr.flight
+            if flight.enabled:
+                flight.record(
+                    "serialize",
+                    family="wsn",
+                    sink=consumer.address,
+                    outcome=outcome,
+                    batch=len(entries),
+                )
         if compiled is None:
             return None
         message_id = fresh_message_id()
-        lineage_text = context.step().encode() if context is not None else ""
-        return compiled.render(
+        phases = instr.phases
+        if phases is None:
+            return compiled.render(
+                message_id,
+                [(sub_key, item.payload) for sub_key, item in entries],
+            )
+        timer = phases.begin()
+        text = compiled.render(
             message_id,
-            lineage_text,
             [(sub_key, item.payload) for sub_key, item in entries],
         )
+        phases.end("serialize", timer)
+        return text
 
     def _references_match(self, sub_key: str, item: NotificationMessage) -> bool:
         """Whether the message's EPRs are exactly the shapes the template

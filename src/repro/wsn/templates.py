@@ -8,12 +8,15 @@ sentinel strings in the per-send text positions — and every later send is a
 ``str.join`` over the cached segments (:class:`repro.xmlkit.template.
 ByteTemplate`).
 
-The envelope template has three slots, in document order:
+The envelope template has two slots, in document order:
 
 * ``message_id`` — the ``wsa:MessageID`` text, minted fresh per attempt;
-* ``lineage`` — the lineage header text (present only in instrumented runs,
-  exactly like :func:`repro.obs.propagation.inject`);
 * ``messages`` — the run of ``NotificationMessage`` elements.
+
+Lineage is *not* a slot: instrumented sends carry trace context as an HTTP
+request header (see :mod:`repro.obs.propagation`), so the rendered envelope
+bytes — and therefore the compiled templates — are identical with and
+without instrumentation, and both modes share one cache entry per shape.
 
 The ``messages`` slot is filled by a second, nested template compiled from a
 single ``NotificationMessage`` chunk, with two slots of its own: ``sub_id``
@@ -25,8 +28,8 @@ staying byte-identical to :func:`repro.wsn.messages.build_notify` output.
 
 Cache key and eviction: the sink half of the key is a structural signature
 of the consumer EPR (recomputed per send, so an EPR change can never reuse a
-stale entry), the shape half is ``(topic, dialect, payload namespace order,
-has_lineage)``.  Entries are LRU-capped, dropped when the last subscription
+stale entry), the shape half is ``(topic, dialect, payload namespace
+order)``.  Entries are LRU-capped, dropped when the last subscription
 referencing their sink goes away (unsubscribe, lease-expiry sweep, delivery
 failure), and wiped wholesale by :meth:`NotifyTemplateCache.clear` on
 recovery replay.
@@ -37,7 +40,6 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
-from repro.obs.propagation import LINEAGE_HEADER
 from repro.soap.codec import envelope_root
 from repro.soap.envelope import SoapEnvelope, SoapVersion
 from repro.wsa.epr import EndpointReference
@@ -59,7 +61,6 @@ from repro.xmlkit.writer import (
 #: can never collide with XML structure; a *payload* that happens to contain
 #: one is caught by the exactly-once check and falls back to the tree path
 MESSAGE_ID_SENTINEL = "urn:x-repro-template-slot:message-id"
-LINEAGE_SENTINEL = "urn:x-repro-template-slot:lineage"
 SUB_ID_SENTINEL = "urn:x-repro-template-slot:subscription-id"
 
 
@@ -94,24 +95,21 @@ def sink_signature(epr: EndpointReference):
 class CompiledNotify:
     """One compiled envelope: outer template + per-message chunk template."""
 
-    __slots__ = ("envelope", "chunk", "payload_mapping", "has_lineage")
+    __slots__ = ("envelope", "chunk", "payload_mapping")
 
     def __init__(
         self,
         envelope: ByteTemplate,
         chunk: ByteTemplate,
         payload_mapping: tuple[str, ...],
-        has_lineage: bool,
     ) -> None:
         self.envelope = envelope
         self.chunk = chunk
         self.payload_mapping = payload_mapping
-        self.has_lineage = has_lineage
 
     def render(
         self,
         message_id: str,
-        lineage_text: str,
         entries: list[tuple[str, XElem]],
     ) -> str:
         """Render the full envelope for ``entries`` = [(sub_key, payload)...]."""
@@ -126,13 +124,12 @@ class CompiledNotify:
             )
             for sub_key, payload in entries
         ]
-        values = {
-            "message_id": _escape_text(message_id),
-            "messages": "".join(chunks),
-        }
-        if self.has_lineage:
-            values["lineage"] = _escape_text(lineage_text)
-        return self.envelope.render(values)
+        return self.envelope.render(
+            {
+                "message_id": _escape_text(message_id),
+                "messages": "".join(chunks),
+            }
+        )
 
 
 class NotifyTemplateCache:
@@ -167,7 +164,6 @@ class NotifyTemplateCache:
         topic_dialect: str,
         payload: XElem,
         *,
-        has_lineage: bool,
         sub_keys: list[str],
     ) -> tuple[Optional[CompiledNotify], str]:
         """The compiled template for this sink and shape plus an outcome tag
@@ -178,7 +174,7 @@ class NotifyTemplateCache:
             TEMPLATE_STATS.fallbacks += 1
             return None, "fallback"
         sig = sink_signature(consumer)
-        key = (sig, topic, topic_dialect, frozen_namespace_order(payload), has_lineage)
+        key = (sig, topic, topic_dialect, frozen_namespace_order(payload))
         self._note_refs(sig, key, sub_keys)
         compiled = self._templates.get(key)
         if compiled is not None:
@@ -189,7 +185,7 @@ class NotifyTemplateCache:
             TEMPLATE_STATS.fallbacks += 1
             return None, "fallback"
         try:
-            compiled = self._compile(consumer, topic, topic_dialect, payload, has_lineage)
+            compiled = self._compile(consumer, topic, topic_dialect, payload)
         except TemplateSlotError:
             self._rejected.add(key)
             if len(self._rejected) > self.capacity:
@@ -209,7 +205,6 @@ class NotifyTemplateCache:
         topic: Optional[str],
         topic_dialect: str,
         payload: XElem,
-        has_lineage: bool,
     ) -> CompiledNotify:
         """Build the sentinel envelope exactly the way the tree path does
         (same header order, same EPR shapes), serialize it once, and split."""
@@ -237,8 +232,6 @@ class NotifyTemplateCache:
         )
         body = build_notify(version, [item])
         envelope.add_body(body)
-        if has_lineage:
-            envelope.add_header(text_element(LINEAGE_HEADER, LINEAGE_SENTINEL))
         text, allocator = serialize_with_allocator(envelope_root(envelope))
 
         ns_order = frozen_namespace_order(payload)
@@ -250,12 +243,11 @@ class NotifyTemplateCache:
             chunk_text,
             [("sub_id", SUB_ID_SENTINEL), ("payload", payload_text)],
         )
-        slots = [("message_id", MESSAGE_ID_SENTINEL)]
-        if has_lineage:
-            slots.append(("lineage", LINEAGE_SENTINEL))
-        slots.append(("messages", chunk_text))
-        outer = ByteTemplate.compile(text, slots)
-        return CompiledNotify(outer, chunk, payload_mapping, has_lineage)
+        outer = ByteTemplate.compile(
+            text,
+            [("message_id", MESSAGE_ID_SENTINEL), ("messages", chunk_text)],
+        )
+        return CompiledNotify(outer, chunk, payload_mapping)
 
     # --- eviction ---------------------------------------------------------
 

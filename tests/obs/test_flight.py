@@ -1,0 +1,118 @@
+"""The flight recorder: bounded ring, virtual timestamps, dormant-free."""
+
+import tracemalloc
+
+import pytest
+
+from repro.obs.flight import (
+    DEFAULT_CAPACITY,
+    FLIGHT_KINDS,
+    NULL_FLIGHT,
+    FlightRecorder,
+)
+from repro.obs.instrument import Instrumentation
+from repro.transport import SimulatedNetwork, VirtualClock
+
+
+class TestRing:
+    def test_records_carry_virtual_time_and_sequence(self):
+        clock = VirtualClock()
+        flight = FlightRecorder(clock, 8)
+        flight.record("publish", topic="a")
+        clock.advance(1.5)
+        flight.record("delivery", sink="s", outcome="delivered")
+        records = flight.records()
+        assert [r.seq for r in records] == [0, 1]
+        assert [r.at for r in records] == [0.0, 1.5]
+        assert records[1].fields == {"sink": "s", "outcome": "delivered"}
+
+    def test_wraparound_keeps_newest_and_counts_dropped(self):
+        flight = FlightRecorder(VirtualClock(), 4)
+        for n in range(10):
+            flight.record("publish", n=n)
+        assert len(flight) == 4
+        assert flight.dropped == 6
+        assert [r.fields["n"] for r in flight.records()] == [6, 7, 8, 9]
+        # sequence numbers are global, not ring positions
+        assert [r.seq for r in flight.records()] == [6, 7, 8, 9]
+
+    def test_tail_returns_newest_oldest_first(self):
+        flight = FlightRecorder(VirtualClock(), 8)
+        for n in range(5):
+            flight.record("route", n=n)
+        assert [r.fields["n"] for r in flight.tail(2)] == [3, 4]
+
+    def test_unknown_kind_rejected(self):
+        flight = FlightRecorder(VirtualClock(), 4)
+        with pytest.raises(ValueError):
+            flight.record("not-a-kind")
+        assert "publish" in FLIGHT_KINDS
+
+    def test_reset_empties_the_ring(self):
+        flight = FlightRecorder(VirtualClock(), 4)
+        flight.record("publish")
+        flight.reset()
+        assert len(flight) == 0
+        assert flight.records() == []
+        assert flight.snapshot()["recorded"] == 0
+
+
+class TestDormant:
+    def test_null_flight_is_inert(self):
+        NULL_FLIGHT.record("publish", anything="goes")
+        assert NULL_FLIGHT.tail() == []
+        assert len(NULL_FLIGHT) == 0
+        assert NULL_FLIGHT.snapshot()["enabled"] is False
+
+    def test_instrumentation_starts_dormant_and_arms_idempotently(self):
+        network = SimulatedNetwork(VirtualClock())
+        instrumentation = Instrumentation.attach(network)
+        assert instrumentation.flight is NULL_FLIGHT
+        armed = instrumentation.enable_flight()
+        assert armed.capacity == DEFAULT_CAPACITY
+        assert instrumentation.enable_flight() is armed  # same capacity: kept
+
+    def test_dormant_hot_path_allocates_nothing_for_flight(self):
+        """The dormant pattern (`flight = instr.flight; if flight.enabled:`)
+        must never build a record: drive real instrumented traffic with the
+        recorder dormant and assert zero allocations from the flight module."""
+        network = SimulatedNetwork(VirtualClock())
+        Instrumentation.attach(network)
+        network.register("http://svc", lambda wire: b"ok")
+        network.send_request("http://svc", b"warmup")
+
+        flight_file = __import__(
+            "repro.obs.flight", fromlist=["__file__"]
+        ).__file__
+        tracemalloc.start(5)
+        try:
+            network.send_request("http://svc", b"ping")
+            snapshot = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        flight_allocs = [
+            stat
+            for stat in snapshot.statistics("filename")
+            if stat.traceback[0].filename == flight_file
+        ]
+        assert flight_allocs == []
+
+
+class TestReportIntegration:
+    def test_armed_flight_appears_in_snapshot_and_report(self):
+        from repro.obs.exporters import build_report
+
+        network = SimulatedNetwork(VirtualClock())
+        instrumentation = Instrumentation.attach(network)
+        instrumentation.enable_flight(capacity=16)
+        network.register("http://svc", lambda wire: b"ok")
+        network.send_request("http://svc", b"ping")
+        instrumentation.flight.record("anomaly", probe="test")
+        report = build_report(instrumentation)
+        assert report["flight"]["capacity"] == 16
+        assert report["flight"]["by_kind"]["anomaly"] == 1
+
+    def test_dormant_flight_absent_from_snapshot(self):
+        network = SimulatedNetwork(VirtualClock())
+        instrumentation = Instrumentation.attach(network)
+        assert "flight" not in instrumentation.snapshot()

@@ -6,9 +6,11 @@ live output against these committed snapshots; regenerate them with::
 
     PYTHONPATH=src python -m repro obs-report > tests/obs/golden/obs_report.txt
     PYTHONPATH=src python -m repro obs-audit  > tests/obs/golden/obs_audit.txt
+    PYTHONPATH=src python -m repro obs-health > tests/obs/golden/obs_health.txt
+    PYTHONPATH=src python -m repro obs-top    > tests/obs/golden/obs_top.txt
 
-after any intentional change to the demo scenario, the examples, or the
-report/audit renderers.
+after any intentional change to the demo scenarios, the examples, or the
+report/audit/health renderers.
 """
 
 import contextlib
@@ -39,5 +41,21 @@ def test_obs_audit_matches_golden_snapshot():
     assert output == (GOLDEN_DIR / "obs_audit.txt").read_text()
 
 
+def test_obs_health_matches_golden_snapshot():
+    code, output = run_cli(["obs-health"])
+    assert code == 0
+    assert output == (GOLDEN_DIR / "obs_health.txt").read_text()
+
+
+def test_obs_top_matches_golden_snapshot():
+    code, output = run_cli(["obs-top"])
+    assert code == 0
+    assert output == (GOLDEN_DIR / "obs_top.txt").read_text()
+
+
 def test_obs_report_is_deterministic_across_runs():
     assert run_cli(["obs-report"]) == run_cli(["obs-report"])
+
+
+def test_obs_health_is_deterministic_across_runs():
+    assert run_cli(["obs-health"]) == run_cli(["obs-health"])

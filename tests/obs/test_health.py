@@ -1,0 +1,80 @@
+"""The obs-health scenario and its anomaly probes."""
+
+import pytest
+
+from repro.obs.health import (
+    breaker_flaps,
+    build_health_report,
+    conservation_drift,
+    queue_growth_anomalies,
+    run_health_scenario,
+    stale_batch_timers,
+)
+from repro.obs.instrument import Instrumentation
+from repro.transport import SimulatedNetwork, VirtualClock
+
+
+@pytest.fixture(scope="module")
+def health_run():
+    # module-scoped: the scripted minute is the expensive part, the probes
+    # under test only read from it
+    return run_health_scenario()
+
+
+class TestScriptedScenario:
+    def test_every_anomaly_probe_fires(self, health_run):
+        report = build_health_report(health_run)
+        assert report["queue_growth"], "paused/parked backlogs must trip growth"
+        assert report["breaker_flaps"], "the flaky consumer must flap"
+        assert report["stale_batches"], "the stranded batch must go stale"
+        assert report["anomalies"] >= 3
+
+    def test_conservation_balances_despite_the_degradation(self, health_run):
+        drift = conservation_drift(
+            health_run.instrumentation, health_run.brokers
+        )
+        assert drift["drift"] == 0
+        assert drift["ledger_pending"] == drift["live_parked"]
+
+    def test_paused_queue_is_the_growth_anomaly(self, health_run):
+        gauges = [a["gauge"] for a in queue_growth_anomalies(health_run.probes)]
+        assert any(g.startswith("broker.sub_queue_depth") for g in gauges)
+        # the append-only store log also grows monotonically but must NOT be
+        # flagged: unbounded growth is its job
+        assert not any(g.startswith("store.") for g in gauges)
+
+    def test_flight_recorder_saw_every_hot_path(self, health_run):
+        kinds = health_run.instrumentation.flight.by_kind()
+        for kind in ("publish", "delivery", "breaker", "log_append", "sample"):
+            assert kinds.get(kind, 0) > 0, f"no {kind!r} flight records"
+
+    def test_mesh_rebalance_counted(self, health_run):
+        counters = health_run.instrumentation.metrics.counter_values(
+            "mesh.rebalances"
+        )
+        assert sum(counters.values()) == 1
+
+
+class TestProbeUnits:
+    def test_breaker_flaps_threshold(self):
+        network = SimulatedNetwork(VirtualClock())
+        instrumentation = Instrumentation.attach(network)
+        for state in ("open", "half_open", "open"):
+            instrumentation.count(
+                "delivery.breaker_transitions", sink="http://s", state=state
+            )
+        instrumentation.count(
+            "delivery.breaker_transitions", sink="http://quiet", state="open"
+        )
+        (flap,) = breaker_flaps(instrumentation, threshold=3)
+        assert flap["sink"] == "http://s"
+        assert flap["transitions"] == 3
+        assert flap["by_state"] == {"open": 2, "half_open": 1}
+
+    def test_stale_batch_timers_empty_on_flushed_brokers(self, health_run):
+        # only the deliberately-stranded publish is stale; a freshly-pumped
+        # mesh shard reports nothing
+        mesh_brokers = [node.broker for node in health_run.cluster]
+        assert stale_batch_timers(mesh_brokers) == []
+        core = stale_batch_timers([health_run.broker])
+        assert core and all(f["stale_groups"] > 0 for f in core)

@@ -184,6 +184,47 @@ def test_jms_drain_does_not_strand_messages_behind_a_poisoned_one():
     assert counter_total(instrumentation, "messenger.adapters.jms_drain") == 1
 
 
+def test_journal_replay_counts_dead_front_door():
+    from repro.messenger.journal import JournalEntry, SubscriptionJournal
+
+    network = SimulatedNetwork(VirtualClock())
+    instrumentation = Instrumentation.attach(network)
+    journal = SubscriptionJournal(
+        entries=[JournalEntry("urn:act", b"<not-really-soap/>")]
+    )
+    # nobody listens at the broker address: every re-post dies in flight
+    recovered = journal.replay(network, "http://journal-gone-broker")
+    assert recovered == 0  # the replay completes...
+    assert counter_total(instrumentation, "messenger.journal.replay") == 1
+
+
+def test_store_recovery_counts_failed_subscribe_replay():
+    from repro.messenger.broker import WsMessenger
+    from repro.store.core import BrokerStore
+    from repro.store.log import MemoryEventLog
+    from repro.store.records import SubscribeRecorded
+    from repro.store.recovery import _replay_subscribe
+
+    network = SimulatedNetwork(VirtualClock())
+    instrumentation = Instrumentation.attach(network)
+    store = BrokerStore(MemoryEventLog())
+    broker = WsMessenger(network, "http://replay-broker", store=store)
+    # a logged Subscribe whose wire bytes no longer parse as a Subscribe:
+    # the front door answers with a fault, not a grant
+    record = SubscribeRecorded(
+        at=0.0,
+        family="wsn",
+        tag="v1_3",
+        sub_id="sub-bogus",
+        action="urn:not-subscribe",
+        wire="<bogus/>",
+        expires=None,
+    )
+    _replay_subscribe(broker, store, record)
+    assert store.stats.recovered_subscriptions == 0  # the replay moved on...
+    assert counter_total(instrumentation, "store.recovery.replay_subscribe") == 1
+
+
 def test_corba_batch_push_does_not_strand_events_behind_a_poisoned_one():
     import pytest
 
