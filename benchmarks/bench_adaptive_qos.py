@@ -1,0 +1,386 @@
+"""Adaptive QoS under sustained overload — graceful degradation, quantified.
+
+The scenario: every consumer goes dark for a fixed overload window while the
+publisher keeps publishing at a steady rate, then the consumers recover.
+
+1. **Baseline** (no QoS): the delivery pipeline queues everything.  The
+   ``delivery.pending`` gauge grows on *every* probe sweep of the window —
+   the unbounded-growth signature :meth:`GaugeProbes.growth_anomalies`
+   flags — and the queue-lag p99 blows up to the window length, because the
+   oldest message waits out the whole outage.
+2. **Adaptive** (bounded queues + token buckets): per-sink queues cap at
+   ``max_sink_queue``; everything beyond the cap is shed *with its books
+   kept* (the conservation audit balances ``opened == delivered + shed +
+   ...`` in every cell), and the survivors drain at the paced rate, so the
+   *median* queue lag stays near the pacing interval instead of the outage
+   length.  (The adaptive p99 is the in-flight queue head: it is never
+   shed, so it honestly rides out the window.)
+
+A third cell drives the WS-BrokeredNotification demand mechanism from the
+same backlog signal: the broker pauses its upstream demand subscription when
+``delivery.pending`` crosses the high-water mark and resumes below the
+low-water mark — publisher-side load leveling through a stock WSN wire
+operation.
+
+Every number derives from the virtual clock and seeded RNGs, so two runs at
+the same seed must produce a byte-identical artifact — asserted below.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.delivery import DeliveryManager, DeliveryPolicy
+from repro.messenger import WsMessenger
+from repro.obs import Instrumentation
+from repro.obs.audit import audit
+from repro.obs.metrics import DEFAULT_BUCKETS
+from repro.obs.probes import GaugeProbes
+from repro.obs.slo import bucket_percentile
+from repro.qos import AdaptiveQosPolicy
+from repro.transport import MessageLost, SimulatedNetwork, VirtualClock
+from repro.util.artifacts import render_artifact
+from repro.wsa.headers import reset_message_counter
+from repro.wsn import (
+    NotificationBroker,
+    NotificationConsumer,
+    NotificationProducer,
+    WsnSubscriber,
+)
+from repro.xmlkit import parse_xml
+
+RESULT_FILE = Path(__file__).resolve().parents[1] / "BENCH_adaptive_qos.json"
+
+SEED = 20060813  # ICPP 2006 opened August 13
+EVENTS = 120  # publishes per overload cell
+CONSUMERS = 3
+RATES = (20.0, 40.0)  # publish rates (events per virtual second)
+SAMPLES = 8  # probe sweeps armed across the overload window
+
+#: generous retry budget with a tight backoff cap: overload must queue (not
+#: dead-letter) and recovery must be prompt once the outage lifts, so the
+#: lag contrast measures queueing policy, not backoff alignment
+POLICY = DeliveryPolicy(
+    max_attempts=30,
+    base_backoff=0.25,
+    backoff_multiplier=2.0,
+    max_backoff=0.5,
+    jitter=0.0,
+    breaker_failure_threshold=100,
+)
+ADAPTIVE = AdaptiveQosPolicy(
+    max_sink_queue=4,
+    per_sink_rate=25.0,
+    per_sink_burst=5.0,
+)
+#: the hard bound every adaptive cell must respect: no sink queue beyond the
+#: cap, so aggregate pending never exceeds cap x consumers (CI-gated)
+PENDING_CEILING = ADAPTIVE.max_sink_queue * CONSUMERS
+
+_results: dict[str, dict] = {}
+
+
+def _event(n: int):
+    return parse_xml(f'<ev:E xmlns:ev="urn:qos-bench"><ev:n>{n}</ev:n></ev:E>')
+
+
+def _queue_lag_percentile(instrumentation, q: float) -> float:
+    """A quantile of ``delivery.queue_lag_seconds`` merged across families,
+    computed from cumulative bucket counts exactly like the SLO summaries."""
+    counts = [0] * (len(DEFAULT_BUCKETS) + 1)
+    maximum = None
+    for _, histogram in instrumentation.metrics.histogram_series(
+        "delivery.queue_lag_seconds"
+    ):
+        for i, n in enumerate(histogram.counts):
+            counts[i] += n
+        if histogram.maximum is not None:
+            maximum = (
+                histogram.maximum
+                if maximum is None
+                else max(maximum, histogram.maximum)
+            )
+    value = bucket_percentile(DEFAULT_BUCKETS, counts, q, maximum)
+    return round(value, 9) if value is not None else 0.0
+
+
+def run_overload_cell(*, adaptive: bool, rate: float, seed: int = SEED) -> dict:
+    """Publish EVENTS notifications at ``rate`` while every consumer is dark,
+    then recover and drain; return deterministic outcome numbers."""
+    reset_message_counter()
+    network = SimulatedNetwork(VirtualClock(), seed=seed)
+    instrumentation = Instrumentation.attach(network)
+    broker = WsMessenger(
+        network,
+        "http://bench-broker",
+        delivery=POLICY,
+        delivery_seed=seed,
+        qos=ADAPTIVE if adaptive else None,
+    )
+    consumers = []
+    for n in range(CONSUMERS):
+        consumer = NotificationConsumer(network, f"http://bench-consumer-{n}")
+        WsnSubscriber(network).subscribe(broker.epr(), consumer.epr(), topic="bench")
+        consumers.append(consumer)
+    addresses = {c.address for c in consumers}
+    dark = {"on": True}
+
+    def outage(address, request):
+        if dark["on"] and address in addresses:
+            raise MessageLost(address)
+
+    network.observers.append(outage)
+    manager = broker.delivery_manager
+    probes = GaugeProbes(instrumentation)
+    probes.watch_broker(broker)
+    window = EVENTS / rate
+    probes.schedule(manager.scheduler, interval=window / SAMPLES, count=SAMPLES)
+    for n in range(EVENTS):
+        broker.publish(_event(n), topic="bench")
+        network.clock.advance(1.0 / rate)
+        manager.run_due()
+    dark["on"] = False
+    broker.run_deliveries_until_idle()
+
+    pending_series = [
+        [round(at, 9), value]
+        for at, value in probes.series("delivery.pending")
+    ]
+    expected = EVENTS * CONSUMERS
+    delivered = sum(len(c.received) for c in consumers)
+    result = audit(instrumentation)
+    stats = manager.stats
+    return {
+        "expected": expected,
+        "delivered": delivered,
+        "shed": stats.shed,
+        "throttled": stats.throttled,
+        "dead_lettered": stats.dead_lettered,
+        "peak_pending": max(value for _, value in pending_series),
+        "final_pending": manager.pending(),
+        "pending_series": pending_series,
+        "growth_anomalies": probes.growth_anomalies(min_samples=4),
+        "queue_lag_p50_seconds": _queue_lag_percentile(instrumentation, 0.50),
+        "queue_lag_p99_seconds": _queue_lag_percentile(instrumentation, 0.99),
+        "audit": {
+            "passed": result.passed,
+            "opened": result.opened,
+            "delivered": result.delivered,
+            "shed": result.shed,
+            "pending": result.pending,
+        },
+        "virtual_seconds": round(network.clock.now(), 9),
+    }
+
+
+def run_demand_scenario(*, seed: int = SEED) -> dict:
+    """Backlog-driven demand publishing: the broker pauses its upstream
+    subscription at the high-water mark and resumes once drained."""
+    reset_message_counter()
+    network = SimulatedNetwork(VirtualClock(), seed=seed)
+    instrumentation = Instrumentation.attach(network)
+    manager = DeliveryManager(network, policy=POLICY)
+    broker = NotificationBroker(
+        network,
+        "http://bench-broker",
+        delivery_manager=manager,
+        qos=AdaptiveQosPolicy(pause_pending_above=6, resume_pending_below=1),
+    )
+    publisher = NotificationProducer(network, "http://bench-publisher")
+    broker.register_publisher(publisher.epr(), topic="bench", demand=True)
+    consumer = NotificationConsumer(network, "http://bench-consumer")
+    WsnSubscriber(network).subscribe(broker.epr(), consumer.epr(), topic="bench")
+    dark = {"on": True}
+
+    def outage(address, request):
+        if dark["on"] and address == consumer.address:
+            raise MessageLost(address)
+
+    network.observers.append(outage)
+    for n in range(8):
+        broker.publish(_event(n), topic="bench")
+    paused_at_pending = manager.pending()
+    # events the publisher emits while lag-paused buffer upstream: the
+    # broker's backlog must not grow
+    for n in range(3):
+        publisher.publish(_event(100 + n), topic="bench")
+    pending_during_pause = manager.pending()
+    dark["on"] = False
+    manager.run_until_idle()
+    result = audit(instrumentation)
+    (registration,) = broker.registrations()
+    return {
+        "published_at_broker": 8,
+        "published_upstream_while_paused": 3,
+        "paused_at_pending": paused_at_pending,
+        "pending_during_pause": pending_during_pause,
+        "publisher_pauses": broker.publisher_pauses,
+        "publisher_resumes": broker.publisher_resumes,
+        "upstream_paused_after_drain": registration.paused_upstream,
+        "delivered": len(consumer.received),
+        "audit_passed": result.passed,
+        "virtual_seconds": round(network.clock.now(), 9),
+    }
+
+
+def _cell_key(rate: float) -> str:
+    return f"rate={rate:g}"
+
+
+def test_baseline_unbounded_growth():
+    """No QoS: pending grows on every sweep and p99 spans the outage."""
+    for rate in RATES:
+        cell = run_overload_cell(adaptive=False, rate=rate)
+        _results[f"baseline/{_cell_key(rate)}"] = cell
+        assert cell["delivered"] == cell["expected"]  # retries recover all
+        assert cell["shed"] == 0
+        assert any(
+            anomaly["gauge"] == "delivery.pending"
+            for anomaly in cell["growth_anomalies"]
+        ), "the overload window must show the unbounded-growth signature"
+        assert cell["peak_pending"] > PENDING_CEILING
+        # the oldest message waited out most of the outage window
+        assert cell["queue_lag_p99_seconds"] > (EVENTS / rate) / 2
+        assert cell["audit"]["passed"]
+
+
+def test_adaptive_bounds_queues_and_accounts_for_shed():
+    """Bounded queues: pending stays under the cap, the overflow is shed,
+    and the conservation audit still balances in every cell."""
+    for rate in RATES:
+        cell = run_overload_cell(adaptive=True, rate=rate)
+        _results[f"adaptive/{_cell_key(rate)}"] = cell
+        baseline = _results[f"baseline/{_cell_key(rate)}"]
+        assert cell["peak_pending"] <= PENDING_CEILING
+        assert not any(
+            anomaly["gauge"] == "delivery.pending"
+            for anomaly in cell["growth_anomalies"]
+        ), "a bounded queue must not trip the growth probe"
+        assert cell["shed"] > 0
+        assert cell["delivered"] + cell["shed"] == cell["expected"]
+        assert cell["audit"]["passed"], "conservation must include shed"
+        assert cell["audit"]["shed"] == cell["shed"]
+        assert cell["audit"]["pending"] == 0
+        # graceful degradation: the typical survivor clears fast instead of
+        # queueing behind the outage (the p99 tail is the in-flight queue
+        # head, which is never shed and rides out the window)
+        assert cell["queue_lag_p50_seconds"] <= 1.0
+        assert (
+            cell["queue_lag_p50_seconds"] * 2
+            < baseline["queue_lag_p50_seconds"]
+        )
+        assert (
+            cell["queue_lag_p99_seconds"]
+            <= baseline["queue_lag_p99_seconds"]
+        )
+
+
+def test_demand_based_publisher_pause_resume():
+    outcome = run_demand_scenario()
+    _results["demand"] = outcome
+    assert outcome["publisher_pauses"] == 1
+    assert outcome["publisher_resumes"] == 1
+    assert outcome["paused_at_pending"] >= 6
+    # the lag pause kept upstream traffic out of the backlog
+    assert outcome["pending_during_pause"] == outcome["paused_at_pending"]
+    assert not outcome["upstream_paused_after_drain"]
+    # broker-side events and the buffered upstream events all arrive
+    assert outcome["delivered"] == 8 + 3
+    assert outcome["audit_passed"]
+
+
+def test_smoke_adaptive_smallest_point():
+    """CI smoke: one adaptive cell at the lowest rate, bounded and balanced."""
+    cell = run_overload_cell(adaptive=True, rate=RATES[0])
+    assert cell["peak_pending"] <= PENDING_CEILING
+    assert cell["audit"]["passed"]
+    assert cell["delivered"] + cell["shed"] == cell["expected"]
+
+
+def test_write_adaptive_qos_report():
+    """Determinism gate + artifact: byte-identical at the same seed."""
+    expected_keys = {f"{mode}/{_cell_key(rate)}" for mode in ("baseline", "adaptive") for rate in RATES}
+    assert set(_results) == expected_keys | {"demand"}
+
+    def document() -> str:
+        payload = {
+            "benchmark": "adaptive_qos",
+            "seed": SEED,
+            "events": EVENTS,
+            "consumers": CONSUMERS,
+            "rates": list(RATES),
+            "policy": {
+                "max_attempts": POLICY.max_attempts,
+                "base_backoff": POLICY.base_backoff,
+                "backoff_multiplier": POLICY.backoff_multiplier,
+            },
+            "qos": {
+                "max_sink_queue": ADAPTIVE.max_sink_queue,
+                "per_sink_rate": ADAPTIVE.per_sink_rate,
+                "per_sink_burst": ADAPTIVE.per_sink_burst,
+                "discard_policy": ADAPTIVE.discard_policy.value,
+                "pending_ceiling": PENDING_CEILING,
+            },
+            "grid": {
+                _cell_key(rate): {
+                    "baseline": run_overload_cell(adaptive=False, rate=rate),
+                    "adaptive": run_overload_cell(adaptive=True, rate=rate),
+                }
+                for rate in RATES
+            },
+            "demand": run_demand_scenario(),
+        }
+        return render_artifact(payload)
+
+    first, second = document(), document()
+    assert first == second, "artifact must be byte-identical at the same seed"
+    RESULT_FILE.write_text(first)
+    for rate in RATES:
+        baseline = _results[f"baseline/{_cell_key(rate)}"]
+        adaptive = _results[f"adaptive/{_cell_key(rate)}"]
+        print()
+        print(
+            f"rate={rate:g}/s baseline: peak_pending={baseline['peak_pending']:g}"
+            f" p50={baseline['queue_lag_p50_seconds']:g}s"
+            f" p99={baseline['queue_lag_p99_seconds']:g}s"
+        )
+        print(
+            f"rate={rate:g}/s adaptive: peak_pending={adaptive['peak_pending']:g}"
+            f" p50={adaptive['queue_lag_p50_seconds']:g}s"
+            f" p99={adaptive['queue_lag_p99_seconds']:g}s"
+            f" shed={adaptive['shed']}"
+        )
+
+
+def test_schema_matches_committed_artifact():
+    """The committed artifact must carry exactly the keys this bench writes
+    and respect the bounded-queue ceiling (CI regenerates nothing; it
+    rejects drift instead)."""
+    import json
+
+    committed = json.loads(RESULT_FILE.read_text())
+    assert set(committed) == {
+        "benchmark",
+        "seed",
+        "events",
+        "consumers",
+        "rates",
+        "policy",
+        "qos",
+        "grid",
+        "demand",
+        "schema_version",
+    }
+    assert set(committed["grid"]) == {_cell_key(rate) for rate in RATES}
+    ceiling = committed["qos"]["pending_ceiling"]
+    for key, cells in committed["grid"].items():
+        assert set(cells) == {"baseline", "adaptive"}
+        assert cells["adaptive"]["peak_pending"] <= ceiling
+        assert cells["adaptive"]["audit"]["passed"]
+        assert cells["adaptive"]["shed"] > 0
+        assert any(
+            anomaly["gauge"] == "delivery.pending"
+            for anomaly in cells["baseline"]["growth_anomalies"]
+        )
+    assert committed["demand"]["publisher_pauses"] == 1
+    assert committed["demand"]["audit_passed"]

@@ -22,7 +22,11 @@ Four engines:
   ``Expires`` faults per spec);
 - ``mediation`` — one generated publish stream through the WS-Messenger
   broker must yield payload-identical notifications on the WSE and WSN
-  delivery paths.
+  delivery paths;
+- ``pulldrain`` — generated drain sequences against every pull-style
+  surface (message boxes, WSN pull points, WSE pull-mode subscriptions)
+  must honour the "at most N" contract: omitted means all, zero/negative
+  means nothing, non-numeric is a Sender fault, order is FIFO.
 
 Every counterexample is shrunk by greedy deletion and can be frozen as a
 regression corpus file under ``tests/conformance/corpus/`` — a bug found

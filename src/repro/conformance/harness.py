@@ -27,6 +27,7 @@ from repro.conformance.gen import JsonTree
 from repro.conformance.lifecycle_engine import LifecycleEngine
 from repro.conformance.mediation_engine import MediationEngine
 from repro.conformance.mesh_engine import MeshEngine
+from repro.conformance.pulldrain_engine import PullDrainEngine
 from repro.conformance.shrink import shrink
 from repro.util.rng import SeededRng
 
@@ -39,6 +40,7 @@ ENGINES = {
         LifecycleEngine(),
         MediationEngine(),
         MeshEngine(),
+        PullDrainEngine(),
     )
 }
 

@@ -1,0 +1,52 @@
+"""Drain-limit parsing, shared by every pull-style handler.
+
+WSN ``GetMessages`` (``MaximumNumber``), a pull point's variant and WSE
+``Pull`` (``MaxMessages``) all carry an optional "at most N" element.  The
+historical handlers evaluated ``queue[: limit or len(queue)]``, which has
+two client-visible bugs: an explicit limit of ``0`` is falsy and silently
+became *drain everything*, and a negative limit sliced from the tail.  A
+third: non-numeric text raised ``ValueError`` straight out of the handler
+(a 500), though a malformed request is the sender's fault.  This helper
+fixes all three in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.soap.fault import FaultCode, SoapFault
+from repro.xmlkit.element import XElem
+from repro.xmlkit.names import QName
+
+
+def parse_drain_limit(
+    body: XElem,
+    limit_name: QName,
+    *,
+    backlog: int,
+    subcode: Optional[QName] = None,
+) -> int:
+    """How many messages this drain request may take from ``backlog``.
+
+    * element absent → the whole backlog (clients omit it for "no
+      maximum"; the drain-all default is unchanged);
+    * non-numeric text → a **Sender** fault (with ``subcode`` when the
+      protocol defines one), never an unhandled exception;
+    * ``<= 0`` → nothing: an explicit zero maximum takes zero messages,
+      and a negative limit must not slice from the tail.
+    """
+    limit_elem = body.find(limit_name)
+    if limit_elem is None:
+        return backlog
+    text = limit_elem.full_text().strip()
+    try:
+        limit = int(text)
+    except ValueError as exc:
+        raise SoapFault(
+            FaultCode.SENDER,
+            f"{limit_name.local} is not an integer: {text!r}",
+            subcode=subcode,
+        ) from exc
+    if limit <= 0:
+        return 0
+    return min(limit, backlog)

@@ -42,6 +42,7 @@ from repro.util.rng import SeededRng
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.delivery.messagebox import MessageBoxRegistry
+    from repro.qos.adaptive import AdaptiveQosController
     from repro.store.core import BrokerStore
 
 from repro.soap.fault import SoapFault
@@ -64,6 +65,11 @@ class DeliveryStats:
     replayed: int = 0
     expired: int = 0
     breaker_fast_fails: int = 0
+    #: messages dropped by the adaptive QoS layer (bounded queues, box
+    #: overflow) — every one also closed its obligation as ``shed``
+    shed: int = 0
+    #: attempts deferred because a token bucket was empty (load leveling)
+    throttled: int = 0
 
     def snapshot(self) -> dict:
         return {
@@ -78,6 +84,8 @@ class DeliveryStats:
             "replayed": self.replayed,
             "expired": self.expired,
             "breaker_fast_fails": self.breaker_fast_fails,
+            "shed": self.shed,
+            "throttled": self.throttled,
         }
 
 
@@ -91,6 +99,7 @@ class DeliveryManager:
         policy: Optional[DeliveryPolicy] = None,
         seed: int = 0,
         message_boxes: Optional["MessageBoxRegistry"] = None,
+        qos: Optional["AdaptiveQosController"] = None,
     ) -> None:
         self.network = network
         self.clock = network.clock
@@ -101,7 +110,14 @@ class DeliveryManager:
         self.rng = SeededRng(seed).fork("delivery.backoff")
         self.dlq = DeadLetterQueue()
         self.message_boxes = message_boxes
+        #: adaptive QoS controller: bounded queues, DiscardPolicy shedding
+        #: and token-bucket pacing (None = the historical unbounded pipeline)
+        self.qos = qos
         self.stats = DeliveryStats()
+        #: called with the aggregate pending count whenever it may have
+        #: moved (submits, drains, gauge sweeps) — the WSN broker hangs its
+        #: lag-driven demand pause/resume here
+        self.backlog_listeners: list[Callable[[int], None]] = []
         #: durable broker store (set by BrokerStore.attach): stamps items
         #: with idempotency keys, records outcomes, and routes replayed
         #: submissions past obligations the log already settled
@@ -124,6 +140,7 @@ class DeliveryManager:
         items: Optional[list[DeliveryItem]] = None,
         family: str = "",
         describe: str = "",
+        priority: int = 0,
         on_delivered: Optional[Callable[[DeliveryTask], None]] = None,
         on_dead: Optional[Callable[[DeliveryTask, str], None]] = None,
     ) -> DeliveryTask:
@@ -146,6 +163,7 @@ class DeliveryManager:
             # submitted it (e.g. a SubscriptionEnd inside a publish)
             lineage=lineage if lineage is not None else instr.trace_context(),
             enqueued_at=self.clock.now(),
+            priority=priority,
             on_delivered=on_delivered,
             on_dead=on_dead,
         )
@@ -166,6 +184,7 @@ class DeliveryManager:
         submitted_counter.inc()
         self._record_items(task, "enqueued", sink=sink, family=family)
         self._enqueue(task)
+        self._notify_backlog()
         return task
 
     def resubmit(self, task: DeliveryTask) -> DeliveryTask:
@@ -214,15 +233,26 @@ class DeliveryManager:
 
     def _record_items(self, task: DeliveryTask, state: str, **detail) -> None:
         """Ledger one transition for every lineage-bearing item of a task."""
+        self._record_item_subset(task.items, state, **detail)
+
+    def _record_item_subset(self, items, state: str, **detail) -> None:
         instr = self.network.instrumentation
         if not instr.enabled:
             return
-        for item in task.items:
+        for item in items:
             if item.lineage is not None:
                 instr.lineage_event(item.lineage.lineage_id, state, **detail)
 
     def _enqueue(self, task: DeliveryTask) -> None:
         queue = self._queues.setdefault(task.sink, deque())
+        if self.qos is not None:
+            admit, victims = self.qos.plan_admission(task.sink, queue, task)
+            for victim in victims:
+                queue.remove(victim)
+                self._shed(victim, "queue_full")
+            if not admit:
+                self._shed(task, "queue_full")
+                return
         queue.append(task)
         # drain now unless the head is already waiting on a scheduled retry
         # (len > 1 with no wakeup means we are inside this sink's drain loop)
@@ -242,12 +272,14 @@ class DeliveryManager:
         """Run retries whose deadline has passed (clock advanced elsewhere)."""
         ran = self.scheduler.run_due()
         self.publish_gauges()
+        self._notify_backlog()
         return ran
 
     def run_until_idle(self, *, deadline: Optional[float] = None) -> int:
         """Fast-forward the clock through every scheduled retry."""
         ran = self.scheduler.run_until_idle(deadline=deadline)
         self.publish_gauges()
+        self._notify_backlog()
         return ran
 
     # --- internals ---------------------------------------------------------
@@ -274,6 +306,7 @@ class DeliveryManager:
             return  # superseded by an earlier wake-up
         del self._wakeups[sink]
         self._drain_sink(sink)
+        self._notify_backlog()
 
     def _breaker_moved(self, instr, sink: str, before, after) -> None:
         """Record one breaker state transition (metric + flight record)."""
@@ -294,21 +327,78 @@ class DeliveryManager:
     def _park(self, task: DeliveryTask) -> None:
         assert self.message_boxes is not None
         box = self.message_boxes.box_for(task.sink)
+        parked: list[DeliveryItem] = []
+        dropped: list[DeliveryItem] = []
         for item in task.items:
-            box.park(item)
-        task.status = TaskStatus.PARKED
-        self.stats.parked += len(task.items)
+            (parked if box.park(item) else dropped).append(item)
+        task.status = TaskStatus.PARKED if parked else TaskStatus.SHED
         instr = self.network.instrumentation
-        instr.count("delivery.parked", len(task.items), family=task.family)
+        if parked:
+            self.stats.parked += len(parked)
+            instr.count("delivery.parked", len(parked), family=task.family)
+            flight = instr.flight
+            if flight.enabled:
+                flight.record(
+                    "delivery", sink=task.sink, family=task.family,
+                    outcome="parked", items=len(parked),
+                )
+            self._record_item_subset(
+                parked, "pending_pull", sink=task.sink, box=box.address
+            )
+        if dropped:
+            # box overflow: the item never reaches the box, so its
+            # obligation must close here (``shed``) or the conservation
+            # audit would find messages silently lost under overload
+            self.stats.shed += len(dropped)
+            instr.count(
+                "qos.shed_total", len(dropped),
+                family=task.family, reason="box_overflow",
+            )
+            flight = instr.flight
+            if flight.enabled:
+                flight.record(
+                    "delivery", sink=task.sink, family=task.family,
+                    outcome="shed", reason="box_overflow", items=len(dropped),
+                )
+            self._record_item_subset(
+                dropped, "shed", sink=task.sink, reason="box_overflow"
+            )
+        if self.store is not None:
+            if parked:
+                self.store.items_parked(task, parked)
+            if dropped:
+                self.store.items_shed(task, dropped, "box_overflow")
+
+    def _notify_backlog(self) -> None:
+        if not self.backlog_listeners:
+            return
+        pending = self.pending()
+        for listener in self.backlog_listeners:
+            listener(pending)
+
+    def _shed(self, task: DeliveryTask, reason: str) -> None:
+        """Drop one task by QoS decision, with its books kept straight:
+        every item's obligation closes as ``shed`` and the drop is counted
+        — graceful degradation must never be silent loss."""
+        task.status = TaskStatus.SHED
+        task.last_error = reason
+        self.stats.shed += len(task.items)
+        instr = self.network.instrumentation
+        instr.count(
+            "qos.shed_total", len(task.items) or 1,
+            family=task.family, reason=reason,
+        )
         flight = instr.flight
         if flight.enabled:
             flight.record(
                 "delivery", sink=task.sink, family=task.family,
-                outcome="parked", items=len(task.items),
+                outcome="shed", reason=reason, items=len(task.items),
             )
-        self._record_items(task, "pending_pull", sink=task.sink, box=box.address)
+        self._record_items(task, "shed", sink=task.sink, reason=reason)
         if self.store is not None:
-            self.store.task_parked(task)
+            self.store.items_shed(task, task.items, reason)
+        if task.on_dead is not None:
+            task.on_dead(task, f"shed:{reason}")
 
     def _dead_letter(self, task: DeliveryTask, reason: str) -> None:
         task.status = TaskStatus.DEAD
@@ -360,6 +450,15 @@ class DeliveryManager:
                 instr.count("delivery.breaker_fast_fails", family=task.family)
                 self._wake_at(sink, breaker.retry_at())
                 return
+            if self.qos is not None:
+                ready_at = self.qos.attempt_delay(sink)
+                if ready_at is not None:
+                    # out of tokens: the queue holds the message and the
+                    # wire stays quiet until the bucket refills
+                    self.stats.throttled += 1
+                    instr.count("qos.throttled_total", family=task.family)
+                    self._wake_at(sink, ready_at)
+                    return
             task.attempts += 1
             self.stats.attempts += 1
             bound = self._bound_counters
@@ -497,6 +596,9 @@ class DeliveryManager:
             self.message_boxes.total_parked() if self.message_boxes else 0,
         )
         instr.gauge("delivery.breakers_open", len(self.open_breakers()))
+        if self.qos is not None:
+            instr.gauge("qos.shed_messages", self.stats.shed)
+            instr.gauge("qos.throttled_attempts", self.stats.throttled)
 
     def snapshot(self) -> dict:
         """Deterministic pipeline state for reports and tests."""

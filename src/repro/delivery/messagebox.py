@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.delivery.limits import parse_drain_limit
 from repro.delivery.task import DeliveryItem
 from repro.soap.envelope import SoapEnvelope, SoapVersion
 from repro.soap.fault import FaultCode, SoapFault
@@ -90,15 +91,12 @@ class MessageBox:
 
     # --- drain handlers (both are client-initiated: firewall-safe) ---------
 
-    def _take(self, body: XElem, limit_name) -> list[DeliveryItem]:
-        limit_elem = body.find(limit_name)
-        limit = (
-            int(limit_elem.full_text().strip())
-            if limit_elem is not None
-            else len(self.queue)
+    def _take(self, body: XElem, limit_name, subcode=None) -> list[DeliveryItem]:
+        count = parse_drain_limit(
+            body, limit_name, backlog=len(self.queue), subcode=subcode
         )
-        batch = self.queue[: limit or len(self.queue)]
-        del self.queue[: len(batch)]
+        batch = self.queue[:count]
+        del self.queue[:count]
         if batch and self.on_drained is not None:
             self.on_drained(self, batch)
         return batch
@@ -127,7 +125,9 @@ class MessageBox:
         )
 
         batch = self._take(
-            envelope.body_element(), self.wsn_version.qname("MaximumNumber")
+            envelope.body_element(),
+            self.wsn_version.qname("MaximumNumber"),
+            subcode=self.wsn_version.qname("UnableToGetMessagesFault"),
         )
         self._record_drained(batch, "wsn")
         response = XElem(self.wsn_version.qname("GetMessagesResponse"))

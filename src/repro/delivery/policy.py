@@ -86,6 +86,10 @@ class BatchingPolicy:
 
     window: float = 0.0
     max_batch: int = 100
+    #: flush held groups highest consumer QoS ``Priority`` first: under an
+    #: adaptive (bounded/paced) delivery pipeline the flush order decides
+    #: which consumers reach the queue before shedding starts
+    priority_flush: bool = False
 
     def __post_init__(self) -> None:
         if self.window < 0:

@@ -47,6 +47,9 @@ class TaskStatus:
     DELIVERED = "delivered"
     PARKED = "parked"
     DEAD = "dead"
+    #: dropped by the adaptive QoS layer (bounded-queue or box overflow) —
+    #: an accounted decision, closed in the lineage ledger as ``shed``
+    SHED = "shed"
 
 
 @dataclass
@@ -66,6 +69,9 @@ class DeliveryTask:
     #: this one — the first item's)
     lineage: Optional["LineageContext"] = None
     enqueued_at: float = 0.0
+    #: QoS priority (the consumer profile's ``Priority``): under
+    #: PriorityOrder discard, lower-priority waiting tasks are shed first
+    priority: int = 0
     attempts: int = 0
     status: str = TaskStatus.QUEUED
     last_error: Optional[str] = None

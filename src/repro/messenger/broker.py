@@ -40,6 +40,7 @@ from repro.messenger.adapters import InMemoryBackbone, MessagingBackbone
 from repro.messenger.detection import DetectedSpec, SpecDetectionError, SpecFamily, detect_spec
 from repro.messenger.journal import SubscriptionJournal
 from repro.obs.instrument import BoundCounters
+from repro.qos.adaptive import AdaptiveQosController, AdaptiveQosPolicy
 from repro.messenger import mediation
 from repro.soap.envelope import SoapEnvelope
 from repro.soap.fault import FaultCode, SoapFault
@@ -91,6 +92,7 @@ class WsMessenger:
         journal: Optional["SubscriptionJournal"] = None,
         delivery: Optional[DeliveryPolicy] = None,
         delivery_seed: int = 0,
+        qos: Optional[AdaptiveQosPolicy] = None,
         store: Optional["BrokerStore"] = None,
         debug_linear_match: bool = False,
         batching: Optional[BatchingPolicy] = None,
@@ -118,21 +120,32 @@ class WsMessenger:
         self.store = store
         if store is not None and delivery is None:
             delivery = DeliveryPolicy()
+        # adaptive QoS needs the reliable pipeline to act on (bounded queues,
+        # pacing and shedding all live in the delivery manager)
+        if qos is not None and delivery is None:
+            delivery = DeliveryPolicy()
         # reliable delivery: a DeliveryPolicy turns the best-effort push into
         # the store-and-forward pipeline shared by every internal source
         if delivery is not None:
             self.message_boxes: Optional[MessageBoxRegistry] = MessageBoxRegistry(
                 network, f"{address}/msgbox"
             )
+            self.qos: Optional[AdaptiveQosController] = (
+                AdaptiveQosController(network.clock, policy=qos)
+                if qos is not None
+                else None
+            )
             self.delivery_manager: Optional[DeliveryManager] = DeliveryManager(
                 network,
                 policy=delivery,
                 seed=delivery_seed,
                 message_boxes=self.message_boxes,
+                qos=self.qos,
             )
         else:
             self.message_boxes = None
             self.delivery_manager = None
+            self.qos = None
         topics = topic_namespace or TopicNamespace()
         # internal per-version implementations on hidden sub-addresses; the
         # manager EPRs they mint are handed to clients verbatim, so Renew /

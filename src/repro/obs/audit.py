@@ -7,7 +7,8 @@ lineage ledger (:mod:`repro.obs.lineage`) and trace store against four
 invariant groups:
 
 1. **conservation** — per lineage and globally, in delivery-obligation
-   units: ``opened == delivered + dead_lettered + failed + pending``, and
+   units: ``opened == delivered + dead_lettered + failed + shed +
+   pending``, and
    every pending obligation is parked in a message box awaiting pull (at
    quiescence nothing may be silently in flight);
 2. **event order** — each lineage's first event is its ``published``
@@ -67,6 +68,7 @@ class AuditResult:
     delivered: int = 0
     dead_lettered: int = 0
     failed: int = 0
+    shed: int = 0
     pending: int = 0
     parked_outstanding: int = 0
     #: mesh runs only: deliveries that were federation hops (forwarded
@@ -91,6 +93,7 @@ class AuditResult:
                 "delivered": self.delivered,
                 "dead_lettered": self.dead_lettered,
                 "failed": self.failed,
+                "shed": self.shed,
                 "pending": self.pending,
                 "parked_outstanding": self.parked_outstanding,
             },
@@ -111,12 +114,12 @@ class AuditResult:
             (
                 f"  obligations: opened={self.opened} delivered={self.delivered}"
                 f" dead_lettered={self.dead_lettered} failed={self.failed}"
-                f" pending={self.pending} (parked awaiting pull="
-                f"{self.parked_outstanding})"
+                f" shed={self.shed} pending={self.pending} (parked awaiting"
+                f" pull={self.parked_outstanding})"
             ),
             (
                 "  conservation: opened == delivered + dead_lettered + failed"
-                " + pending"
+                " + shed + pending"
             ),
         ]
         if self.mesh_audited:
@@ -161,6 +164,7 @@ def audit(
         result.delivered += account.delivered
         result.dead_lettered += account.dead_lettered
         result.failed += account.failed
+        result.shed += account.shed
         result.pending += account.pending
         result.parked_outstanding += account.parked_outstanding
 

@@ -8,14 +8,18 @@ under its lineage id::
     published → mediated → enqueued → attempted(n) → delivered
                                                    | dead_lettered
                                                    | failed
+                                                   | shed
                                                    | pending_pull → delivered(via=pull)
 
 Accounting is in units of **delivery obligations** — one per (lineage,
 sink) pair the fan-out decides to serve.  ``enqueued`` (or a DLQ
-``replayed``) opens an obligation; ``delivered``, ``dead_lettered`` and
-``failed`` close one; ``pending_pull`` marks one as parked behind a
-firewall awaiting a pull drain.  The conservation auditor
-(:mod:`repro.obs.audit`) checks that these books balance.
+``replayed``) opens an obligation; ``delivered``, ``dead_lettered``,
+``failed`` and ``shed`` close one; ``pending_pull`` marks one as parked
+behind a firewall awaiting a pull drain.  ``shed`` is the adaptive-QoS
+terminal state: the broker *chose* to drop the message (bounded-queue
+overflow, message-box overflow) — an accounted decision, not a silent
+loss.  The conservation auditor (:mod:`repro.obs.audit`) checks that
+these books balance.
 
 ``queued`` and ``mediated`` are informational (no obligation): ``mediated``
 marks a broker translating the message between spec families, ``queued``
@@ -29,8 +33,9 @@ from dataclasses import dataclass
 
 #: states that open a delivery obligation for (lineage, sink)
 OPENING_STATES = frozenset({"enqueued", "replayed"})
-#: terminal states that close an obligation
-CLOSING_STATES = frozenset({"delivered", "dead_lettered", "failed"})
+#: terminal states that close an obligation (``shed`` = the broker's own
+#: QoS decision to drop, distinct from give-up-after-retries dead-letters)
+CLOSING_STATES = frozenset({"delivered", "dead_lettered", "failed", "shed"})
 
 #: every state the ledger accepts (guards against typo'd call sites)
 KNOWN_STATES = frozenset(
@@ -78,13 +83,14 @@ class LineageAccount:
     delivered: int = 0
     dead_lettered: int = 0
     failed: int = 0
+    shed: int = 0
     parked: int = 0
     pulled: int = 0
     attempts: int = 0
 
     @property
     def closed(self) -> int:
-        return self.delivered + self.dead_lettered + self.failed
+        return self.delivered + self.dead_lettered + self.failed + self.shed
 
     @property
     def pending(self) -> int:
@@ -102,6 +108,7 @@ class LineageAccount:
             "delivered": self.delivered,
             "dead_lettered": self.dead_lettered,
             "failed": self.failed,
+            "shed": self.shed,
             "pending": self.pending,
             "parked_outstanding": self.parked_outstanding,
             "attempts": self.attempts,
@@ -152,6 +159,8 @@ class LineageLedger:
                 account.dead_lettered += 1
             elif event.state == "failed":
                 account.failed += 1
+            elif event.state == "shed":
+                account.shed += 1
             elif event.state == "pending_pull":
                 account.parked += 1
             elif event.state == "attempted":
@@ -166,6 +175,7 @@ class LineageLedger:
             total.delivered += account.delivered
             total.dead_lettered += account.dead_lettered
             total.failed += account.failed
+            total.shed += account.shed
             total.parked += account.parked
             total.pulled += account.pulled
             total.attempts += account.attempts

@@ -1,13 +1,24 @@
-"""Quality-of-Service property models.
+"""Quality-of-Service property models — and the adaptive layer that
+makes them load-bearing.
 
 Table 3's QoS row contrasts: CORBA Notification *defines* 13 QoS properties
 "that must be understood by all implementations even though they are not
 required to be implemented"; JMS defines priority/persistence/durability/
 transactions/ordering; the WS-based specifications define **none**, deferring
 to composition with WS-Reliability / WS-Transaction et al. — the paper's
-section VI observation (4).
+section VI observation (4).  :mod:`repro.qos.adaptive` closes the loop: the
+property stubs become the broker's actual overload behaviour (token-bucket
+pacing, DiscardPolicy-driven shedding, publisher pause thresholds), and
+:mod:`repro.qos.wire` carries requested profiles inside Subscribe bodies.
 """
 
+from repro.qos.adaptive import (
+    AdaptiveQosController,
+    AdaptiveQosPolicy,
+    TokenBucket,
+    default_tenant,
+    validate_supported,
+)
 from repro.qos.properties import (
     CORBA_QOS_PROPERTIES,
     JMS_QOS_CRITERIA,
@@ -24,4 +35,9 @@ __all__ = [
     "QosError",
     "OrderPolicy",
     "DiscardPolicy",
+    "AdaptiveQosPolicy",
+    "AdaptiveQosController",
+    "TokenBucket",
+    "default_tenant",
+    "validate_supported",
 ]

@@ -330,8 +330,28 @@ class BrokerStore:
             self._record_outcome(item.message_id, task.sink, "delivered")
 
     def task_parked(self, task: "DeliveryTask") -> None:
-        for item in self._keyed_items(task):
-            self._record_outcome(item.message_id, task.sink, "parked")
+        self.items_parked(task, list(self._keyed_items(task)))
+
+    def items_parked(self, task: "DeliveryTask", items: List["DeliveryItem"]) -> None:
+        """Park outcomes for a subset of a task's items (the rest may have
+        overflowed the box and been shed instead)."""
+        for item in items:
+            if item.message_id is not None:
+                self._record_outcome(item.message_id, task.sink, "parked")
+
+    def items_shed(
+        self, task: "DeliveryTask", items: List["DeliveryItem"], reason: str
+    ) -> None:
+        """Terminal outcomes for QoS-shed items.
+
+        Recorded as ``dead`` with a ``shed:`` reason so crash replay treats
+        them as settled (a shed message must not resurrect as a fresh wire
+        attempt) while the reason keeps the distinction auditable."""
+        for item in items:
+            if item.message_id is not None:
+                self._record_outcome(
+                    item.message_id, task.sink, "dead", f"shed:{reason}"
+                )
 
     def task_dead(self, task: "DeliveryTask", reason: str) -> None:
         for item in self._keyed_items(task):

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.qos.properties import QosError, QosProfile
+from repro.qos.wire import find_profile, profile_to_element
 from repro.soap.fault import FaultCode, SoapFault
 from repro.wsa.epr import EndpointReference
 from repro.wse.model import DeliveryMode, SubscriptionEndCode
@@ -59,6 +61,8 @@ class SubscribeRequest:
     filter_expression: Optional[str]
     filter_dialect: Optional[str]
     filter_namespaces: dict[str, str] = field(default_factory=dict)
+    #: requested QoS profile (the qos:Profile extension element), if any
+    qos: Optional[QosProfile] = None
 
 
 def build_subscribe(
@@ -71,6 +75,7 @@ def build_subscribe(
     filter_expression: Optional[str] = None,
     filter_dialect: Optional[str] = None,
     filter_namespaces: Optional[dict[str, str]] = None,
+    qos: Optional[QosProfile] = None,
 ) -> XElem:
     wsa = version.wsa_version
     subscribe = XElem(version.qname("Subscribe"))
@@ -92,6 +97,10 @@ def build_subscribe(
         if filter_namespaces:
             encode_filter_namespaces(filter_elem, filter_namespaces)
         subscribe.append(filter_elem)
+    if qos is not None:
+        # WS-Eventing's Subscribe is openly extensible; the profile rides
+        # as a direct child element in the qos namespace
+        subscribe.append(profile_to_element(qos))
     return subscribe
 
 
@@ -133,7 +142,18 @@ def parse_subscribe(body: XElem, version: WseVersion) -> SubscribeRequest:
     else:
         expression = dialect = None
         namespaces = {}
-    return SubscribeRequest(mode, notify_to, end_to, expires_text, expression, dialect, namespaces)
+    try:
+        qos = find_profile(body)
+    except QosError as exc:
+        raise SoapFault(
+            FaultCode.SENDER,
+            f"unsupported QoS: {exc}",
+            subcode=version.qname("UnsupportedQoS"),
+        ) from exc
+    return SubscribeRequest(
+        mode, notify_to, end_to, expires_text, expression, dialect, namespaces,
+        qos=qos,
+    )
 
 
 # --- subscription identity ---------------------------------------------------

@@ -8,6 +8,7 @@ from enum import Enum
 from typing import Callable, Optional
 
 from repro.filters.base import Filter, FilterContext
+from repro.qos.properties import QosProfile
 from repro.transport.clock import VirtualClock
 from repro.wsa.epr import EndpointReference
 from repro.wse.versions import WseVersion
@@ -55,6 +56,9 @@ class WseSubscription:
     #: pending messages (pull mode queue / wrapped mode batch)
     queue: list[XElem] = field(default_factory=list)
     ended: bool = False
+    #: the QoS profile this consumer requested at Subscribe (accepted by
+    #: the adaptive controller); None = broker defaults
+    qos: Optional[QosProfile] = None
 
     def is_expired(self, now: float) -> bool:
         return self.expires is not None and now >= self.expires

@@ -12,9 +12,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.delivery.limits import parse_drain_limit
 from repro.delivery.outcome import DeliveryFailure, record_failure
 from repro.delivery.policy import BatchingPolicy
 from repro.delivery.task import DeliveryItem
+from repro.qos.adaptive import validate_supported
+from repro.qos.properties import DiscardPolicy, QosError, QosProfile
 from repro.transport.clock import ClockScheduler
 from repro.filters.base import AcceptAllFilter, Filter, FilterContext, FilterError
 from repro.obs.instrument import BoundCounters
@@ -183,6 +186,7 @@ class EventSource:
             raise SoapFault(FaultCode.SENDER, "push/wrapped delivery requires NotifyTo")
         subscription_filter = self._build_filter(request)
         expires = self._grant_expiry(request.expires_text)
+        qos_profile = self._accept_qos(request)
         subscription = self.store.create(
             sub_id=forced_sub_id,
             version=self.version,
@@ -191,6 +195,7 @@ class EventSource:
             filter=subscription_filter,
             expires=expires,
             end_to=request.end_to,
+            qos=qos_profile,
         )
         response_body = messages.build_subscribe_response(
             self.version,
@@ -199,6 +204,36 @@ class EventSource:
             expires_text=self._expires_text(expires),
         )
         return self._reply(headers, self.version.action("SubscribeResponse"), response_body)
+
+    def _accept_qos(
+        self, request: messages.SubscribeRequest
+    ) -> Optional[QosProfile]:
+        """Accept (or fault) the profile a Subscribe requested.
+
+        CORBA's UnsupportedQoS becomes a sender fault here; an accepted
+        profile is registered with the adaptive controller (when the
+        delivery pipeline carries one) so the consumer's bounds and
+        priority drive real delivery decisions.
+        """
+        if request.qos is None:
+            return None
+        try:
+            controller = (
+                self.delivery_manager.qos
+                if self.delivery_manager is not None
+                else None
+            )
+            if controller is not None and request.notify_to is not None:
+                return controller.register_consumer(
+                    request.notify_to.address, request.qos
+                )
+            return validate_supported(request.qos)
+        except QosError as exc:
+            raise SoapFault(
+                FaultCode.SENDER,
+                f"unsupported QoS: {exc}",
+                subcode=self.version.qname("UnsupportedQoS"),
+            ) from exc
 
     def _build_filter(self, request: messages.SubscribeRequest) -> Filter:
         if request.filter_expression is None:
@@ -301,10 +336,14 @@ class EventSource:
         if subscription.mode is not DeliveryMode.PULL:
             raise SoapFault(FaultCode.SENDER, "subscription is not in pull mode")
         body_elem = envelope.body_element()
-        max_elem = body_elem.find(self.version.qname("MaxMessages"))
-        limit = int(max_elem.full_text().strip()) if max_elem is not None else len(subscription.queue)
-        batch = subscription.queue[: limit or len(subscription.queue)]
-        del subscription.queue[: len(batch)]
+        count = parse_drain_limit(
+            body_elem,
+            self.version.qname("MaxMessages"),
+            backlog=len(subscription.queue),
+            subcode=self.version.qname("InvalidMessage"),
+        )
+        batch = subscription.queue[:count]
+        del subscription.queue[:count]
         if batch:
             self._fire_lifecycle("pulled", subscription, count=len(batch))
         body = messages.build_pull_response(self.version, batch)
@@ -409,7 +448,8 @@ class EventSource:
                 continue
             delivered += 1
             if subscription.mode is DeliveryMode.PULL:
-                subscription.queue.append(frozen)
+                if not self._enqueue_bounded(subscription, frozen):
+                    continue
                 if lineage is not None:
                     # informational: subscription queues hold bare payloads,
                     # so per-item lineage ends here (no delivery obligation)
@@ -418,7 +458,8 @@ class EventSource:
                         subscription=subscription.id, mode="pull",
                     )
             elif subscription.mode is DeliveryMode.WRAPPED:
-                subscription.queue.append(frozen)
+                if not self._enqueue_bounded(subscription, frozen):
+                    continue
                 if lineage is not None:
                     instr.lineage_event(
                         lineage.lineage_id, "queued",
@@ -430,6 +471,33 @@ class EventSource:
             else:
                 self._push(subscription, frozen, action, topic)
         return delivered
+
+    def _enqueue_bounded(self, subscription: WseSubscription, frozen: XElem) -> bool:
+        """Append to a pull/wrapped queue, honouring the subscription's
+        ``MaxEventsPerConsumer`` bound.  Returns False when the *incoming*
+        message was the one discarded (LifoOrder); otherwise the oldest
+        queued payload makes room.  These queues carry no per-item
+        obligations (their lineage is the informational ``queued``), so the
+        drop is surfaced as a counter, not a ledger event."""
+        profile = subscription.qos
+        if profile is not None:
+            limit = profile.get("MaxEventsPerConsumer")
+            if limit and len(subscription.queue) >= limit:
+                self.network.instrumentation.count(
+                    "qos.shed_total", family="wse", reason="sub_queue_full"
+                )
+                if profile.get("DiscardPolicy") is DiscardPolicy.LIFO_ORDER:
+                    return False
+                del subscription.queue[0]
+        subscription.queue.append(frozen)
+        return True
+
+    def _priority_of(self, subscription: WseSubscription) -> int:
+        return (
+            int(subscription.qos.get("Priority"))
+            if subscription.qos is not None
+            else 0
+        )
 
     def _wrapped_trigger(self) -> int:
         """Queue length that forces a wrapped flush (batching policy wins)."""
@@ -564,6 +632,7 @@ class EventSource:
                 ],
                 family="wse",
                 describe=f"notify {subscription.id}",
+                priority=self._priority_of(subscription),
             )
             return
         self._deliver_with_retries(subscription, "notify", attempt)
@@ -689,6 +758,7 @@ class EventSource:
                 items=items,
                 family="wse",
                 describe=f"wrapped notify {subscription.id}",
+                priority=self._priority_of(subscription),
             )
             return
         self._deliver_with_retries(subscription, "wrapped_notify", attempt)

@@ -59,6 +59,7 @@ class WseSubscriber:
         filter: Optional[str] = None,
         filter_dialect: Optional[str] = None,
         filter_namespaces: Optional[dict[str, str]] = None,
+        qos=None,
     ) -> SubscriptionHandle:
         body = messages.build_subscribe(
             self.version,
@@ -69,6 +70,7 @@ class WseSubscriber:
             filter_expression=filter,
             filter_dialect=filter_dialect,
             filter_namespaces=filter_namespaces,
+            qos=qos,
         )
         reply = self._client.call(source, self.version.action("Subscribe"), [body])
         if reply is None:

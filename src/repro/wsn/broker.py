@@ -21,7 +21,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.delivery.manager import DeliveryManager
 from repro.filters.topics import TopicDialect, TopicExpression, TopicNamespace
+from repro.qos.adaptive import AdaptiveQosPolicy
 from repro.soap.envelope import SoapEnvelope, SoapVersion
 from repro.soap.fault import FaultCode, SoapFault
 from repro.transport.endpoint import SoapEndpoint
@@ -65,10 +67,21 @@ class NotificationBroker:
         topic_namespace: Optional[TopicNamespace] = None,
         require_registration: bool = False,
         store=None,
+        delivery_manager: Optional[DeliveryManager] = None,
+        qos: Optional[AdaptiveQosPolicy] = None,
     ) -> None:
         self.network = network
         self.version = version
         self.require_registration = require_registration
+        #: adaptive QoS: lag thresholds for publisher pause/resume (the
+        #: demand-based mechanism of Section V.5, driven by *downstream*
+        #: backlog rather than subscriber count alone)
+        self.qos_policy = qos
+        #: true while aggregate delivery lag has the broker treating demand
+        #: as zero (all upstream demand subscriptions paused)
+        self.lag_paused = False
+        self.publisher_pauses = 0
+        self.publisher_resumes = 0
         #: optional event log (repro.store.BrokerStore): publications are
         #: appended outbox-first, giving this standalone broker a durable
         #: publish audit trail (full projection recovery lives in
@@ -78,9 +91,20 @@ class NotificationBroker:
             store.clock = network.clock
         # the broker's producer side (Subscribe / GetCurrentMessage / delivery)
         self.producer = NotificationProducer(
-            network, address, version=version, topic_namespace=topic_namespace
+            network,
+            address,
+            version=version,
+            topic_namespace=topic_namespace,
+            delivery_manager=delivery_manager,
         )
         self.producer.subscription_listeners.append(self._on_subscription_event)
+        self.delivery_manager = delivery_manager
+        if (
+            delivery_manager is not None
+            and qos is not None
+            and qos.pause_pending_above is not None
+        ):
+            delivery_manager.backlog_listeners.append(self._on_backlog)
         # the broker's consumer side shares the producer endpoint: publishers
         # send Notify to the broker address
         self.producer.endpoint.on_action(version.action("Notify"), self._handle_notify)
@@ -281,10 +305,41 @@ class NotificationBroker:
                 continue
         return count
 
+    def _on_backlog(self, pending: int) -> None:
+        """Delivery-backlog listener: pause every demand publisher while the
+        pipeline's pending count sits above the policy's high-water mark, and
+        resume once it drains below the low-water mark (hysteresis — the two
+        thresholds keep a borderline backlog from flapping the upstream
+        Pause/Resume wire traffic)."""
+        policy = self.qos_policy
+        if policy is None or policy.pause_pending_above is None:
+            return
+        if not self.lag_paused and pending >= policy.pause_pending_above:
+            self.lag_paused = True
+            self.publisher_pauses += 1
+            self.network.instrumentation.count(
+                "qos.publisher_pauses", family="wsn", broker=self.address
+            )
+            self._reconcile_all_demand()
+        elif self.lag_paused and pending <= policy.resume_pending_below:
+            self.lag_paused = False
+            self.publisher_resumes += 1
+            self.network.instrumentation.count(
+                "qos.publisher_resumes", family="wsn", broker=self.address
+            )
+            self._reconcile_all_demand()
+
+    def _reconcile_all_demand(self) -> None:
+        for registration in self._registrations.values():
+            if registration.demand and not registration.destroyed:
+                self._reconcile_demand(registration)
+
     def _reconcile_demand(self, registration: PublisherRegistration) -> None:
         if registration.upstream is None or registration.topic is None:
             return
-        demand = self.demand_for(registration.topic)
+        # while lag-paused the broker advertises zero demand: consumers may
+        # still be subscribed, but the pipeline cannot absorb more input
+        demand = 0 if self.lag_paused else self.demand_for(registration.topic)
         if demand > 0 and registration.paused_upstream:
             self._upstream_subscriber.resume(registration.upstream)
             registration.paused_upstream = False

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.qos.properties import QosError, QosProfile
+from repro.qos.wire import find_profile, profile_to_element
 from repro.soap.fault import FaultCode, SoapFault
 from repro.wsa.epr import EndpointReference
 from repro.wsn.versions import WsnVersion
@@ -50,6 +52,9 @@ class WsnSubscribeRequest:
     filter: WsnFilterSpec
     initial_termination_text: Optional[str]
     use_raw: bool  # False = wrapped Notify (the default in every version)
+    #: requested QoS profile (1.3: inside SubscriptionPolicy; 1.0/1.2: a
+    #: direct extension child of Subscribe), if any
+    qos: Optional[QosProfile] = None
 
 
 def build_subscribe(
@@ -59,6 +64,7 @@ def build_subscribe(
     filter: Optional[WsnFilterSpec] = None,
     initial_termination: Optional[str] = None,
     use_raw: bool = False,
+    qos: Optional[QosProfile] = None,
 ) -> XElem:
     wsa = version.wsa_version
     filter = filter or WsnFilterSpec()
@@ -69,9 +75,13 @@ def build_subscribe(
         _append_filter_parts(version, filter_elem, filter)
         if list(filter_elem.elements()):
             subscribe.append(filter_elem)
-        if use_raw:
+        if use_raw or qos is not None:
             policy = XElem(version.qname("SubscriptionPolicy"))
-            policy.append(XElem(version.qname("UseRaw")))
+            if use_raw:
+                policy.append(XElem(version.qname("UseRaw")))
+            if qos is not None:
+                # 1.3's SubscriptionPolicy is the designated extension slot
+                policy.append(profile_to_element(qos))
             subscribe.append(policy)
     else:
         # 1.0/1.2: filter parts sit directly in Subscribe; UseNotify picks raw/wrapped
@@ -79,6 +89,10 @@ def build_subscribe(
         subscribe.append(
             text_element(version.qname("UseNotify"), "false" if use_raw else "true")
         )
+        if qos is not None:
+            # 1.0/1.2 have no policy wrapper; the profile rides as a direct
+            # extension child (both specs allow open content)
+            subscribe.append(profile_to_element(qos))
     if initial_termination is not None:
         subscribe.append(
             text_element(version.qname("InitialTerminationTime"), initial_termination)
@@ -116,21 +130,34 @@ def parse_subscribe(body: XElem, version: WsnVersion) -> WsnSubscribeRequest:
     consumer = EndpointReference.from_element(consumer_elem, version.wsa_version)
     filter = WsnFilterSpec()
     use_raw = False
+    qos_parent = body
     if version.has_filter_element:
         filter_elem = body.find(version.qname("Filter"))
         if filter_elem is not None:
             _parse_filter_parts(version, filter_elem, filter)
         policy = body.find(version.qname("SubscriptionPolicy"))
-        if policy is not None and policy.find(version.qname("UseRaw")) is not None:
-            use_raw = True
+        if policy is not None:
+            if policy.find(version.qname("UseRaw")) is not None:
+                use_raw = True
+            qos_parent = policy
     else:
         _parse_filter_parts(version, body, filter)
         use_notify = body.find(version.qname("UseNotify"))
         if use_notify is not None and use_notify.full_text().strip() == "false":
             use_raw = True
+    try:
+        qos = find_profile(qos_parent)
+        if qos is None and qos_parent is not body:
+            qos = find_profile(body)
+    except QosError as exc:
+        raise SoapFault(
+            FaultCode.SENDER,
+            f"unsupported QoS: {exc}",
+            subcode=version.qname("UnrecognizedPolicyRequestFault"),
+        ) from exc
     term_elem = body.find(version.qname("InitialTerminationTime"))
     termination = term_elem.full_text().strip() if term_elem is not None else None
-    return WsnSubscribeRequest(consumer, filter, termination, use_raw)
+    return WsnSubscribeRequest(consumer, filter, termination, use_raw, qos=qos)
 
 
 def _parse_filter_parts(version: WsnVersion, parent: XElem, filter: WsnFilterSpec) -> None:

@@ -19,6 +19,8 @@ from repro.delivery.policy import BatchingPolicy
 from repro.delivery.task import DeliveryItem
 from repro.filters.base import AcceptAllFilter, AndFilter, Filter, FilterContext, FilterError
 from repro.obs.instrument import BoundCounters
+from repro.qos.adaptive import validate_supported
+from repro.qos.properties import QosError, QosProfile
 from repro.filters.content import MessageContentFilter
 from repro.filters.producer import ProducerPropertiesFilter
 from repro.filters.topics import TopicFilter, TopicNamespace, topic_expression_of
@@ -62,6 +64,8 @@ class WsnSubscription:
     use_raw: bool
     paused: bool = False
     paused_queue: list[NotificationMessage] = field(default_factory=list)
+    #: accepted QoS profile (1.3 SubscriptionPolicy / <=1.2 extension child)
+    qos: Optional[QosProfile] = None
 
     @property
     def key(self) -> str:
@@ -221,6 +225,7 @@ class NotificationProducer:
         # consume the forced key up front so a faulting request cannot leak
         # it into an unrelated later subscription
         forced_sub_id, self._forced_sub_id = self._forced_sub_id, None
+        self._accept_qos(request.qos, request.consumer)
         subscription_filter = self._build_filter(request.filter)
         expiry = self._grant_termination(request.initial_termination_text)
         resource = self.registry.create(key=forced_sub_id)
@@ -232,6 +237,7 @@ class NotificationProducer:
             filter=subscription_filter,
             topic_expression=request.filter.topic_expression,
             use_raw=request.use_raw,
+            qos=request.qos,
         )
         self._subscriptions[resource.key] = subscription
         self._topic_index.add(resource.key, topic_expression_of(subscription_filter))
@@ -239,6 +245,33 @@ class NotificationProducer:
         resource.termination_listeners.append(self._on_subscription_terminated)
         self._notify_listeners("created", subscription)
         return subscription
+
+    def _accept_qos(
+        self, qos: Optional[QosProfile], consumer: EndpointReference
+    ) -> None:
+        """Vet a requested QoS profile, registering it with the adaptive
+        controller when the delivery pipeline carries one.  A profile the
+        producer cannot honour faults the Subscribe (1.3's
+        UnsupportedPolicyRequestFault) rather than silently degrading."""
+        if qos is None:
+            return
+        controller = (
+            self.delivery_manager.qos if self.delivery_manager is not None else None
+        )
+        try:
+            if controller is not None:
+                controller.register_consumer(consumer.address, qos)
+            else:
+                validate_supported(qos)
+        except QosError as exc:
+            raise SoapFault(
+                FaultCode.SENDER,
+                f"unsupported QoS policy: {exc}",
+                subcode=self.version.qname("UnsupportedPolicyRequestFault"),
+            ) from exc
+
+    def _priority_of(self, subscription: WsnSubscription) -> int:
+        return subscription.qos.get("Priority") if subscription.qos is not None else 0
 
     def _set_resource_properties(self, subscription: WsnSubscription) -> None:
         resource = subscription.resource
@@ -618,6 +651,7 @@ class NotificationProducer:
                         frozen_namespace_order(frozen),
                     ),
                     (subscription, message, lineage),
+                    priority=self._priority_of(subscription),
                 )
             else:
                 self._deliver(subscription, [message])
@@ -725,6 +759,7 @@ class NotificationProducer:
                 ],
                 family="wsn",
                 describe=f"notify {subscription.key}",
+                priority=self._priority_of(subscription),
             )
             return
         lineage = instr.trace_context() if instr.enabled else None
@@ -829,6 +864,7 @@ class NotificationProducer:
                 ],
                 family="wsn",
                 describe=f"notify batch[{len(entries)}] {sink}",
+                priority=max(self._priority_of(sub) for sub, _, _ in entries),
             )
             return
         lineages = [lineage for _, _, lineage in entries if lineage is not None]

@@ -13,6 +13,7 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
+from repro.delivery.limits import parse_drain_limit
 from repro.soap.envelope import SoapEnvelope, SoapVersion
 from repro.soap.fault import FaultCode, SoapFault
 from repro.transport.endpoint import SoapClient, SoapEndpoint
@@ -90,12 +91,14 @@ class PullPoint:
                 subcode=self.version.qname("UnableToGetMessagesFault"),
             )
         body = envelope.body_element()
-        max_elem = body.find(self.version.qname("MaximumNumber"))
-        limit = (
-            int(max_elem.full_text().strip()) if max_elem is not None else len(self.queue)
+        count = parse_drain_limit(
+            body,
+            self.version.qname("MaximumNumber"),
+            backlog=len(self.queue),
+            subcode=self.version.qname("UnableToGetMessagesFault"),
         )
-        batch = self.queue[: limit or len(self.queue)]
-        del self.queue[: len(batch)]
+        batch = self.queue[:count]
+        del self.queue[:count]
         response = XElem(self.version.qname("GetMessagesResponse"))
         for item in batch:
             response.append(item)

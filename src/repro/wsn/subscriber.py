@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.qos.properties import QosProfile
 from repro.soap.envelope import SoapVersion
 from repro.soap.fault import FaultCode, SoapFault
 from repro.transport.endpoint import SoapClient
@@ -69,6 +70,7 @@ class WsnSubscriber:
         namespaces: Optional[dict[str, str]] = None,
         initial_termination: Optional[str] = None,
         use_raw: bool = False,
+        qos: Optional[QosProfile] = None,
     ) -> WsnSubscriptionHandle:
         spec = WsnFilterSpec(
             topic_expression=topic,
@@ -83,6 +85,7 @@ class WsnSubscriber:
             filter=spec,
             initial_termination=initial_termination,
             use_raw=use_raw,
+            qos=qos,
         )
         reply = self._client.call(producer, self.version.action("Subscribe"), [body])
         if reply is None:

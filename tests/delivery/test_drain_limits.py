@@ -1,0 +1,121 @@
+"""Pull-drain limits, pinned: 0 and negative take nothing, garbage faults.
+
+The seed's handlers evaluated ``queue[: limit or len(queue)]``: an explicit
+``MaximumNumber``/``MaxMessages`` of ``0`` silently drained the entire
+backlog, a negative limit sliced from the tail, and non-numeric text raised
+an unhandled ``ValueError`` out of the endpoint (a server error for a
+malformed *request*).  These tests pin the fix at each wire surface; the
+``pulldrain`` conformance engine fuzzes the same contract continuously.
+"""
+
+import pytest
+
+from repro.delivery import DeliveryItem, drain_message_box_wse
+from repro.delivery.messagebox import MessageBox
+from repro.soap.fault import FaultCode, SoapFault
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.wse import EventSource, WseSubscriber
+from repro.wse.model import DeliveryMode
+from repro.wsn import PullPointClient
+from repro.wsn.pullpoint import PullPoint
+from repro.wsn.versions import WsnVersion
+from repro.xmlkit import parse_xml
+
+
+def event(n):
+    return parse_xml(f'<e:V xmlns:e="urn:dl"><e:n>{n}</e:n></e:V>')
+
+
+@pytest.fixture
+def network():
+    return SimulatedNetwork(VirtualClock())
+
+
+@pytest.fixture
+def box(network):
+    box = MessageBox(network, "http://broker/box", "http://sink")
+    for n in range(3):
+        box.park(DeliveryItem(event(n)))
+    return box
+
+
+class TestWsnGetMessages:
+    def test_zero_maximum_takes_nothing(self, network, box):
+        assert PullPointClient(network).get_messages(box.epr(), maximum=0) == []
+        assert len(box) == 3
+
+    def test_negative_maximum_takes_nothing(self, network, box):
+        assert PullPointClient(network).get_messages(box.epr(), maximum=-2) == []
+        assert len(box) == 3
+
+    def test_non_numeric_maximum_is_a_sender_fault(self, network, box):
+        with pytest.raises(SoapFault) as excinfo:
+            PullPointClient(network).get_messages(box.epr(), maximum="x")
+        fault = excinfo.value
+        assert fault.code is FaultCode.SENDER
+        assert (
+            fault.subcode is not None
+            and "UnableToGetMessages" in fault.subcode.local
+        )
+        assert len(box) == 3  # the malformed request drained nothing
+
+    def test_omitted_maximum_still_drains_all(self, network, box):
+        batch = PullPointClient(network).get_messages(box.epr())
+        assert len(batch) == 3 and len(box) == 0
+
+    def test_positive_maximum_is_fifo_and_capped(self, network, box):
+        batch = PullPointClient(network).get_messages(box.epr(), maximum=2)
+        assert [item.payload.full_text() for item in batch] == ["0", "1"]
+        assert PullPointClient(network).get_messages(box.epr(), maximum=9)[
+            0
+        ].payload.full_text() == "2"
+
+
+class TestWseBoxPull:
+    def test_zero_and_negative_take_nothing(self, network, box):
+        assert drain_message_box_wse(network, box.epr(), max_messages="0") == []
+        assert drain_message_box_wse(network, box.epr(), max_messages=-1) == []
+        assert len(box) == 3
+
+    def test_non_numeric_is_a_sender_fault(self, network, box):
+        with pytest.raises(SoapFault) as excinfo:
+            drain_message_box_wse(network, box.epr(), max_messages="lots")
+        assert excinfo.value.code is FaultCode.SENDER
+        assert len(box) == 3
+
+
+class TestPullPointEndpoint:
+    def test_limits_apply_at_a_real_pull_point(self, network):
+        point = PullPoint(network, "http://pp", WsnVersion.V1_3)
+        client = PullPointClient(network)
+        point.queue.extend(
+            parse_xml(
+                '<w:NotificationMessage xmlns:w="http://docs.oasis-open.org/wsn/b-2">'
+                f"<w:Message><v>{n}</v></w:Message></w:NotificationMessage>"
+            )
+            for n in range(2)
+        )
+        assert client.get_messages(point.epr(), maximum=0) == []
+        with pytest.raises(SoapFault):
+            client.get_messages(point.epr(), maximum="NaN")
+        assert len(client.get_messages(point.epr())) == 2
+
+
+class TestWsePullSubscription:
+    def test_limits_apply_at_a_pull_mode_subscription(self, network):
+        source = EventSource(network, "http://source")
+        subscriber = WseSubscriber(network)
+        handle = subscriber.subscribe(source.epr(), mode=DeliveryMode.PULL)
+        for n in range(3):
+            source.publish(event(n))
+        # "0" goes on the wire as an explicit MaxMessages element
+        assert subscriber.pull(handle, max_messages="0") == []
+        assert subscriber.pull(handle, max_messages="-3") == []
+        with pytest.raises(SoapFault) as excinfo:
+            subscriber.pull(handle, max_messages="x")
+        assert excinfo.value.code is FaultCode.SENDER
+        assert [p.full_text() for p in subscriber.pull(handle, max_messages=2)] == [
+            "0",
+            "1",
+        ]
+        assert [p.full_text() for p in subscriber.pull(handle)] == ["2"]

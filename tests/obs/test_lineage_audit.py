@@ -65,7 +65,7 @@ class TestLedgerAccounting:
         assert {
             "published", "mediated", "queued", "enqueued", "replayed",
             "attempted", "pending_pull", "delivered", "dead_lettered",
-            "failed",
+            "failed", "shed",
         } == set(KNOWN_STATES)
 
 

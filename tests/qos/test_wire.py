@@ -1,0 +1,143 @@
+"""QoS profiles on the wire: encoding, Subscribe threading, fault subcodes."""
+
+import pytest
+
+from repro.qos import DiscardPolicy, OrderPolicy, QosError, QosProfile
+from repro.qos.wire import find_profile, profile_from_element, profile_to_element
+from repro.soap.fault import FaultCode, SoapFault
+from repro.transport import SimulatedNetwork, VirtualClock
+from repro.wse import EventSink, EventSource, WseSubscriber
+from repro.wsn import NotificationConsumer, NotificationProducer, WsnSubscriber
+from repro.wsn.versions import WsnVersion
+from repro.xmlkit import parse_xml
+from repro.xmlkit.writer import serialize_xml
+from repro.xmlkit.element import XElem
+from repro.xmlkit.names import QName
+
+
+class TestElementRoundtrip:
+    def test_typed_properties_survive(self):
+        profile = QosProfile(
+            {
+                "Priority": 9,
+                "MaxEventsPerConsumer": 4,
+                "PacingInterval": 0.5,
+                "StartTimeSupported": False,
+                "OrderPolicy": OrderPolicy.PRIORITY_ORDER,
+                "DiscardPolicy": DiscardPolicy.LIFO_ORDER,
+                "EventReliability": "Persistent",
+            }
+        )
+        decoded = profile_from_element(profile_to_element(profile))
+        assert decoded.values == profile.values
+
+    def test_serialized_form_is_stable(self):
+        element = profile_to_element(QosProfile({"Priority": 1, "DiscardPolicy": DiscardPolicy.FIFO_ORDER}))
+        reparsed = parse_xml(serialize_xml(element))
+        assert profile_from_element(reparsed).values == {
+            "Priority": 1,
+            "DiscardPolicy": DiscardPolicy.FIFO_ORDER,
+        }
+
+    def test_unknown_property_name_is_rejected(self):
+        element = profile_to_element(QosProfile({"Priority": 1}))
+        element.elements().__next__().attrs[QName("", "Name")] = "Bogus"
+        with pytest.raises(QosError):
+            profile_from_element(element)
+
+    def test_bad_value_is_rejected(self):
+        profile = QosProfile({"Priority": 1})
+        element = profile_to_element(profile)
+        for prop in element.elements():
+            prop.children[:] = ["not-an-int"]
+        with pytest.raises(QosError):
+            profile_from_element(element)
+
+    def test_find_profile_absent_is_none(self):
+        assert find_profile(XElem(QName("", "Subscribe"))) is None
+
+
+def _network():
+    return SimulatedNetwork(VirtualClock())
+
+
+class TestWseSubscribeQos:
+    def test_accepted_profile_lands_on_the_subscription(self):
+        network = _network()
+        source = EventSource(network, "http://source")
+        sink = EventSink(network, "http://sink")
+        WseSubscriber(network).subscribe(
+            source.epr(),
+            notify_to=sink.epr(),
+            qos=QosProfile({"Priority": 3, "MaxEventsPerConsumer": 2}),
+        )
+        (subscription,) = source.store._subscriptions.values()
+        assert subscription.qos is not None
+        assert subscription.qos.get("Priority") == 3
+
+    def test_unsupported_profile_faults_with_subcode(self):
+        network = _network()
+        source = EventSource(network, "http://source")
+        sink = EventSink(network, "http://sink")
+        with pytest.raises(SoapFault) as excinfo:
+            WseSubscriber(network).subscribe(
+                source.epr(),
+                notify_to=sink.epr(),
+                qos=QosProfile({"StartTime": 12.0}),
+            )
+        fault = excinfo.value
+        assert fault.code is FaultCode.SENDER
+        assert fault.subcode is not None and "UnsupportedQoS" in fault.subcode.local
+        assert len(source.store) == 0
+
+
+class TestWsnSubscribeQos:
+    @pytest.mark.parametrize("version", [WsnVersion.V1_0, WsnVersion.V1_2, WsnVersion.V1_3])
+    def test_accepted_profile_lands_on_the_subscription(self, version):
+        network = _network()
+        producer = NotificationProducer(network, "http://producer", version=version)
+        consumer = NotificationConsumer(network, "http://consumer", version=version)
+        WsnSubscriber(network, version=version).subscribe(
+            producer.epr(),
+            consumer.epr(),
+            topic="qos",
+            qos=QosProfile({"Priority": 5}),
+        )
+        (subscription,) = producer._subscriptions.values()
+        assert subscription.qos is not None
+        assert subscription.qos.get("Priority") == 5
+
+    def test_unsupported_profile_faults_with_policy_subcode(self):
+        network = _network()
+        producer = NotificationProducer(network, "http://producer")
+        consumer = NotificationConsumer(network, "http://consumer")
+        with pytest.raises(SoapFault) as excinfo:
+            WsnSubscriber(network).subscribe(
+                producer.epr(),
+                consumer.epr(),
+                topic="qos",
+                qos=QosProfile({"StopTimeSupported": True}),
+            )
+        fault = excinfo.value
+        assert fault.code is FaultCode.SENDER
+        assert (
+            fault.subcode is not None
+            and "UnsupportedPolicyRequestFault" in fault.subcode.local
+        )
+        assert producer.live_subscriptions() == []
+
+    def test_13_profile_rides_subscription_policy_with_use_raw(self):
+        # the profile and UseRaw share the SubscriptionPolicy wrapper
+        network = _network()
+        producer = NotificationProducer(network, "http://producer")
+        consumer = NotificationConsumer(network, "http://consumer")
+        WsnSubscriber(network).subscribe(
+            producer.epr(),
+            consumer.epr(),
+            topic="qos",
+            use_raw=True,
+            qos=QosProfile({"Priority": 2}),
+        )
+        (subscription,) = producer._subscriptions.values()
+        assert subscription.use_raw
+        assert subscription.qos is not None and subscription.qos.get("Priority") == 2
